@@ -1,0 +1,78 @@
+// Ablation: the exploratory mode of §IV-D / §V-A.
+//
+// Two knobs: (a) how many records a category must accumulate before the
+// predictive policy takes over (paper: 10), and (b) the fixed exploration
+// allocation (paper: 1 core / 1 GB memory / 1 GB disk, doubling on
+// failure). Small workflows pay exploration failures; large thresholds
+// waste the default allocation for longer. The disk column of ColmenaXTB
+// (tasks use ~10 MB against a 1 GB exploration default) is the paper's own
+// example of exploration cost dominating a resource dimension.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "exp/experiment.hpp"
+#include "exp/report.hpp"
+#include "workloads/workload.hpp"
+
+int main() {
+  using tora::core::ResourceKind;
+
+  std::cout << "Ablation A: exploration threshold (records before prediction "
+               "starts), exhaustive bucketing, memory AWE\n\n";
+  {
+    const std::vector<std::size_t> thresholds = {1, 5, 10, 25, 50, 100};
+    std::vector<std::string> header{"workflow"};
+    for (auto t : thresholds) header.push_back("min=" + std::to_string(t));
+    tora::exp::TextTable table(header);
+    for (const char* wf : {"normal", "bimodal", "colmena_xtb", "topeft"}) {
+      const auto workload = tora::workloads::make_workload(wf, 7);
+      std::vector<std::string> row{wf};
+      for (std::size_t t : thresholds) {
+        tora::exp::ExperimentConfig cfg;
+        cfg.registry.exploration_min_records = t;
+        const double awe =
+            tora::exp::run_experiment(workload, "exhaustive_bucketing", cfg)
+                .awe(ResourceKind::MemoryMB);
+        row.push_back(tora::exp::fmt_pct(awe));
+      }
+      table.add_row(row);
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\nAblation B: exploration default allocation, exhaustive "
+               "bucketing on colmena_xtb (disk AWE)\n\n";
+  {
+    struct Default {
+      const char* label;
+      tora::core::ResourceVector alloc;
+    };
+    const std::vector<Default> defaults = {
+        {"64 MB disk", {1.0, 1024.0, 64.0, 0.0}},
+        {"256 MB disk", {1.0, 1024.0, 256.0, 0.0}},
+        {"1 GB disk (paper)", {1.0, 1024.0, 1024.0, 0.0}},
+        {"4 GB disk", {1.0, 1024.0, 4096.0, 0.0}},
+    };
+    tora::exp::TextTable table({"exploration default", "disk AWE",
+                                "memory AWE", "mean attempts"});
+    const auto workload = tora::workloads::make_workload("colmena_xtb", 7);
+    for (const auto& d : defaults) {
+      tora::exp::ExperimentConfig cfg;
+      cfg.registry.exploration_default = d.alloc;
+      const auto r =
+          tora::exp::run_experiment(workload, "exhaustive_bucketing", cfg);
+      table.add_row({d.label, tora::exp::fmt_pct(r.awe(ResourceKind::DiskMB)),
+                     tora::exp::fmt_pct(r.awe(ResourceKind::MemoryMB)),
+                     tora::exp::fmt(r.sim.accounting.mean_attempts(), 2)});
+    }
+    table.print(std::cout);
+    std::cout << "\nColmenaXTB tasks use ~10 MB of disk: the 1 GB exploration "
+                 "default is why the paper's Fig. 5\nshows single-digit disk "
+                 "AWE for every algorithm. A smaller default recovers most of "
+                 "it.\n";
+  }
+  return 0;
+}

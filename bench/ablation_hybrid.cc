@@ -1,0 +1,56 @@
+// Extension experiment: the §V-C hand-off the paper sketches for TopEFT's
+// cores column — "running Quantized Bucketing initially then switching over"
+// — implemented as hybrid_bucketing (quantized stage until N records, then
+// exhaustive bucketing).
+//
+// The paper observed Min Waste / Max Throughput / Quantized beating the
+// bucketing algorithms by 20-30% on TopEFT cores because "the first few
+// outliers cause this issue". The hybrid absorbs the outlier-laden cold
+// start with the median split, then hands the converged record base to the
+// expected-waste model. This harness compares the pure policies against the
+// hybrid at several switch points.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "exp/experiment.hpp"
+#include "exp/report.hpp"
+#include "workloads/workload.hpp"
+
+int main() {
+  using tora::core::ResourceKind;
+
+  std::cout << "Extension: quantized -> exhaustive hand-off "
+               "(hybrid_bucketing)\n\n";
+
+  for (const char* wf : {"topeft", "exponential"}) {
+    const auto workload = tora::workloads::make_workload(wf, 7);
+    std::cout << "== " << wf << " ==\n";
+    tora::exp::TextTable table(
+        {"policy", "cores AWE", "memory AWE", "disk AWE", "mean attempts"});
+    const auto run = [&](const std::string& label, const std::string& policy,
+                         std::size_t switch_records) {
+      tora::exp::ExperimentConfig cfg;
+      cfg.registry.hybrid_switch_records = switch_records;
+      const auto r = tora::exp::run_experiment(workload, policy, cfg);
+      table.add_row({label, tora::exp::fmt_pct(r.awe(ResourceKind::Cores)),
+                     tora::exp::fmt_pct(r.awe(ResourceKind::MemoryMB)),
+                     tora::exp::fmt_pct(r.awe(ResourceKind::DiskMB)),
+                     tora::exp::fmt(r.sim.accounting.mean_attempts(), 2)});
+    };
+    run("quantized_bucketing", "quantized_bucketing", 0);
+    run("exhaustive_bucketing", "exhaustive_bucketing", 0);
+    run("hybrid (switch@25)", "hybrid_bucketing", 25);
+    run("hybrid (switch@50)", "hybrid_bucketing", 50);
+    run("hybrid (switch@200)", "hybrid_bucketing", 200);
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "reading: the hybrid should track quantized during the "
+               "outlier-heavy start and converge\nto exhaustive's steady "
+               "state, dominating both pure policies when the cold start "
+               "matters.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Figure 2 reproduction: per-task peak resource consumption of the
+// ColmenaXTB and TopEFT workflows (cores, memory, disk, execution time), by
+// task category. The paper plots one point per task against submission
+// order; this harness prints per-category summary rows (count, min / mean /
+// max per resource) that characterize the same bands, and dumps the full
+// per-task series as CSV for plotting.
+//
+// Usage: fig2_production_traces [output_dir]   (default: current directory)
+
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/resources.hpp"
+#include "exp/report.hpp"
+#include "util/stats.hpp"
+#include "workloads/trace.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using tora::core::ResourceKind;
+using tora::util::OnlineStats;
+using tora::workloads::Workload;
+
+struct CategoryStats {
+  OnlineStats cores, memory, disk, duration;
+};
+
+void summarize(const Workload& w, std::ostream& out) {
+  std::map<std::string, CategoryStats> stats;
+  for (const auto& t : w.tasks) {
+    auto& s = stats[t.category];
+    s.cores.add(t.demand.cores());
+    s.memory.add(t.demand.memory_mb());
+    s.disk.add(t.demand.disk_mb());
+    s.duration.add(t.duration_s);
+  }
+  out << "\n== " << w.name << " (" << w.tasks.size() << " tasks) ==\n";
+  tora::exp::TextTable table({"category", "tasks", "cores min/mean/max",
+                              "memory MB min/mean/max",
+                              "disk MB min/mean/max", "time s min/mean/max"});
+  const auto triple = [](const OnlineStats& s) {
+    return tora::exp::fmt(s.min(), 2) + " / " + tora::exp::fmt(s.mean(), 2) +
+           " / " + tora::exp::fmt(s.max(), 2);
+  };
+  for (const auto& [cat, s] : stats) {
+    table.add_row({cat, std::to_string(s.cores.count()), triple(s.cores),
+                   triple(s.memory), triple(s.disk), triple(s.duration)});
+  }
+  table.print(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_dir = argc > 1 ? argv[1] : ".";
+  std::cout << "Figure 2: resource consumption of tasks in ColmenaXTB and "
+               "TopEFT\n"
+               "(synthetic traces regenerated from the paper's §III-B "
+               "description; seed-stable)\n";
+  for (const char* name : {"colmena_xtb", "topeft"}) {
+    const Workload w = tora::workloads::make_workload(name, 7);
+    summarize(w, std::cout);
+    const std::string path = out_dir + "/fig2_" + std::string(name) + ".csv";
+    tora::workloads::save_trace(path, w);
+    std::cout << "per-task series written to " << path << "\n";
+  }
+  std::cout << "\nExpected shape vs. paper Fig. 2:\n"
+               "  * evaluate_mpnn memory 1.0-1.2 GB vs compute_atomization_"
+               "energy ~200 MB (specialization)\n"
+               "  * compute_atomization_energy cores spread 0.9-3.6 "
+               "(inherent stochasticity)\n"
+               "  * TopEFT disk constant at 306 MB; preprocessing and "
+               "accumulating memory coincide near 180 MB\n"
+               "  * TopEFT processing memory splits into ~450 MB and ~580 MB "
+               "clusters; core outliers reach ~3\n";
+  return 0;
+}

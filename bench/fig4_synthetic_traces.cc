@@ -1,0 +1,73 @@
+// Figure 4 reproduction: memory consumption of the 1000 tasks in each of the
+// five synthetic workflows (Normal, Uniform, Exponential, Bimodal, Phasing
+// Trimodal). Prints summary statistics plus a coarse text histogram per
+// workflow — enough to confirm each distribution's shape — and dumps
+// per-task CSV series for plotting.
+//
+// Usage: fig4_synthetic_traces [output_dir]   (default: current directory)
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exp/report.hpp"
+#include "util/stats.hpp"
+#include "workloads/trace.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using tora::workloads::Workload;
+
+void histogram(const std::vector<double>& values, std::ostream& out,
+               int bins = 12, int width = 50) {
+  const auto [mn_it, mx_it] = std::minmax_element(values.begin(), values.end());
+  const double lo = *mn_it, hi = *mx_it;
+  const double span = hi > lo ? hi - lo : 1.0;
+  std::vector<int> counts(bins, 0);
+  for (double v : values) {
+    int b = static_cast<int>((v - lo) / span * bins);
+    if (b >= bins) b = bins - 1;
+    ++counts[b];
+  }
+  const int peak = *std::max_element(counts.begin(), counts.end());
+  for (int b = 0; b < bins; ++b) {
+    const double edge = lo + span * b / bins;
+    const int bar = peak > 0 ? counts[b] * width / peak : 0;
+    out << "  " << tora::exp::fmt(edge, 0) << "\t|" << std::string(bar, '#')
+        << " " << counts[b] << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_dir = argc > 1 ? argv[1] : ".";
+  std::cout << "Figure 4: memory consumption of tasks in five synthetic "
+               "workflows (1000 tasks each)\n";
+  for (const char* name : {"normal", "uniform", "exponential", "bimodal",
+                           "trimodal"}) {
+    const Workload w = tora::workloads::make_workload(name, 7);
+    std::vector<double> mem;
+    tora::util::OnlineStats stats;
+    for (const auto& t : w.tasks) {
+      mem.push_back(t.demand.memory_mb());
+      stats.add(t.demand.memory_mb());
+    }
+    std::cout << "\n== " << w.name << " ==  (memory MB: min "
+              << tora::exp::fmt(stats.min(), 1) << ", mean "
+              << tora::exp::fmt(stats.mean(), 1) << ", max "
+              << tora::exp::fmt(stats.max(), 1) << ", sd "
+              << tora::exp::fmt(stats.stddev(), 1) << ")\n";
+    histogram(mem, std::cout);
+    const std::string path = out_dir + "/fig4_" + std::string(name) + ".csv";
+    tora::workloads::save_trace(path, w);
+    std::cout << "per-task series written to " << path << "\n";
+  }
+  std::cout << "\nExpected shape vs. paper Fig. 4: one mode (normal), flat "
+               "(uniform), long right tail\n(exponential), two modes "
+               "(bimodal), three sequential phases (trimodal; visible in the\n"
+               "per-task CSV series, not the pooled histogram).\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Figure 5 reproduction: Absolute Workflow Efficiency (AWE) in cores,
+// memory, and disk of the 7 workflows under all 7 allocation algorithms,
+// executed on the simulated opportunistic pool (20-50 workers of
+// 16 cores / 64 GB / 64 GB, as in the paper's §V-A).
+//
+// Prints one table per resource kind (rows = algorithms in the paper's
+// order, columns = workflows) with AWE as a percentage, and writes the raw
+// values to fig5_awe.csv.
+//
+// Usage: fig5_awe [output_dir]   (default: current directory)
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "exp/experiment.hpp"
+#include "exp/report.hpp"
+#include "util/csv.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using tora::core::ResourceKind;
+using tora::exp::ExperimentResult;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_dir = argc > 1 ? argv[1] : ".";
+
+  tora::exp::ExperimentConfig cfg;  // paper defaults: churning 20-50 workers
+  const auto& workflows = tora::workloads::all_workflow_names();
+  const auto& policies = tora::core::all_policy_names();
+
+  std::cout << "Figure 5: Absolute Workflow Efficiency of 7 workflows under "
+               "7 allocation algorithms\n"
+            << "(simulated opportunistic pool: " << cfg.sim.churn.min_workers
+            << "-" << cfg.sim.churn.max_workers
+            << " workers of 16 cores / 64 GB / 64 GB)\n\n"
+            << "running " << workflows.size() * policies.size()
+            << " workflow x policy simulations...\n";
+
+  const auto results = tora::exp::run_grid_parallel(workflows, policies, cfg);
+
+  std::map<std::string, std::map<std::string, const ExperimentResult*>> grid;
+  for (const auto& r : results) grid[r.policy][r.workflow] = &r;
+
+  std::ofstream csv_file(out_dir + "/fig5_awe.csv");
+  tora::util::CsvWriter csv(csv_file);
+  csv.row({"resource", "policy", "workflow", "awe"});
+
+  for (ResourceKind k : tora::core::kManagedResources) {
+    std::cout << "\n== AWE: " << tora::core::to_string(k) << " ==\n";
+    std::vector<std::string> header{"algorithm"};
+    for (const auto& wf : workflows) header.push_back(wf);
+    tora::exp::TextTable table(header);
+    for (const auto& p : policies) {
+      std::vector<std::string> row{p};
+      for (const auto& wf : workflows) {
+        const double awe = grid[p][wf]->awe(k);
+        row.push_back(tora::exp::fmt_pct(awe));
+        csv.field(tora::core::to_string(k)).field(p).field(wf).field(awe);
+        csv.end_row();
+      }
+      table.add_row(row);
+    }
+    table.print(std::cout);
+  }
+  std::cout << "\nraw values written to " << out_dir << "/fig5_awe.csv\n"
+            << "\nExpected shape vs. paper Fig. 5:\n"
+               "  * whole_machine is the floor everywhere\n"
+               "  * greedy/exhaustive bucketing lead or tie on most cells\n"
+               "  * exponential is hardest (AWE near the whole-machine "
+               "floor); uniform/normal reach 60-80%\n"
+               "  * topeft disk: bucketing ~100% vs max_seen capped at 61% "
+               "(306 MB -> 500 MB rounding)\n"
+               "  * colmena_xtb disk is single-digit for every algorithm "
+               "(1 GB exploration vs ~10 MB use)\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Figure 6 reproduction: resource waste of the 7 workflows under 6
+// allocation algorithms (Whole Machine dropped, as in the paper), broken
+// down into Internal Fragmentation and Failed Allocation.
+//
+// The paper plots stacked bars; this harness prints, per resource kind, each
+// algorithm's total waste share split into the two components (percent of
+// that algorithm's total allocation), and writes raw values to
+// fig6_waste.csv.
+//
+// Usage: fig6_waste [output_dir]   (default: current directory)
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "exp/experiment.hpp"
+#include "exp/report.hpp"
+#include "util/csv.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using tora::core::ResourceKind;
+using tora::exp::ExperimentResult;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_dir = argc > 1 ? argv[1] : ".";
+
+  tora::exp::ExperimentConfig cfg;
+  const auto& workflows = tora::workloads::all_workflow_names();
+  std::vector<std::string> policies;
+  for (const auto& p : tora::core::all_policy_names()) {
+    if (p != tora::core::kWholeMachine) policies.push_back(p);
+  }
+
+  std::cout << "Figure 6: resource waste split into Internal Fragmentation "
+               "(frag) and Failed Allocation (fail)\n"
+               "values are percentages of each algorithm's total allocation "
+               "of that resource\n\n"
+            << "running " << workflows.size() * policies.size()
+            << " workflow x policy simulations...\n";
+
+  const auto results = tora::exp::run_grid_parallel(workflows, policies, cfg);
+  std::map<std::string, std::map<std::string, const ExperimentResult*>> grid;
+  for (const auto& r : results) grid[r.policy][r.workflow] = &r;
+
+  std::ofstream csv_file(out_dir + "/fig6_waste.csv");
+  tora::util::CsvWriter csv(csv_file);
+  csv.row({"resource", "policy", "workflow", "internal_fragmentation",
+           "failed_allocation", "consumption", "allocation"});
+
+  for (ResourceKind k : tora::core::kManagedResources) {
+    std::cout << "\n== waste: " << tora::core::to_string(k)
+              << " (frag% + fail% of total allocation) ==\n";
+    std::vector<std::string> header{"algorithm"};
+    for (const auto& wf : workflows) header.push_back(wf);
+    tora::exp::TextTable table(header);
+    for (const auto& p : policies) {
+      std::vector<std::string> row{p};
+      for (const auto& wf : workflows) {
+        const auto& b = grid[p][wf]->waste(k);
+        const double denom = b.allocation > 0.0 ? b.allocation : 1.0;
+        row.push_back(tora::exp::fmt(b.internal_fragmentation / denom * 100.0,
+                                     1) +
+                      "+" +
+                      tora::exp::fmt(b.failed_allocation / denom * 100.0, 1));
+        csv.field(tora::core::to_string(k))
+            .field(p)
+            .field(wf)
+            .field(b.internal_fragmentation)
+            .field(b.failed_allocation)
+            .field(b.consumption)
+            .field(b.allocation);
+        csv.end_row();
+      }
+      table.add_row(row);
+    }
+    table.print(std::cout);
+  }
+  std::cout << "\nraw values written to " << out_dir << "/fig6_waste.csv\n"
+            << "\nExpected shape vs. paper Fig. 6:\n"
+               "  * max_seen waste is almost entirely internal fragmentation "
+               "(pure over-estimation)\n"
+               "  * min_waste / max_throughput show a visible failed-"
+               "allocation share (20-30%)\n"
+               "  * bucketing algorithms keep failed allocations small, like "
+               "max_seen\n"
+               "  * colmena_xtb: failed allocations dominate for most "
+               "predictive algorithms\n"
+               "  * topeft: over-allocation dominates (easier, narrower "
+               "distributions)\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// High-energy-physics analysis (TopEFT-like scenario).
+//
+// The paper's second production case study: thousands of LHC event-
+// processing tasks with a bimodal memory footprint (~450 MB / ~580 MB
+// clusters), constant 306 MB disk usage, and rare multi-core outliers.
+//
+// The scenario highlights a subtle failure mode of histogram-based sizing:
+// Max Seen rounds the constant 306 MB disk footprint up to 500 MB forever,
+// capping disk efficiency at 61%, while the bucketing algorithms converge to
+// the exact 306 MB representative. This example reproduces that contrast and
+// prints the memory-bucket structure Exhaustive Bucketing discovers for the
+// `processing` category.
+//
+// Build & run:  ./examples/hep_analysis
+
+#include <iostream>
+
+#include "core/bucketing_policy.hpp"
+#include "core/registry.hpp"
+#include "exp/experiment.hpp"
+#include "exp/report.hpp"
+#include "workloads/topeft.hpp"
+
+using tora::core::ResourceKind;
+
+int main() {
+  const tora::workloads::Workload analysis = tora::workloads::make_topeft(13);
+
+  tora::exp::ExperimentConfig cfg;
+  cfg.sim.seed = 99;
+
+  std::cout << "HEP analysis: " << analysis.tasks.size()
+            << " tasks (preprocessing / processing / accumulating)\n\n";
+
+  tora::exp::TextTable table(
+      {"policy", "disk AWE", "memory AWE", "cores AWE", "mean attempts"});
+  for (const char* policy : {"max_seen", "min_waste", "greedy_bucketing",
+                             "exhaustive_bucketing"}) {
+    const auto r = tora::exp::run_experiment(analysis, policy, cfg);
+    table.add_row({policy, tora::exp::fmt_pct(r.awe(ResourceKind::DiskMB)),
+                   tora::exp::fmt_pct(r.awe(ResourceKind::MemoryMB)),
+                   tora::exp::fmt_pct(r.awe(ResourceKind::Cores)),
+                   tora::exp::fmt(r.sim.accounting.mean_attempts(), 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nwhy max_seen loses the disk column: every task uses exactly "
+               "306 MB, but a 250 MB-wide\nhistogram rounds the allocation up "
+               "to 500 MB (the paper's §V-C observation).\n";
+
+  // Show the bucket structure EB finds on the bimodal `processing` memory:
+  // feed it the trace's own records, as the allocator would have seen them.
+  tora::core::TaskAllocator allocator =
+      tora::core::make_allocator(tora::core::kExhaustiveBucketing, 5);
+  double sig = 1.0;
+  for (const auto& t : analysis.tasks) {
+    if (t.category == "processing") {
+      allocator.record_completion("processing", t.demand, sig);
+      sig += 1.0;
+    }
+  }
+  auto& policy = dynamic_cast<tora::core::BucketingPolicy&>(
+      allocator.policy("processing", ResourceKind::MemoryMB));
+  std::cout << "\nexhaustive bucketing's memory buckets for `processing` ("
+            << policy.record_count() << " records):\n";
+  tora::exp::TextTable buckets({"bucket", "allocation rep (MB)",
+                                "probability", "expected use (MB)"});
+  std::size_t i = 0;
+  for (const auto& b : policy.buckets().buckets()) {
+    buckets.add_row({std::to_string(i++), tora::exp::fmt(b.rep, 1),
+                     tora::exp::fmt(b.prob, 3),
+                     tora::exp::fmt(b.weighted_mean, 1)});
+  }
+  buckets.print(std::cout);
+  std::cout << "\nwith the ~450 MB and ~580 MB clusters only ~30% apart, the "
+               "expected-waste model keeps a\nsingle covering bucket: "
+               "splitting would send about half of the big tasks to the low\n"
+               "bucket, and the retry penalty (low rep + high rep per failed "
+               "task) costs more than the\n~120 MB of fragmentation a single "
+               "bucket accepts. Contrast with quantized_bucketing,\nwhich "
+               "splits blindly at the median and pays those retries — one "
+               "reason it trails in\nFig. 5. Clusters separated by a large "
+               "factor (e.g. ColmenaXTB's 200 MB vs 1.1 GB\ncategories) do "
+               "get their own buckets.\n";
+  return 0;
+}

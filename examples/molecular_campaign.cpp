@@ -1,0 +1,62 @@
+// Molecular design campaign (ColmenaXTB-like scenario).
+//
+// The workflow from the paper's case study: a phase of neural-network
+// ranking tasks (`evaluate_mpnn`, ~1.1 GB memory each) followed by a phase
+// of energy computations (`compute_atomization_energy`, ~200 MB but wildly
+// varying core usage). The whole campaign runs on a simulated opportunistic
+// HTCondor-style pool whose workers join and leave while it executes.
+//
+// This example runs the same campaign under the naive Whole Machine policy
+// and under Exhaustive Bucketing, and prints what adaptivity buys: per-
+// resource efficiency, retry counts, and pool churn statistics.
+//
+// Build & run:  ./examples/molecular_campaign
+
+#include <iostream>
+
+#include "exp/experiment.hpp"
+#include "exp/report.hpp"
+#include "workloads/colmena.hpp"
+
+using tora::core::ResourceKind;
+
+int main() {
+  // Generate the campaign trace: 228 ranking tasks then 1000 energy tasks.
+  const tora::workloads::Workload campaign = tora::workloads::make_colmena(11);
+
+  tora::exp::ExperimentConfig cfg;
+  cfg.sim.churn.enabled = true;       // opportunistic pool: 20-50 workers
+  cfg.sim.churn.initial_workers = 30;
+  cfg.sim.seed = 2024;
+
+  std::cout << "molecular campaign: " << campaign.tasks.size()
+            << " tasks in two phases on an opportunistic pool\n\n";
+
+  tora::exp::TextTable table({"policy", "cores AWE", "memory AWE", "disk AWE",
+                              "mean attempts", "evictions", "makespan (h)",
+                              "pool util (cores)"});
+  for (const char* policy : {"whole_machine", "max_seen",
+                             "exhaustive_bucketing"}) {
+    const auto r = tora::exp::run_experiment(campaign, policy, cfg);
+    table.add_row({policy, tora::exp::fmt_pct(r.awe(ResourceKind::Cores)),
+                   tora::exp::fmt_pct(r.awe(ResourceKind::MemoryMB)),
+                   tora::exp::fmt_pct(r.awe(ResourceKind::DiskMB)),
+                   tora::exp::fmt(r.sim.accounting.mean_attempts(), 2),
+                   std::to_string(r.sim.evictions),
+                   tora::exp::fmt(r.sim.makespan_s / 3600.0, 2),
+                   tora::exp::fmt_pct(r.sim.pool_utilization(
+                       ResourceKind::Cores))});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nnotes:\n"
+               "  * whole_machine never retries but burns a full 16-core / "
+               "64 GB worker per ~1-core task\n"
+               "  * exhaustive_bucketing pays a few exploratory retries, then "
+               "sizes each category separately\n"
+               "  * disk AWE is low for every policy: tasks use ~10 MB while "
+               "exploration hands out 1 GB\n"
+               "    (the paper's own observation for ColmenaXTB; see "
+               "ablation_exploration for the fix)\n";
+  return 0;
+}

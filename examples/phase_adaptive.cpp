@@ -1,0 +1,63 @@
+// Watching the bucketing state adapt to a phase change.
+//
+// Dynamic workflows change behaviour mid-run (the paper's "arbitrary moving
+// resource distribution"). This example streams the Phasing Trimodal
+// workload's memory records into a Greedy Bucketing state and snapshots the
+// bucket configuration at several points, showing how the significance
+// weighting (significance = task id) re-centres probability mass on the
+// current phase while older phases fade.
+//
+// Build & run:  ./examples/phase_adaptive
+
+#include <iostream>
+
+#include "core/greedy_bucketing.hpp"
+#include "exp/report.hpp"
+#include "workloads/synthetic.hpp"
+
+using tora::core::GreedyBucketing;
+using tora::core::ResourceKind;
+
+namespace {
+
+void snapshot(GreedyBucketing& gb, std::size_t after_tasks) {
+  std::cout << "\nafter " << after_tasks << " tasks ("
+            << gb.buckets().size() << " buckets):\n";
+  tora::exp::TextTable table({"allocation rep (MB)", "probability"});
+  for (const auto& b : gb.buckets().buckets()) {
+    table.add_row({tora::exp::fmt(b.rep, 0), tora::exp::fmt(b.prob, 3)});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  // Phasing Trimodal: ~333 tasks near 8 GB, then ~333 near 2 GB, then ~334
+  // near 5 GB (high -> low -> mid).
+  const auto workload =
+      tora::workloads::generate_synthetic(tora::workloads::trimodal_spec(), 3);
+
+  GreedyBucketing gb{tora::util::Rng(1)};
+  std::size_t fed = 0;
+  std::cout << "streaming trimodal memory records into greedy bucketing\n"
+               "(phases: ~8000 MB -> ~2000 MB -> ~5000 MB; significance = "
+               "task id)";
+  for (const auto& t : workload.tasks) {
+    gb.observe(t.demand[ResourceKind::MemoryMB],
+               static_cast<double>(t.id) + 1.0);
+    ++fed;
+    if (fed == 100 || fed == 333 || fed == 500 || fed == 666 || fed == 1000) {
+      snapshot(gb, fed);
+    }
+  }
+
+  std::cout << "\nreading the snapshots: during phase 1 everything sits in "
+               "high buckets; once phase 2's\nsmall tasks arrive their "
+               "records outweigh phase 1 (higher significance), so the low\n"
+               "bucket's probability grows and most predictions shrink to "
+               "~2-3 GB; in phase 3 the mass\nmoves again to the ~5 GB "
+               "bucket. A Max Seen allocator would have stayed at ~9.5 GB\n"
+               "from task 333 onward.\n";
+  return 0;
+}

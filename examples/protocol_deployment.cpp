@@ -1,0 +1,62 @@
+// Driving a workflow over the manager <-> worker wire protocol.
+//
+// The paper's system (Work Queue) separates the workflow manager from the
+// workers by a line-oriented control protocol: dispatches carry the
+// allocation, results carry the measured peak consumption that feeds the
+// bucketing state. tora::proto reproduces that separation in-process — every
+// byte crosses an explicit channel, nothing is shared — so this example
+// shows both the allocation behaviour end-to-end AND the protocol cost
+// (messages/bytes) of running a real-sized workflow.
+//
+// Build & run:  ./examples/protocol_deployment
+
+#include <iostream>
+
+#include "core/registry.hpp"
+#include "exp/report.hpp"
+#include "proto/manager.hpp"
+#include "workloads/workload.hpp"
+
+using tora::core::ResourceKind;
+
+int main() {
+  const auto workload = tora::workloads::make_workload("topeft", 21);
+
+  std::cout << "running " << workload.tasks.size()
+            << " TopEFT tasks over the wire protocol (8 workers of 16 cores "
+               "/ 64 GB / 64 GB)\n\n";
+
+  tora::exp::TextTable table({"policy", "disk AWE", "memory AWE",
+                              "mean attempts", "messages", "KiB on the wire"});
+  for (const char* policy : {"max_seen", "exhaustive_bucketing"}) {
+    tora::core::TaskAllocator allocator =
+        tora::core::make_allocator(policy, 5);
+    tora::proto::ProtocolRuntime runtime(workload.tasks, allocator, 8);
+    const auto r = runtime.run();
+    table.add_row(
+        {policy, tora::exp::fmt_pct(r.accounting.awe(ResourceKind::DiskMB)),
+         tora::exp::fmt_pct(r.accounting.awe(ResourceKind::MemoryMB)),
+         tora::exp::fmt(r.accounting.mean_attempts(), 2),
+         std::to_string(r.messages),
+         tora::exp::fmt(static_cast<double>(r.bytes) / 1024.0, 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nwhat to notice:\n"
+               "  * the same allocation logic drives both the discrete-event "
+               "simulator and this protocol\n    runtime — the AWE gap "
+               "between max_seen and the bucketing algorithm survives the\n"
+               "    transport change\n"
+               "  * each retry costs a full dispatch/result round trip: the "
+               "message count tracks\n    mean attempts\n"
+               "  * protocol messages are single text lines (see "
+               "proto/message.hpp), e.g.:\n";
+  tora::proto::Message m;
+  m.type = tora::proto::MsgType::TaskDispatch;
+  m.worker_id = 3;
+  m.task_id = 1042;
+  m.category = "processing";
+  m.resources = {1.0, 624.0, 306.0, 0.0};
+  std::cout << "      " << tora::proto::encode(m) << "\n";
+  return 0;
+}

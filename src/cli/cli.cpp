@@ -1,0 +1,379 @@
+#include "cli/cli.hpp"
+
+#include "cli/plot.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "core/registry.hpp"
+#include "exp/experiment.hpp"
+#include "exp/report.hpp"
+#include "sim/observer.hpp"
+#include "util/csv.hpp"
+#include "workloads/trace.hpp"
+#include "workloads/workload.hpp"
+
+namespace tora::cli {
+
+namespace {
+
+std::uint64_t parse_u64(const std::string& s, const char* what) {
+  try {
+    std::size_t pos = 0;
+    const unsigned long long v = std::stoull(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string("invalid value for ") + what +
+                                ": '" + s + "'");
+  }
+}
+
+double parse_f64(const std::string& s, const char* what) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string("invalid value for ") + what +
+                                ": '" + s + "'");
+  }
+}
+
+sim::Placement parse_placement(const std::string& s) {
+  if (s == "first") return sim::Placement::FirstFit;
+  if (s == "best") return sim::Placement::BestFit;
+  if (s == "worst") return sim::Placement::WorstFit;
+  throw std::invalid_argument("invalid --placement '" + s +
+                              "' (expected first|best|worst)");
+}
+
+bool looks_like_path(const std::string& s) {
+  return s.find('/') != std::string::npos ||
+         (s.size() > 4 && s.substr(s.size() - 4) == ".csv");
+}
+
+workloads::Workload load_workflow(const Options& opts) {
+  if (looks_like_path(opts.workflow)) {
+    return workloads::load_trace(opts.workflow);
+  }
+  return workloads::make_workload(opts.workflow, opts.seed);
+}
+
+exp::ExperimentConfig experiment_config(const Options& opts) {
+  exp::ExperimentConfig cfg;
+  cfg.workload_seed = opts.seed;
+  cfg.sim.seed = opts.seed;
+  cfg.sim.churn.enabled = opts.churn;
+  cfg.sim.churn.initial_workers = opts.workers;
+  if (!opts.churn) {
+    cfg.sim.churn.min_workers = opts.workers;
+    cfg.sim.churn.max_workers = opts.workers;
+  }
+  cfg.sim.placement = opts.placement;
+  cfg.sim.submit_interval_s = opts.submit_interval_s;
+  return cfg;
+}
+
+int cmd_plot(const Options& opts, std::ostream& out) {
+  std::ifstream in(opts.csv_path);
+  if (!in) throw std::runtime_error("cannot open CSV: " + opts.csv_path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::size_t charts = plot_awe_csv(out, buf.str(), opts.resource_filter,
+                                          opts.workflow_filter);
+  if (charts == 0) out << "no rows matched the filters\n";
+  return 0;
+}
+
+int cmd_list(std::ostream& out) {
+  out << "policies (paper order + extensions):\n";
+  for (const auto& p : core::extended_policy_names()) out << "  " << p << "\n";
+  out << "workflows:\n";
+  for (const auto& w : workloads::all_workflow_names()) out << "  " << w << "\n";
+  return 0;
+}
+
+int cmd_trace(const Options& opts, std::ostream& out) {
+  const auto w = workloads::make_workload(opts.workflow, opts.seed);
+  if (opts.output_path.empty()) {
+    workloads::write_trace(out, w);
+  } else {
+    workloads::save_trace(opts.output_path, w);
+    out << "wrote " << w.tasks.size() << " tasks to " << opts.output_path
+        << "\n";
+  }
+  return 0;
+}
+
+int cmd_run(const Options& opts, std::ostream& out) {
+  const workloads::Workload workload = load_workflow(opts);
+  const exp::ExperimentConfig cfg = experiment_config(opts);
+
+  core::TaskAllocator allocator = core::make_allocator(
+      opts.policy, cfg.policy_seed, cfg.sim.worker_capacity, cfg.registry);
+  sim::Simulation simulation(workload.tasks, allocator, cfg.sim);
+
+  std::ofstream trace_stream;
+  std::optional<sim::CsvTraceObserver> observer;
+  if (!opts.trace_log.empty()) {
+    trace_stream.open(opts.trace_log);
+    if (!trace_stream) {
+      throw std::runtime_error("cannot open trace log: " + opts.trace_log);
+    }
+    observer.emplace(trace_stream);
+    simulation.set_observer(&*observer);
+  }
+
+  const sim::SimResult r = simulation.run();
+
+  out << "workflow " << workload.name << " (" << workload.tasks.size()
+      << " tasks) under " << opts.policy << "\n\n";
+  exp::TextTable table({"resource", "AWE", "consumption", "allocation",
+                        "fragmentation", "failed"});
+  for (core::ResourceKind k : core::kManagedResources) {
+    const auto& b = r.accounting.breakdown(k);
+    table.add_row({std::string(core::to_string(k)),
+                   exp::fmt_pct(r.accounting.awe(k)), exp::fmt(b.consumption, 0),
+                   exp::fmt(b.allocation, 0),
+                   exp::fmt(b.internal_fragmentation, 0),
+                   exp::fmt(b.failed_allocation, 0)});
+  }
+  table.print(out);
+  out << "\ntasks completed " << r.tasks_completed << ", fatal "
+      << r.tasks_fatal << ", mean attempts "
+      << exp::fmt(r.accounting.mean_attempts(), 2) << ", evictions "
+      << r.evictions << ", makespan " << exp::fmt(r.makespan_s / 3600.0, 2)
+      << " h\n";
+
+  if (!opts.output_path.empty()) {
+    std::ofstream csv_file(opts.output_path);
+    if (!csv_file) {
+      throw std::runtime_error("cannot open output: " + opts.output_path);
+    }
+    util::CsvWriter csv(csv_file);
+    csv.row({"resource", "awe", "consumption", "allocation",
+             "internal_fragmentation", "failed_allocation"});
+    for (core::ResourceKind k : core::kManagedResources) {
+      const auto& b = r.accounting.breakdown(k);
+      csv.field(core::to_string(k))
+          .field(r.accounting.awe(k))
+          .field(b.consumption)
+          .field(b.allocation)
+          .field(b.internal_fragmentation)
+          .field(b.failed_allocation);
+      csv.end_row();
+    }
+    out << "metrics written to " << opts.output_path << "\n";
+  }
+  if (observer) {
+    out << "event log (" << observer->rows_written() << " rows) written to "
+        << opts.trace_log << "\n";
+  }
+  return 0;
+}
+
+int cmd_grid(const Options& opts, std::ostream& out) {
+  const auto workflows = opts.workflows.empty()
+                             ? workloads::all_workflow_names()
+                             : opts.workflows;
+  const auto policies =
+      opts.policies.empty() ? core::all_policy_names() : opts.policies;
+  const exp::ExperimentConfig cfg = experiment_config(opts);
+
+  if (opts.replications > 1) {
+    // Statistical mode: mean +/- sd over independently seeded replications.
+    for (core::ResourceKind k : core::kManagedResources) {
+      out << "\n== AWE: " << core::to_string(k) << " (mean +/- sd over "
+          << opts.replications << " runs) ==\n";
+      std::vector<std::string> header{"algorithm"};
+      for (const auto& wf : workflows) header.push_back(wf);
+      exp::TextTable table(header);
+      for (const auto& p : policies) {
+        std::vector<std::string> row{p};
+        for (const auto& wf : workflows) {
+          const auto rep =
+              exp::run_replicated(wf, p, opts.replications, cfg);
+          const auto s = rep.awe(k);
+          row.push_back(exp::fmt(s.mean * 100.0, 1) + "+-" +
+                        exp::fmt(s.stddev * 100.0, 1));
+        }
+        table.add_row(row);
+      }
+      table.print(out);
+    }
+    return 0;
+  }
+
+  const auto results = exp::run_grid_parallel(workflows, policies, cfg);
+
+  std::map<std::string, std::map<std::string, const exp::ExperimentResult*>>
+      grid;
+  for (const auto& r : results) grid[r.policy][r.workflow] = &r;
+
+  std::optional<std::ofstream> csv_file;
+  std::optional<util::CsvWriter> csv;
+  if (!opts.output_path.empty()) {
+    csv_file.emplace(opts.output_path);
+    if (!*csv_file) {
+      throw std::runtime_error("cannot open output: " + opts.output_path);
+    }
+    csv.emplace(*csv_file);
+    csv->row({"resource", "policy", "workflow", "awe"});
+  }
+
+  for (core::ResourceKind k : core::kManagedResources) {
+    out << "\n== AWE: " << core::to_string(k) << " ==\n";
+    std::vector<std::string> header{"algorithm"};
+    for (const auto& wf : workflows) header.push_back(wf);
+    exp::TextTable table(header);
+    for (const auto& p : policies) {
+      std::vector<std::string> row{p};
+      for (const auto& wf : workflows) {
+        const double awe = grid[p][wf]->awe(k);
+        row.push_back(exp::fmt_pct(awe));
+        if (csv) {
+          csv->field(core::to_string(k)).field(p).field(wf).field(awe);
+          csv->end_row();
+        }
+      }
+      table.add_row(row);
+    }
+    table.print(out);
+  }
+  if (csv) out << "\nraw values written to " << opts.output_path << "\n";
+  return 0;
+}
+
+}  // namespace
+
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> items;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    std::size_t end = csv.find(',', start);
+    if (end == std::string::npos) end = csv.size();
+    if (end > start) items.push_back(csv.substr(start, end - start));
+    if (end == csv.size()) break;
+    start = end + 1;
+  }
+  return items;
+}
+
+std::string usage() {
+  return R"(tora — adaptive task-oriented resource allocation (IPDPS'24 reproduction)
+
+usage:
+  tora run   --workflow <name|trace.csv> [--policy NAME] [options]
+  tora grid  [--workflows a,b,...] [--policies x,y,...] [options]
+  tora trace --workflow <name> [--out FILE]
+  tora plot  --csv fig5_awe.csv [--resource R] [--filter-workflow W]
+  tora list
+  tora help
+
+options:
+  --policy NAME        allocation policy (default exhaustive_bucketing)
+  --seed N             workload + simulation seed (default 7)
+  --workers N          initial worker count (default 35)
+  --no-churn           fixed pool instead of opportunistic churn
+  --placement P        first|best|worst (default first)
+  --interval S         task submission interval seconds (default 5)
+  --replications N     grid: mean +/- sd over N independently seeded runs
+  --out FILE           run: metrics CSV; trace: destination file
+  --trace-log FILE     run: per-event CSV log of the simulation
+  --csv FILE           plot: AWE CSV produced by bench/fig5_awe
+  --resource R         plot: only this resource (cores|memory_mb|disk_mb)
+  --filter-workflow W  plot: only this workflow
+)";
+}
+
+Options parse_options(const std::vector<std::string>& args) {
+  Options opts;
+  if (args.empty()) {
+    opts.command = "help";
+    return opts;
+  }
+  opts.command = args[0];
+  if (opts.command != "run" && opts.command != "grid" &&
+      opts.command != "trace" && opts.command != "plot" &&
+      opts.command != "list" && opts.command != "help") {
+    throw std::invalid_argument("unknown command '" + opts.command + "'");
+  }
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const auto value = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        throw std::invalid_argument("missing value for " + a);
+      }
+      return args[++i];
+    };
+    if (a == "--workflow") opts.workflow = value();
+    else if (a == "--policy") opts.policy = value();
+    else if (a == "--workflows") opts.workflows = split_list(value());
+    else if (a == "--policies") opts.policies = split_list(value());
+    else if (a == "--seed") opts.seed = parse_u64(value(), "--seed");
+    else if (a == "--workers") {
+      opts.workers = static_cast<std::size_t>(parse_u64(value(), "--workers"));
+      if (opts.workers == 0) {
+        throw std::invalid_argument("--workers must be >= 1");
+      }
+    } else if (a == "--no-churn") opts.churn = false;
+    else if (a == "--placement") opts.placement = parse_placement(value());
+    else if (a == "--interval") {
+      opts.submit_interval_s = parse_f64(value(), "--interval");
+      if (opts.submit_interval_s < 0.0) {
+        throw std::invalid_argument("--interval must be >= 0");
+      }
+    } else if (a == "--out") opts.output_path = value();
+    else if (a == "--trace-log") opts.trace_log = value();
+    else if (a == "--csv") opts.csv_path = value();
+    else if (a == "--replications") {
+      opts.replications =
+          static_cast<std::size_t>(parse_u64(value(), "--replications"));
+      if (opts.replications == 0) {
+        throw std::invalid_argument("--replications must be >= 1");
+      }
+    }
+    else if (a == "--resource") opts.resource_filter = value();
+    else if (a == "--filter-workflow") opts.workflow_filter = value();
+    else throw std::invalid_argument("unknown option '" + a + "'");
+  }
+  if ((opts.command == "run" || opts.command == "trace") &&
+      opts.workflow.empty()) {
+    throw std::invalid_argument("command '" + opts.command +
+                                "' requires --workflow");
+  }
+  if (opts.command == "plot" && opts.csv_path.empty()) {
+    throw std::invalid_argument("command 'plot' requires --csv");
+  }
+  return opts;
+}
+
+int run_command(const Options& opts, std::ostream& out) {
+  if (opts.command == "help") {
+    out << usage();
+    return 0;
+  }
+  if (opts.command == "list") return cmd_list(out);
+  if (opts.command == "trace") return cmd_trace(opts, out);
+  if (opts.command == "run") return cmd_run(opts, out);
+  if (opts.command == "grid") return cmd_grid(opts, out);
+  if (opts.command == "plot") return cmd_plot(opts, out);
+  throw std::logic_error("unreachable command");
+}
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  try {
+    return run_command(parse_options(args), out);
+  } catch (const std::exception& e) {
+    err << "tora: " << e.what() << "\n\n" << usage();
+    return 2;
+  }
+}
+
+}  // namespace tora::cli

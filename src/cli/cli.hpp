@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/worker_pool.hpp"
+
+namespace tora::cli {
+
+/// Parsed command-line options for the `tora` driver binary.
+///
+/// Subcommands:
+///   run    — simulate one workflow under one policy, print the report
+///   grid   — the full Fig. 5-style AWE grid
+///   trace  — dump a generated workload as CSV
+///   plot   — render an AWE CSV (fig5_awe.csv / `grid --out`) as ASCII bars
+///   list   — print known policies and workflows
+struct Options {
+  std::string command;  // "run" | "grid" | "trace" | "plot" | "list" | "help"
+  std::string workflow;             // name or path to a trace CSV
+  std::string policy = "exhaustive_bucketing";
+  std::string csv_path;             // plot: input CSV
+  std::string resource_filter;      // plot: e.g. "memory_mb"
+  std::string workflow_filter;      // plot: e.g. "topeft"
+  std::vector<std::string> workflows;  // grid
+  std::vector<std::string> policies;   // grid
+  std::uint64_t seed = 7;
+  std::size_t workers = 35;
+  bool churn = true;
+  sim::Placement placement = sim::Placement::FirstFit;
+  double submit_interval_s = 5.0;
+  std::size_t replications = 1;     // grid: >1 prints mean +/- sd cells
+  std::string output_path;  // trace: destination; run: optional CSV metrics
+  std::string trace_log;    // run: optional per-event CSV log
+};
+
+/// Parses argv (excluding argv[0]). Throws std::invalid_argument with a
+/// user-facing message on malformed input.
+Options parse_options(const std::vector<std::string>& args);
+
+/// Splits a comma-separated list, dropping empty items.
+std::vector<std::string> split_list(const std::string& csv);
+
+/// Executes a parsed command, writing human output to `out`.
+/// Returns a process exit code.
+int run_command(const Options& opts, std::ostream& out);
+
+/// Full driver: parse + execute, reporting errors on `err`.
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+
+/// The usage/help text.
+std::string usage();
+
+}  // namespace tora::cli

@@ -1,0 +1,13 @@
+// Entry point for the `tora` command-line driver. All logic lives in
+// cli.cpp so the test suite can exercise it in-process.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return tora::cli::run_cli(args, std::cout, std::cerr);
+}

@@ -1,0 +1,76 @@
+#include "cli/plot.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace tora::cli {
+
+void render_bars(std::ostream& out, const std::string& title,
+                 const std::vector<Bar>& bars, int width, double scale_max,
+                 int precision, const std::string& suffix) {
+  if (bars.empty()) return;
+  double max_value = scale_max;
+  std::size_t label_width = 0;
+  for (const Bar& b : bars) {
+    max_value = std::max(max_value, b.value);
+    label_width = std::max(label_width, b.label.size());
+  }
+  if (!(max_value > 0.0)) max_value = 1.0;
+  out << title << '\n';
+  for (const Bar& b : bars) {
+    const int len = b.value > 0.0
+                        ? static_cast<int>(b.value / max_value *
+                                           static_cast<double>(width))
+                        : 0;
+    out << "  " << std::left << std::setw(static_cast<int>(label_width))
+        << b.label << " |" << std::string(static_cast<std::size_t>(len), '#')
+        << std::string(static_cast<std::size_t>(width - len), ' ') << "| "
+        << std::fixed << std::setprecision(precision) << b.value << suffix
+        << '\n';
+  }
+}
+
+std::size_t plot_awe_csv(std::ostream& out, const std::string& csv_text,
+                         const std::string& resource_filter,
+                         const std::string& workflow_filter) {
+  const auto rows = util::parse_csv(csv_text);
+  if (rows.empty() || rows[0] != util::parse_csv_line(
+                                     "resource,policy,workflow,awe")) {
+    throw std::invalid_argument(
+        "plot: expected a fig5_awe.csv document "
+        "(header resource,policy,workflow,awe)");
+  }
+  // (resource, workflow) -> ordered bars (policy order preserved).
+  std::map<std::pair<std::string, std::string>, std::vector<Bar>> charts;
+  std::vector<std::pair<std::string, std::string>> order;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    if (r.size() != 4) {
+      throw std::invalid_argument("plot: row with wrong field count");
+    }
+    if (!resource_filter.empty() && r[0] != resource_filter) continue;
+    if (!workflow_filter.empty() && r[2] != workflow_filter) continue;
+    double awe = 0.0;
+    try {
+      awe = std::stod(r[3]);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("plot: bad awe value '" + r[3] + "'");
+    }
+    const auto key = std::make_pair(r[0], r[2]);
+    if (charts.find(key) == charts.end()) order.push_back(key);
+    charts[key].push_back({r[1], awe * 100.0});
+  }
+  for (const auto& key : order) {
+    render_bars(out, "AWE " + key.first + " / " + key.second, charts[key],
+                50, 100.0, 1, "%");
+    out << '\n';
+  }
+  return order.size();
+}
+
+}  // namespace tora::cli

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tora::cli {
+
+/// One bar of an ASCII chart.
+struct Bar {
+  std::string label;
+  double value = 0.0;
+};
+
+/// Renders a horizontal ASCII bar chart: labels left-aligned, bars scaled
+/// to `width` characters against max(values, scale_max), values printed
+/// after each bar with `precision` decimals (append `suffix`, e.g. "%").
+/// Negative values render as empty bars. No-op for an empty series.
+void render_bars(std::ostream& out, const std::string& title,
+                 const std::vector<Bar>& bars, int width = 50,
+                 double scale_max = 0.0, int precision = 1,
+                 const std::string& suffix = "");
+
+/// Parses a fig5_awe.csv-style document (`resource,policy,workflow,awe`
+/// header) and renders one chart per (resource, workflow) pair, optionally
+/// filtered. Values are shown as percentages. Returns the number of charts
+/// rendered; throws std::invalid_argument on malformed input.
+std::size_t plot_awe_csv(std::ostream& out, const std::string& csv_text,
+                         const std::string& resource_filter = "",
+                         const std::string& workflow_filter = "");
+
+}  // namespace tora::cli

@@ -1,0 +1,142 @@
+#include "core/bucket.hpp"
+
+#include <stdexcept>
+
+namespace tora::core {
+
+BucketSet BucketSet::from_break_indices(std::span<const Record> sorted,
+                                        std::span<const std::size_t> ends) {
+  if (sorted.empty()) throw std::invalid_argument("BucketSet: no records");
+  if (ends.empty() || ends.back() != sorted.size() - 1) {
+    throw std::invalid_argument(
+        "BucketSet: break list must end at the last record index");
+  }
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i].value < sorted[i - 1].value) {
+      throw std::invalid_argument("BucketSet: records must be value-sorted");
+    }
+  }
+
+  double total_sig = 0.0;
+  for (const Record& r : sorted) total_sig += r.significance;
+  if (!(total_sig > 0.0)) {
+    throw std::invalid_argument("BucketSet: total significance must be > 0");
+  }
+
+  BucketSet set;
+  set.buckets_.reserve(ends.size());
+  std::size_t begin = 0;
+  std::size_t prev_end = 0;
+  bool first = true;
+  for (std::size_t end : ends) {
+    if (!first && end <= prev_end) {
+      throw std::invalid_argument("BucketSet: ends must be strictly increasing");
+    }
+    if (end >= sorted.size()) {
+      throw std::invalid_argument("BucketSet: end index out of range");
+    }
+    Bucket b;
+    b.begin = begin;
+    b.end = end;
+    double vsig = 0.0;
+    for (std::size_t i = begin; i <= end; ++i) {
+      b.sig_sum += sorted[i].significance;
+      vsig += sorted[i].value * sorted[i].significance;
+    }
+    b.rep = sorted[end].value;  // records are sorted, so the end is the max
+    b.prob = b.sig_sum / total_sig;
+    b.weighted_mean = b.sig_sum > 0.0 ? vsig / b.sig_sum : sorted[end].value;
+    set.buckets_.push_back(b);
+    begin = end + 1;
+    prev_end = end;
+    first = false;
+  }
+  return set;
+}
+
+std::size_t BucketSet::sample_index(util::Rng& rng) const {
+  if (buckets_.empty()) throw std::logic_error("BucketSet: empty");
+  const double u = rng.uniform01();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    acc += buckets_[i].prob;
+    if (u < acc) return i;
+  }
+  return buckets_.size() - 1;  // floating-point slack: land in the top bucket
+}
+
+double BucketSet::sample_allocation(util::Rng& rng) const {
+  return buckets_[sample_index(rng)].rep;
+}
+
+std::optional<double> BucketSet::sample_above(double failed_alloc,
+                                              util::Rng& rng) const {
+  double total = 0.0;
+  for (const Bucket& b : buckets_) {
+    if (b.rep > failed_alloc) total += b.prob;
+  }
+  if (!(total > 0.0)) return std::nullopt;
+  const double u = rng.uniform01() * total;
+  double acc = 0.0;
+  for (const Bucket& b : buckets_) {
+    if (b.rep <= failed_alloc) continue;
+    acc += b.prob;
+    if (u < acc) return b.rep;
+  }
+  // Floating-point slack: return the highest eligible rep.
+  for (auto it = buckets_.rbegin(); it != buckets_.rend(); ++it) {
+    if (it->rep > failed_alloc) return it->rep;
+  }
+  return std::nullopt;
+}
+
+double BucketSet::max_rep() const {
+  if (buckets_.empty()) throw std::logic_error("BucketSet: empty");
+  return buckets_.back().rep;
+}
+
+double expected_waste(const BucketSet& set) {
+  const auto& b = set.buckets();
+  const std::size_t n = b.size();
+  if (n == 0) throw std::invalid_argument("expected_waste: empty bucket set");
+
+  // T[i][j]: expected waste when the next task's consumption falls in bucket
+  // i but bucket j is chosen for its first allocation (paper §IV-C).
+  //   i <= j: the allocation rep_j covers the task -> waste rep_j - v_i.
+  //   i >  j: rep_j is exhausted entirely (failed allocation), then a higher
+  //           bucket k > j is chosen with renormalized probability.
+  // Rows are independent; each row is filled right-to-left because T[i][j]
+  // for j < i depends on T[i][k] with k > j.
+  std::vector<std::vector<double>> t(n, std::vector<double>(n, 0.0));
+
+  // Suffix probability sums: suffix[j] = sum_{m >= j} prob_m.
+  std::vector<double> suffix(n + 1, 0.0);
+  for (std::size_t j = n; j-- > 0;) suffix[j] = suffix[j + 1] + b[j].prob;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t jj = n; jj-- > 0;) {
+      if (i <= jj) {
+        t[i][jj] = b[jj].rep - b[i].weighted_mean;
+      } else {
+        double escalated = 0.0;
+        const double denom = suffix[jj + 1];
+        if (denom > 0.0) {
+          for (std::size_t k = jj + 1; k < n; ++k) {
+            escalated += (b[k].prob / denom) * t[i][k];
+          }
+        }
+        t[i][jj] = b[jj].rep + escalated;
+      }
+    }
+  }
+
+  double w = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      w += b[i].prob * b[j].prob * t[i][j];
+    }
+  }
+  return w;
+}
+
+}  // namespace tora::core

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/record.hpp"
+#include "util/rng.hpp"
+
+namespace tora::core {
+
+/// A contiguous range of the value-sorted record list, reduced to the three
+/// quantities the allocation logic needs (paper §IV-A):
+///   rep           - the maximum record value in the bucket; the allocation
+///                   handed out when this bucket is chosen,
+///   prob          - significance share: sum of record significances in this
+///                   bucket over the total significance of all records,
+///   weighted_mean - significance-weighted mean value, the estimate of the
+///                   next task's consumption if it falls in this bucket
+///                   (v_lo / v_hi / v_i in the paper's cost derivations).
+struct Bucket {
+  double rep = 0.0;
+  double prob = 0.0;
+  double weighted_mean = 0.0;
+  std::size_t begin = 0;  ///< first record index (inclusive, sorted order)
+  std::size_t end = 0;    ///< last record index (inclusive)
+  double sig_sum = 0.0;   ///< total significance of contained records
+
+  std::size_t size() const noexcept { return end - begin + 1; }
+};
+
+/// An immutable set of buckets plus the probabilistic choice rules shared by
+/// every bucketing-family policy (Greedy, Exhaustive, Quantized).
+class BucketSet {
+ public:
+  BucketSet() = default;
+
+  /// Builds buckets from a value-sorted record list and a strictly
+  /// increasing list of bucket END indices whose last element must be
+  /// `sorted.size() - 1`. Throws std::invalid_argument on malformed input.
+  static BucketSet from_break_indices(std::span<const Record> sorted,
+                                      std::span<const std::size_t> ends);
+
+  const std::vector<Bucket>& buckets() const noexcept { return buckets_; }
+  bool empty() const noexcept { return buckets_.empty(); }
+  std::size_t size() const noexcept { return buckets_.size(); }
+
+  /// Picks a bucket index at random, weighted by bucket probabilities.
+  /// Requires a non-empty set.
+  std::size_t sample_index(util::Rng& rng) const;
+
+  /// First allocation: the representative value of a probabilistically
+  /// chosen bucket. Requires a non-empty set.
+  double sample_allocation(util::Rng& rng) const;
+
+  /// Retry allocation after an execution that exhausted `failed_alloc`:
+  /// restricts to buckets with rep > failed_alloc, renormalizes their
+  /// probabilities and samples among them (paper §IV-A). Returns nullopt
+  /// when no bucket is high enough — the caller must escalate by doubling.
+  std::optional<double> sample_above(double failed_alloc,
+                                     util::Rng& rng) const;
+
+  /// Largest representative value (the top bucket's rep). Requires a
+  /// non-empty set.
+  double max_rep() const;
+
+ private:
+  std::vector<Bucket> buckets_;
+};
+
+/// Sig-weighted expected waste of a bucket configuration under the paper's
+/// retry model, computed with the Exhaustive Bucketing cost table T[i][j]
+/// (§IV-C). This is exposed at namespace scope because Exhaustive Bucketing
+/// evaluates it for many candidate configurations and tests verify it
+/// directly. Requires a non-empty configuration.
+double expected_waste(const BucketSet& set);
+
+}  // namespace tora::core

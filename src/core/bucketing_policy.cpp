@@ -1,0 +1,60 @@
+#include "core/bucketing_policy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tora::core {
+
+void BucketingPolicy::observe(double peak_value, double significance) {
+  if (peak_value < 0.0) {
+    throw std::invalid_argument("BucketingPolicy: negative resource value");
+  }
+  if (significance < 0.0) {
+    throw std::invalid_argument("BucketingPolicy: negative significance");
+  }
+  // Insert after existing equal values so ties keep arrival order.
+  const Record r{peak_value, significance};
+  const auto pos = std::upper_bound(
+      records_.begin(), records_.end(), r,
+      [](const Record& a, const Record& b) { return a.value < b.value; });
+  records_.insert(pos, r);
+  dirty_ = true;
+}
+
+void BucketingPolicy::rebuild_if_dirty() {
+  if (!dirty_) return;
+  if (records_.empty()) {
+    throw std::logic_error(
+        "BucketingPolicy: predict() before any record was observed; the "
+        "TaskAllocator's exploratory mode must cover the cold start");
+  }
+  const auto ends = compute_break_indices(records_);
+  buckets_ = BucketSet::from_break_indices(records_, ends);
+  dirty_ = false;
+  ++rebuilds_;
+}
+
+const BucketSet& BucketingPolicy::buckets() {
+  rebuild_if_dirty();
+  return buckets_;
+}
+
+double BucketingPolicy::predict() {
+  rebuild_if_dirty();
+  return buckets_.sample_allocation(rng_);
+}
+
+double BucketingPolicy::retry(double failed_alloc) {
+  // A previous execution exhausted failed_alloc; consider only buckets whose
+  // representative exceeds it. With none left (the failed allocation was
+  // already the highest rep seen), escalate by doubling (§IV-A).
+  if (!records_.empty()) {
+    rebuild_if_dirty();
+    if (auto higher = buckets_.sample_above(failed_alloc, rng_)) {
+      return *higher;
+    }
+  }
+  return failed_alloc > 0.0 ? failed_alloc * 2.0 : 1.0;
+}
+
+}  // namespace tora::core

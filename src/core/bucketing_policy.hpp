@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/bucket.hpp"
+#include "core/policy.hpp"
+#include "core/record.hpp"
+#include "util/rng.hpp"
+
+namespace tora::core {
+
+/// Common machinery for the bucketing family (Greedy, Exhaustive,
+/// Quantized): maintains the value-sorted record list, lazily rebuilds the
+/// bucket configuration when records changed, and implements the shared
+/// probabilistic predict/retry protocol of §IV-A:
+///   * predict: sample a bucket by probability, allocate its rep;
+///   * retry:   sample among buckets with rep > failed allocation; when none
+///              exists, double the failed allocation.
+///
+/// Subclasses implement compute_break_indices() — the only place Greedy and
+/// Exhaustive Bucketing diverge (paper §IV-A last paragraph).
+class BucketingPolicy : public ResourcePolicy {
+ public:
+  explicit BucketingPolicy(util::Rng rng) : rng_(rng) {}
+
+  void observe(double peak_value, double significance) override;
+  double predict() override;
+  double retry(double failed_alloc) override;
+
+  std::size_t record_count() const override { return records_.size(); }
+
+  /// The current bucket configuration, rebuilding it first if records were
+  /// added since the last build. Exposed for tests, benchmarks and the
+  /// figure harnesses. Requires at least one record.
+  const BucketSet& buckets();
+
+  /// Number of state rebuilds performed so far (benchmark instrumentation).
+  std::size_t rebuild_count() const noexcept { return rebuilds_; }
+
+  /// Value-sorted records (ascending).
+  const std::vector<Record>& records() const noexcept { return records_; }
+
+ protected:
+  /// Returns the strictly increasing bucket END indices over the sorted
+  /// record list; the last element must be records().size() - 1.
+  /// Called only with at least one record present.
+  virtual std::vector<std::size_t> compute_break_indices(
+      std::span<const Record> sorted) = 0;
+
+  util::Rng& rng() noexcept { return rng_; }
+
+ private:
+  void rebuild_if_dirty();
+
+  util::Rng rng_;
+  std::vector<Record> records_;  // kept sorted by value (stable insertion)
+  BucketSet buckets_;
+  bool dirty_ = true;
+  std::size_t rebuilds_ = 0;
+};
+
+}  // namespace tora::core

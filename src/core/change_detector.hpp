@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "core/record.hpp"
+
+namespace tora::core {
+
+/// Windowed mean-shift detector over a scalar stream.
+///
+/// The paper handles moving distributions with soft recency (significance)
+/// weighting; this extension (§VII future work: "exploring other
+/// approaches") detects hard phase changes instead: when the mean of the
+/// most recent `window` samples differs from the mean of the older history
+/// by more than `ratio_threshold`× (in either direction), a change is
+/// signalled and the history resets to the recent window. Deterministic and
+/// O(1) per sample.
+class MeanShiftDetector {
+ public:
+  /// `window` >= 2 samples; `ratio_threshold` > 1.
+  explicit MeanShiftDetector(std::size_t window = 20,
+                             double ratio_threshold = 2.0);
+
+  /// Feeds one sample; returns true when a mean shift was detected (the
+  /// detector then restarts its history from the current window).
+  bool add(double x);
+
+  std::size_t changes_detected() const noexcept { return changes_; }
+  std::size_t samples_seen() const noexcept { return samples_; }
+  std::size_t window() const noexcept { return window_; }
+
+  /// The two means compared at the most recent detection (valid only after
+  /// add() returned true at least once). Consumers use them to decide which
+  /// side of the shift a record belongs to.
+  double last_recent_mean() const noexcept { return last_recent_mean_; }
+  double last_history_mean() const noexcept { return last_history_mean_; }
+
+ private:
+  std::size_t window_;
+  double ratio_;
+  std::deque<double> recent_;
+  double recent_sum_ = 0.0;
+  double history_sum_ = 0.0;
+  std::size_t history_count_ = 0;
+  std::size_t changes_ = 0;
+  std::size_t samples_ = 0;
+  double last_recent_mean_ = 0.0;
+  double last_history_mean_ = 0.0;
+};
+
+/// A ResourcePolicy wrapper that rebuilds its inner policy from only the
+/// post-change records whenever the MeanShiftDetector fires — a hard-reset
+/// alternative to the paper's soft significance weighting. The inner policy
+/// is recreated via the factory; records since the change (including the
+/// detection window) are replayed into it so no information inside the new
+/// phase is lost.
+class ChangeAwarePolicy final : public ResourcePolicy {
+ public:
+  /// `make_inner` produces a fresh inner policy (must be non-null and never
+  /// return null). `detector` is copied as the initial state.
+  ChangeAwarePolicy(std::function<ResourcePolicyPtr()> make_inner,
+                    MeanShiftDetector detector);
+
+  void observe(double peak_value, double significance) override;
+  double predict() override { return inner_->predict(); }
+  double retry(double failed_alloc) override {
+    return inner_->retry(failed_alloc);
+  }
+
+  std::string name() const override;
+  std::size_t record_count() const override { return total_observed_; }
+
+  std::size_t resets() const noexcept { return detector_.changes_detected(); }
+  ResourcePolicy& inner() noexcept { return *inner_; }
+
+ private:
+  std::function<ResourcePolicyPtr()> make_inner_;
+  MeanShiftDetector detector_;
+  ResourcePolicyPtr inner_;
+  /// Records observed since the last reset (replayed on the next reset).
+  std::vector<Record> since_change_;
+  std::size_t total_observed_ = 0;
+};
+
+}  // namespace tora::core

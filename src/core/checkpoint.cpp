@@ -1,0 +1,68 @@
+#include "core/checkpoint.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace tora::core {
+
+namespace {
+
+constexpr const char* kHeader =
+    "category,cores,memory_mb,disk_mb,time_s,significance";
+
+double parse_double(const std::string& s, const char* what) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string("checkpoint: bad ") + what +
+                                " field: '" + s + "'");
+  }
+}
+
+}  // namespace
+
+void save_allocator_state(const TaskAllocator& allocator, std::ostream& out) {
+  out << kHeader << '\n';
+  util::CsvWriter csv(out);
+  for (const auto& rec : allocator.history()) {
+    csv.field(rec.category)
+        .field(rec.peak.cores())
+        .field(rec.peak.memory_mb())
+        .field(rec.peak.disk_mb())
+        .field(rec.peak.time_s())
+        .field(rec.significance);
+    csv.end_row();
+  }
+  if (!out.good()) {
+    throw std::runtime_error("checkpoint: stream write failed");
+  }
+}
+
+void restore_allocator_state(TaskAllocator& allocator, std::istream& in) {
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const auto rows = util::parse_csv(buf.str());
+  if (rows.empty() || rows.front() != util::parse_csv_line(kHeader)) {
+    throw std::invalid_argument("checkpoint: missing or malformed header");
+  }
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    if (r.size() != 6) {
+      throw std::invalid_argument("checkpoint: row with wrong field count");
+    }
+    ResourceVector peak(parse_double(r[1], "cores"),
+                        parse_double(r[2], "memory_mb"),
+                        parse_double(r[3], "disk_mb"),
+                        parse_double(r[4], "time_s"));
+    allocator.record_completion(r[0], peak,
+                                parse_double(r[5], "significance"));
+  }
+}
+
+}  // namespace tora::core

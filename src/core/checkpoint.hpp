@@ -1,0 +1,29 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "core/task_allocator.hpp"
+
+namespace tora::core {
+
+/// Checkpoint/restore for a TaskAllocator, for in-run crash recovery of the
+/// workflow manager. The snapshot is the allocator's completion history
+/// (category, peak vector, significance per completed task) as CSV;
+/// restoring replays it through record_completion, which rebuilds every
+/// policy's state exactly — the approach is policy-agnostic, works for any
+/// registered algorithm, and stays true to the paper's prior-free design
+/// (state never outlives the workflow run it was recorded in).
+///
+/// Requires the source allocator to have been created with
+/// AllocatorConfig::record_history = true (the default).
+
+/// Writes the snapshot. Throws std::runtime_error on stream failure.
+void save_allocator_state(const TaskAllocator& allocator, std::ostream& out);
+
+/// Replays a snapshot into `allocator`, which should be freshly constructed
+/// with the same policy/config (this is not validated — replaying into a
+/// different policy is allowed and simply feeds it the same records).
+/// Throws std::invalid_argument on malformed input.
+void restore_allocator_state(TaskAllocator& allocator, std::istream& in);
+
+}  // namespace tora::core

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+
+#include "core/policy.hpp"
+
+namespace tora::core {
+
+/// Two-stage policy: delegate to `initial` until `switch_after` records have
+/// been observed, then to `steady`.
+///
+/// This implements the mitigation the paper sketches for the TopEFT cores
+/// column (§V-C): "running Quantized Bucketing initially then switching
+/// over" — the quantile split absorbs early outliers cheaply, after which
+/// the expected-waste-driven bucketing algorithm takes over with a stable
+/// record base. Both stages observe every record, so the steady policy's
+/// state is complete at the moment of the hand-off.
+class HybridPolicy final : public ResourcePolicy {
+ public:
+  /// Both policies must be non-null; `switch_after` >= 1.
+  HybridPolicy(ResourcePolicyPtr initial, ResourcePolicyPtr steady,
+               std::size_t switch_after);
+
+  void observe(double peak_value, double significance) override;
+  double predict() override;
+  double retry(double failed_alloc) override;
+
+  std::string name() const override;
+  std::size_t record_count() const override { return observed_; }
+
+  bool switched() const noexcept { return observed_ >= switch_after_; }
+  std::size_t switch_after() const noexcept { return switch_after_; }
+  ResourcePolicy& initial() noexcept { return *initial_; }
+  ResourcePolicy& steady() noexcept { return *steady_; }
+
+ private:
+  ResourcePolicy& active() noexcept {
+    return switched() ? *steady_ : *initial_;
+  }
+
+  ResourcePolicyPtr initial_;
+  ResourcePolicyPtr steady_;
+  std::size_t switch_after_;
+  std::size_t observed_ = 0;
+};
+
+}  // namespace tora::core

@@ -1,0 +1,105 @@
+#include "core/kmeans_bucketing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tora::core {
+
+KMeansBucketing::KMeansBucketing(util::Rng rng, std::size_t k,
+                                 std::size_t max_iterations)
+    : BucketingPolicy(rng), k_(k), max_iterations_(max_iterations) {
+  if (k_ == 0) throw std::invalid_argument("KMeansBucketing: k must be >= 1");
+  if (max_iterations_ == 0) {
+    throw std::invalid_argument("KMeansBucketing: max_iterations must be >= 1");
+  }
+}
+
+std::vector<std::size_t> KMeansBucketing::cluster_ends(
+    std::span<const Record> sorted, std::size_t k,
+    std::size_t max_iterations) {
+  const std::size_t n = sorted.size();
+  k = std::min(k, n);
+  if (k <= 1 || sorted.front().value == sorted.back().value) {
+    return {n - 1};
+  }
+
+  // Deterministic init: centroids at evenly spaced quantile ranks.
+  std::vector<double> centroids(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    const double pos = (static_cast<double>(c) + 0.5) / static_cast<double>(k) *
+                       static_cast<double>(n - 1);
+    centroids[c] = sorted[static_cast<std::size_t>(pos)].value;
+  }
+  std::sort(centroids.begin(), centroids.end());
+
+  // Lloyd's algorithm. In 1-D with sorted values, the assignment boundary
+  // between adjacent centroids is their midpoint, so each iteration computes
+  // the boundary indices and then the weighted centroid of each segment.
+  std::vector<std::size_t> ends(k, n - 1);
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    std::vector<std::size_t> new_ends;
+    new_ends.reserve(k);
+    std::size_t begin = 0;
+    for (std::size_t c = 0; c + 1 < k; ++c) {
+      const double midpoint = 0.5 * (centroids[c] + centroids[c + 1]);
+      // Last index with value <= midpoint (assignment to the lower centroid).
+      const auto it = std::upper_bound(
+          sorted.begin() + static_cast<std::ptrdiff_t>(begin), sorted.end(),
+          midpoint,
+          [](double v, const Record& r) { return v < r.value; });
+      const std::size_t end_idx =
+          it == sorted.begin() + static_cast<std::ptrdiff_t>(begin)
+              ? begin  // empty segment collapses onto its first record
+              : static_cast<std::size_t>(it - sorted.begin()) - 1;
+      new_ends.push_back(std::min(end_idx, n - 2));
+      begin = new_ends.back() + 1;
+    }
+    new_ends.push_back(n - 1);
+    std::sort(new_ends.begin(), new_ends.end());
+    new_ends.erase(std::unique(new_ends.begin(), new_ends.end()),
+                   new_ends.end());
+
+    // Recompute sig-weighted centroids over the segments.
+    std::vector<double> new_centroids;
+    new_centroids.reserve(new_ends.size());
+    std::size_t seg_begin = 0;
+    for (std::size_t end : new_ends) {
+      double wsum = 0.0, vsum = 0.0;
+      for (std::size_t i = seg_begin; i <= end; ++i) {
+        wsum += sorted[i].significance;
+        vsum += sorted[i].value * sorted[i].significance;
+      }
+      new_centroids.push_back(wsum > 0.0
+                                  ? vsum / wsum
+                                  : sorted[(seg_begin + end) / 2].value);
+      seg_begin = end + 1;
+    }
+
+    const bool converged =
+        new_ends == ends && new_centroids.size() == centroids.size();
+    ends = std::move(new_ends);
+    centroids = std::move(new_centroids);
+    if (converged) break;
+    // A collapsed cluster shrinks k for the remaining iterations.
+    k = centroids.size();
+    if (k == 1) break;
+  }
+  if (ends.empty() || ends.back() != n - 1) ends.push_back(n - 1);
+  // Normalize: a boundary must never split a run of equal values (adjacent
+  // buckets would share a representative). Extend each end through its run,
+  // then dedupe.
+  for (std::size_t& e : ends) {
+    while (e + 1 < n && sorted[e + 1].value == sorted[e].value) ++e;
+  }
+  std::sort(ends.begin(), ends.end());
+  ends.erase(std::unique(ends.begin(), ends.end()), ends.end());
+  return ends;
+}
+
+std::vector<std::size_t> KMeansBucketing::compute_break_indices(
+    std::span<const Record> sorted) {
+  return cluster_ends(sorted, k_, max_iterations_);
+}
+
+}  // namespace tora::core

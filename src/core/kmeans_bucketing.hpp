@@ -1,0 +1,45 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/bucketing_policy.hpp"
+
+namespace tora::core {
+
+/// K-Means Bucketing — the second clustering method of Phung et al.,
+/// "Not All Tasks Are Created Equal" (WORKS 2021), the paper's reference
+/// [11] (its quantile variant is QuantizedBucketing). Records are clustered
+/// by 1-D Lloyd's algorithm on the value axis (significance-weighted
+/// centroids, centroids initialized at evenly spaced quantile positions so
+/// the result is deterministic); cluster boundaries become bucket breaks and
+/// the shared bucketing predict/retry protocol applies.
+///
+/// In 1-D, k-means clusters are contiguous ranges of the sorted record list,
+/// so the conversion to bucket END indices is exact.
+class KMeansBucketing final : public BucketingPolicy {
+ public:
+  /// `k` >= 1 clusters; `max_iterations` bounds Lloyd's loop.
+  explicit KMeansBucketing(util::Rng rng, std::size_t k = 2,
+                           std::size_t max_iterations = 64);
+
+  std::string name() const override { return "kmeans_bucketing"; }
+  std::size_t k() const noexcept { return k_; }
+
+  /// Runs the clustering on a value-sorted record list and returns bucket
+  /// END indices (fewer than k when records repeat or collapse onto the
+  /// same centroid). Exposed for unit tests.
+  static std::vector<std::size_t> cluster_ends(std::span<const Record> sorted,
+                                               std::size_t k,
+                                               std::size_t max_iterations);
+
+ protected:
+  std::vector<std::size_t> compute_break_indices(
+      std::span<const Record> sorted) override;
+
+ private:
+  std::size_t k_;
+  std::size_t max_iterations_;
+};
+
+}  // namespace tora::core

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstddef>
+
+#include "core/policy.hpp"
+
+namespace tora::core {
+
+/// Max Seen — naive comparison policy (paper §V-A): allocate every task the
+/// maximum peak value observed so far in the current run, rounded UP to the
+/// next multiple of a histogram bucket width. The paper's Work Queue
+/// implementation keeps a 250-unit histogram, which is why a constant 306 MB
+/// disk consumption is allocated as 500 MB forever (§V-C) — reproducing that
+/// rounding is essential for the TopEFT disk column of Fig. 5.
+class MaxSeenPolicy final : public ResourcePolicy {
+ public:
+  /// `bucket_width` > 0: 250 for memory/disk (MB), 1 for cores.
+  explicit MaxSeenPolicy(double bucket_width);
+
+  void observe(double peak_value, double significance) override;
+  double predict() override;
+  double retry(double failed_alloc) override;
+
+  std::string name() const override { return "max_seen"; }
+  std::size_t record_count() const override { return count_; }
+
+  double max_value() const noexcept { return max_; }
+  double bucket_width() const noexcept { return width_; }
+
+ private:
+  double width_;
+  double max_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace tora::core

@@ -1,0 +1,93 @@
+#include "core/metrics.hpp"
+
+#include <stdexcept>
+
+namespace tora::core {
+
+void WasteAccounting::add(const TaskUsage& usage) {
+  if (usage.final_runtime_s < 0.0) {
+    throw std::invalid_argument("WasteAccounting: negative runtime");
+  }
+  auto& cat = by_category_resource_[usage.category];
+  for (ResourceKind k : kManagedResources) {
+    if (usage.peak[k] > usage.final_alloc[k]) {
+      throw std::invalid_argument(
+          "WasteAccounting: successful attempt's allocation below the peak "
+          "(the execution model would have killed this task)");
+    }
+    const double c = usage.peak[k] * usage.final_runtime_s;
+    const double frag =
+        (usage.final_alloc[k] - usage.peak[k]) * usage.final_runtime_s;
+    double failed = 0.0;
+    for (const AttemptLog& a : usage.failed_attempts) {
+      if (a.runtime_s < 0.0) {
+        throw std::invalid_argument("WasteAccounting: negative attempt runtime");
+      }
+      failed += a.alloc[k] * a.runtime_s;
+    }
+    const double alloc = usage.final_alloc[k] * usage.final_runtime_s + failed;
+    for (WasteBreakdown* b : {&by_resource_[static_cast<std::size_t>(k)],
+                              &cat[static_cast<std::size_t>(k)]}) {
+      b->consumption += c;
+      b->internal_fragmentation += frag;
+      b->failed_allocation += failed;
+      b->allocation += alloc;
+    }
+  }
+  ++tasks_;
+  attempts_ += 1 + usage.failed_attempts.size();
+  ++per_category_[usage.category];
+}
+
+const WasteBreakdown& WasteAccounting::breakdown(ResourceKind kind) const {
+  return by_resource_[static_cast<std::size_t>(kind)];
+}
+
+const WasteBreakdown& WasteAccounting::breakdown(const std::string& category,
+                                                 ResourceKind kind) const {
+  static const WasteBreakdown kZero{};
+  const auto it = by_category_resource_.find(category);
+  if (it == by_category_resource_.end()) return kZero;
+  return it->second[static_cast<std::size_t>(kind)];
+}
+
+double WasteAccounting::awe(ResourceKind kind) const {
+  const auto& b = breakdown(kind);
+  return b.allocation > 0.0 ? b.consumption / b.allocation : 0.0;
+}
+
+double WasteAccounting::awe(const std::string& category,
+                            ResourceKind kind) const {
+  const auto& b = breakdown(category, kind);
+  return b.allocation > 0.0 ? b.consumption / b.allocation : 0.0;
+}
+
+double WasteAccounting::mean_attempts() const noexcept {
+  return tasks_ > 0 ? static_cast<double>(attempts_) / static_cast<double>(tasks_)
+                    : 0.0;
+}
+
+void WasteAccounting::merge(const WasteAccounting& other) {
+  for (std::size_t i = 0; i < kResourceCount; ++i) {
+    by_resource_[i].consumption += other.by_resource_[i].consumption;
+    by_resource_[i].allocation += other.by_resource_[i].allocation;
+    by_resource_[i].internal_fragmentation +=
+        other.by_resource_[i].internal_fragmentation;
+    by_resource_[i].failed_allocation +=
+        other.by_resource_[i].failed_allocation;
+  }
+  tasks_ += other.tasks_;
+  attempts_ += other.attempts_;
+  for (const auto& [cat, n] : other.per_category_) per_category_[cat] += n;
+  for (const auto& [cat, arr] : other.by_category_resource_) {
+    auto& mine = by_category_resource_[cat];
+    for (std::size_t i = 0; i < kResourceCount; ++i) {
+      mine[i].consumption += arr[i].consumption;
+      mine[i].allocation += arr[i].allocation;
+      mine[i].internal_fragmentation += arr[i].internal_fragmentation;
+      mine[i].failed_allocation += arr[i].failed_allocation;
+    }
+  }
+}
+
+}  // namespace tora::core

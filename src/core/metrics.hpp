@@ -1,0 +1,91 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/resources.hpp"
+
+namespace tora::core {
+
+/// One execution attempt of a task: what was allocated and for how long the
+/// attempt ran (failed attempts run until the kill; the successful attempt
+/// runs the task's full duration).
+struct AttemptLog {
+  ResourceVector alloc;
+  double runtime_s = 0.0;
+};
+
+/// Complete accounting record for one finished task, in the paper's §II-C
+/// terms. `failed_attempts` holds every killed execution (the Failed
+/// Allocation terms); `final_alloc`/`final_runtime_s` describe the
+/// successful attempt; `peak` is the task's true peak consumption.
+struct TaskUsage {
+  std::string category;
+  ResourceVector peak;
+  ResourceVector final_alloc;
+  double final_runtime_s = 0.0;
+  std::vector<AttemptLog> failed_attempts;
+};
+
+/// Per-resource waste totals (paper §II-C):
+///   internal fragmentation = t · (a − c) of the successful attempt,
+///   failed allocation      = Σ aᵢ · tᵢ over killed attempts,
+///   consumption C          = c · t,
+///   allocation  A          = a · t + Σ aᵢ · tᵢ.
+struct WasteBreakdown {
+  double consumption = 0.0;
+  double allocation = 0.0;
+  double internal_fragmentation = 0.0;
+  double failed_allocation = 0.0;
+
+  /// allocation − consumption; equals fragmentation + failed by identity.
+  double total_waste() const noexcept { return allocation - consumption; }
+};
+
+/// Aggregates TaskUsage records into the paper's evaluation metrics:
+/// per-resource waste breakdowns (Fig. 6) and Absolute Workflow Efficiency
+/// (Fig. 5), the worker-count-independent ratio ΣC / ΣA.
+class WasteAccounting {
+ public:
+  void add(const TaskUsage& usage);
+
+  const WasteBreakdown& breakdown(ResourceKind kind) const;
+
+  /// Per-category breakdown (the paper's §III-B discusses categories
+  /// separately; examples/reports surface this). Returns a zero breakdown
+  /// for unknown categories.
+  const WasteBreakdown& breakdown(const std::string& category,
+                                  ResourceKind kind) const;
+
+  /// AWE for one resource: ΣC(Tᵢ) / ΣA(Tᵢ). 0 when nothing allocated.
+  double awe(ResourceKind kind) const;
+
+  /// Per-category AWE. 0 for unknown categories.
+  double awe(const std::string& category, ResourceKind kind) const;
+
+  std::size_t task_count() const noexcept { return tasks_; }
+  std::size_t total_attempts() const noexcept { return attempts_; }
+  /// Mean number of execution attempts per task (>= 1 once tasks exist).
+  double mean_attempts() const noexcept;
+
+  /// Per-category task counts (diagnostics / reports).
+  const std::map<std::string, std::size_t>& per_category() const noexcept {
+    return per_category_;
+  }
+
+  /// Merge another accounting (e.g. from parallel shards).
+  void merge(const WasteAccounting& other);
+
+ private:
+  std::array<WasteBreakdown, kResourceCount> by_resource_{};
+  std::size_t tasks_ = 0;
+  std::size_t attempts_ = 0;
+  std::map<std::string, std::size_t> per_category_;
+  std::map<std::string, std::array<WasteBreakdown, kResourceCount>>
+      by_category_resource_;
+};
+
+}  // namespace tora::core

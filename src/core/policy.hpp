@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace tora::core {
+
+/// Per-resource, per-category allocation policy.
+///
+/// One instance manages ONE resource dimension of ONE task category — the
+/// paper's bucketing manager keeps "a separate state for each resource type"
+/// and "a separate instance ... per category" (§IV-A, §IV-D). TaskAllocator
+/// owns the (category × resource) matrix of instances and routes
+/// observations and requests.
+///
+/// Contract:
+///  * observe() is called once per successful task completion with the
+///    task's peak consumption of this resource and its significance.
+///  * predict() returns the first allocation for a fresh task. It may
+///    rebuild internal state (the cost the paper's Table I measures).
+///  * retry() returns the next allocation after an execution was killed for
+///    exhausting `failed_alloc` of this resource. Implementations must
+///    return a value strictly greater than `failed_alloc` so retry chains
+///    terminate.
+///  * Policies never see worker capacities; the TaskAllocator clamps.
+class ResourcePolicy {
+ public:
+  virtual ~ResourcePolicy() = default;
+
+  virtual void observe(double peak_value, double significance) = 0;
+  virtual double predict() = 0;
+  virtual double retry(double failed_alloc) = 0;
+
+  virtual std::string name() const = 0;
+  virtual std::size_t record_count() const = 0;
+};
+
+using ResourcePolicyPtr = std::unique_ptr<ResourcePolicy>;
+
+}  // namespace tora::core

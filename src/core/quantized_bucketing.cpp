@@ -1,0 +1,42 @@
+#include "core/quantized_bucketing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tora::core {
+
+QuantizedBucketing::QuantizedBucketing(util::Rng rng,
+                                       std::vector<double> quantiles)
+    : BucketingPolicy(rng), quantiles_(std::move(quantiles)) {
+  std::sort(quantiles_.begin(), quantiles_.end());
+  for (double q : quantiles_) {
+    if (!(q > 0.0 && q < 1.0)) {
+      throw std::invalid_argument(
+          "QuantizedBucketing: quantiles must lie strictly in (0, 1)");
+    }
+  }
+}
+
+std::vector<std::size_t> QuantizedBucketing::compute_break_indices(
+    std::span<const Record> sorted) {
+  const std::size_t n = sorted.size();
+  std::vector<std::size_t> ends;
+  ends.reserve(quantiles_.size() + 1);
+  for (double q : quantiles_) {
+    // Rank-based quantile index over the sorted records; the record at the
+    // quantile rank ends its bucket. The boundary is extended through any
+    // run of equal values so adjacent buckets never share a representative
+    // (a split inside a run would create a useless duplicate bucket).
+    auto idx =
+        static_cast<std::size_t>(std::floor(q * static_cast<double>(n - 1)));
+    while (idx + 1 < n && sorted[idx + 1].value == sorted[idx].value) ++idx;
+    ends.push_back(idx);
+  }
+  ends.push_back(n - 1);
+  std::sort(ends.begin(), ends.end());
+  ends.erase(std::unique(ends.begin(), ends.end()), ends.end());
+  return ends;
+}
+
+}  // namespace tora::core

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/bucketing_policy.hpp"
+
+namespace tora::core {
+
+/// Quantized Bucketing — the comparison algorithm from Phung et al.,
+/// "Not All Tasks Are Created Equal" (WORKS 2021), as described in the
+/// paper's §V: the sorted record list is split at fixed quantiles (the 50th
+/// percentile by default, yielding two buckets), and the shared bucketing
+/// predict/retry protocol allocates from the resulting buckets. Splitting at
+/// the median halves the retry cost of outlier-heavy distributions, which is
+/// why the paper finds it "significantly excels at the Exponential
+/// workflow".
+class QuantizedBucketing final : public BucketingPolicy {
+ public:
+  /// `quantiles` must be strictly inside (0, 1); defaults to {0.5}.
+  explicit QuantizedBucketing(util::Rng rng,
+                              std::vector<double> quantiles = {0.5});
+
+  std::string name() const override { return "quantized_bucketing"; }
+  const std::vector<double>& quantiles() const noexcept { return quantiles_; }
+
+ protected:
+  std::vector<std::size_t> compute_break_indices(
+      std::span<const Record> sorted) override;
+
+ private:
+  std::vector<double> quantiles_;
+};
+
+}  // namespace tora::core

@@ -1,0 +1,151 @@
+#include "core/registry.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "core/exhaustive_bucketing.hpp"
+#include "core/greedy_bucketing.hpp"
+#include "core/hybrid.hpp"
+#include "core/change_detector.hpp"
+#include "core/kmeans_bucketing.hpp"
+#include "core/max_seen.hpp"
+#include "core/quantized_bucketing.hpp"
+#include "core/tovar.hpp"
+#include "core/whole_machine.hpp"
+#include "util/rng.hpp"
+
+namespace tora::core {
+
+const std::vector<std::string>& all_policy_names() {
+  static const std::vector<std::string> names = {
+      std::string(kWholeMachine),       std::string(kMaxSeen),
+      std::string(kMinWaste),           std::string(kMaxThroughput),
+      std::string(kQuantizedBucketing), std::string(kGreedyBucketing),
+      std::string(kExhaustiveBucketing)};
+  return names;
+}
+
+const std::vector<std::string>& extended_policy_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> v = all_policy_names();
+    v.push_back(std::string(kHybridBucketing));
+    v.push_back(std::string(kKMeansBucketing));
+    v.push_back(std::string(kChangeAwareBucketing));
+    return v;
+  }();
+  return names;
+}
+
+bool is_bucketing_family(std::string_view policy_name) {
+  return policy_name == kGreedyBucketing ||
+         policy_name == kExhaustiveBucketing ||
+         policy_name == kHybridBucketing ||
+         policy_name == kKMeansBucketing ||
+         policy_name == kChangeAwareBucketing;
+}
+
+namespace {
+
+double max_seen_width(ResourceKind kind, const RegistryOptions& opts) {
+  return kind == ResourceKind::Cores ? opts.max_seen_bucket_cores
+                                     : opts.max_seen_bucket_mb;
+}
+
+}  // namespace
+
+PolicyFactory make_policy_factory(std::string_view policy_name,
+                                  std::uint64_t seed,
+                                  const RegistryOptions& opts) {
+  // Each created policy instance gets an independent child stream, derived
+  // deterministically so runs replay exactly under a fixed seed.
+  auto master = std::make_shared<util::Rng>(seed);
+
+  if (policy_name == kWholeMachine) {
+    return [](ResourceKind kind, const AllocatorConfig& cfg) -> ResourcePolicyPtr {
+      return std::make_unique<WholeMachinePolicy>(cfg.worker_capacity[kind]);
+    };
+  }
+  if (policy_name == kMaxSeen) {
+    return [opts](ResourceKind kind, const AllocatorConfig&) -> ResourcePolicyPtr {
+      return std::make_unique<MaxSeenPolicy>(max_seen_width(kind, opts));
+    };
+  }
+  if (policy_name == kMinWaste) {
+    return [](ResourceKind, const AllocatorConfig&) -> ResourcePolicyPtr {
+      return std::make_unique<TovarPolicy>(TovarObjective::MinWaste);
+    };
+  }
+  if (policy_name == kMaxThroughput) {
+    return [](ResourceKind, const AllocatorConfig&) -> ResourcePolicyPtr {
+      return std::make_unique<TovarPolicy>(TovarObjective::MaxThroughput);
+    };
+  }
+  if (policy_name == kQuantizedBucketing) {
+    return [master, opts](ResourceKind, const AllocatorConfig&) -> ResourcePolicyPtr {
+      return std::make_unique<QuantizedBucketing>(master->split(),
+                                                  opts.quantized_quantiles);
+    };
+  }
+  if (policy_name == kGreedyBucketing) {
+    return [master](ResourceKind, const AllocatorConfig&) -> ResourcePolicyPtr {
+      return std::make_unique<GreedyBucketing>(master->split());
+    };
+  }
+  if (policy_name == kExhaustiveBucketing) {
+    return [master, opts](ResourceKind, const AllocatorConfig&) -> ResourcePolicyPtr {
+      return std::make_unique<ExhaustiveBucketing>(master->split(),
+                                                   opts.exhaustive_max_buckets);
+    };
+  }
+  if (policy_name == kHybridBucketing) {
+    return [master, opts](ResourceKind, const AllocatorConfig&) -> ResourcePolicyPtr {
+      return std::make_unique<HybridPolicy>(
+          std::make_unique<QuantizedBucketing>(master->split(),
+                                               opts.quantized_quantiles),
+          std::make_unique<ExhaustiveBucketing>(master->split(),
+                                                opts.exhaustive_max_buckets),
+          opts.hybrid_switch_records);
+    };
+  }
+  if (policy_name == kKMeansBucketing) {
+    return [master, opts](ResourceKind, const AllocatorConfig&) -> ResourcePolicyPtr {
+      return std::make_unique<KMeansBucketing>(master->split(),
+                                               opts.kmeans_clusters);
+    };
+  }
+  if (policy_name == kChangeAwareBucketing) {
+    return [master, opts](ResourceKind, const AllocatorConfig&) -> ResourcePolicyPtr {
+      auto inner_rng = std::make_shared<util::Rng>(master->split());
+      return std::make_unique<ChangeAwarePolicy>(
+          [inner_rng, opts]() -> ResourcePolicyPtr {
+            return std::make_unique<ExhaustiveBucketing>(
+                inner_rng->split(), opts.exhaustive_max_buckets);
+          },
+          MeanShiftDetector(opts.change_window, opts.change_ratio));
+    };
+  }
+  throw std::invalid_argument("unknown allocation policy: " +
+                              std::string(policy_name));
+}
+
+TaskAllocator make_allocator(std::string_view policy_name, std::uint64_t seed,
+                             const ResourceVector& worker_capacity,
+                             const RegistryOptions& opts) {
+  AllocatorConfig cfg;
+  cfg.worker_capacity = worker_capacity;
+  if (is_bucketing_family(policy_name)) {
+    cfg.exploration.mode = ExplorationConfig::Mode::FixedDefault;
+    cfg.exploration.default_alloc = opts.exploration_default;
+    cfg.exploration.min_records = opts.exploration_min_records;
+  } else {
+    // Comparison algorithms trade exploration cost for guaranteed success:
+    // a whole machine until the first record exists (§V-C). The predictive
+    // ones can start predicting from a single observation.
+    cfg.exploration.mode = ExplorationConfig::Mode::WholeMachine;
+    cfg.exploration.min_records = 1;
+  }
+  return TaskAllocator(std::string(policy_name),
+                       make_policy_factory(policy_name, seed, opts), cfg);
+}
+
+}  // namespace tora::core

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/task_allocator.hpp"
+
+namespace tora::core {
+
+/// The seven allocation algorithms evaluated in the paper, by their
+/// canonical registry names.
+inline constexpr std::string_view kWholeMachine = "whole_machine";
+inline constexpr std::string_view kMaxSeen = "max_seen";
+inline constexpr std::string_view kMinWaste = "min_waste";
+inline constexpr std::string_view kMaxThroughput = "max_throughput";
+inline constexpr std::string_view kQuantizedBucketing = "quantized_bucketing";
+inline constexpr std::string_view kGreedyBucketing = "greedy_bucketing";
+inline constexpr std::string_view kExhaustiveBucketing = "exhaustive_bucketing";
+
+/// Extension (not in the paper's Fig. 5 grid): Quantized Bucketing early,
+/// Exhaustive Bucketing once enough records exist — the hand-off the paper
+/// suggests in §V-C for outlier-heavy cold starts.
+inline constexpr std::string_view kHybridBucketing = "hybrid_bucketing";
+
+/// Extension: the k-means clustering variant of the paper's reference [11]
+/// (Phung et al., WORKS 2021) — QuantizedBucketing's sibling.
+inline constexpr std::string_view kKMeansBucketing = "kmeans_bucketing";
+
+/// Extension: Exhaustive Bucketing wrapped in a mean-shift change detector
+/// that hard-resets the record base on phase changes — the alternative to
+/// soft significance weighting (paper §VII future work).
+inline constexpr std::string_view kChangeAwareBucketing =
+    "change_aware_bucketing";
+
+/// All registry names in the paper's Fig. 5 presentation order.
+const std::vector<std::string>& all_policy_names();
+
+/// The paper's seven plus this library's extensions (hybrid_bucketing,
+/// kmeans_bucketing).
+const std::vector<std::string>& extended_policy_names();
+
+/// True for the paper's two novel algorithms (conservative 1c/1GB/1GB
+/// exploration); false for the comparison algorithms, which explore with a
+/// whole machine (§V-C).
+bool is_bucketing_family(std::string_view policy_name);
+
+/// Tunables a few policies need; defaults follow the paper's §V settings.
+struct RegistryOptions {
+  /// Max Seen histogram rounding: memory/disk width in MB and cores width.
+  double max_seen_bucket_mb = 250.0;
+  double max_seen_bucket_cores = 1.0;
+  /// Exhaustive Bucketing's bucket-count cap (paper: 10).
+  std::size_t exhaustive_max_buckets = 10;
+  /// Quantized Bucketing's split quantiles (paper: the 50th percentile).
+  std::vector<double> quantized_quantiles = {0.5};
+  /// Records before a category leaves exploration (paper: 10).
+  std::size_t exploration_min_records = 10;
+  /// FixedDefault exploration allocation (paper: 1 core, 1 GB, 1 GB).
+  ResourceVector exploration_default{1.0, 1024.0, 1024.0, 0.0};
+  /// Records before hybrid_bucketing hands off from its quantized stage to
+  /// its exhaustive stage.
+  std::size_t hybrid_switch_records = 50;
+  /// Cluster count for kmeans_bucketing.
+  std::size_t kmeans_clusters = 2;
+  /// change_aware_bucketing: mean-shift detection window and trigger ratio.
+  std::size_t change_window = 20;
+  double change_ratio = 2.0;
+};
+
+/// Builds the per-resource PolicyFactory for a named algorithm. Throws
+/// std::invalid_argument for an unknown name. `seed` controls the
+/// algorithm's internal sampling stream (bucket choice).
+PolicyFactory make_policy_factory(std::string_view policy_name,
+                                  std::uint64_t seed,
+                                  const RegistryOptions& opts = {});
+
+/// Convenience: a fully configured TaskAllocator for a named algorithm,
+/// with the family-appropriate exploration mode (§V-A / §V-C).
+TaskAllocator make_allocator(std::string_view policy_name, std::uint64_t seed,
+                             const ResourceVector& worker_capacity =
+                                 {16.0, 64.0 * 1024.0, 64.0 * 1024.0, 0.0},
+                             const RegistryOptions& opts = {});
+
+}  // namespace tora::core

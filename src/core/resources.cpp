@@ -1,0 +1,96 @@
+#include "core/resources.hpp"
+
+#include <ostream>
+
+namespace tora::core {
+
+std::string_view to_string(ResourceKind kind) noexcept {
+  switch (kind) {
+    case ResourceKind::Cores: return "cores";
+    case ResourceKind::MemoryMB: return "memory_mb";
+    case ResourceKind::DiskMB: return "disk_mb";
+    case ResourceKind::TimeS: return "time_s";
+  }
+  return "?";
+}
+
+bool ResourceVector::fits_within(
+    const ResourceVector& limit,
+    std::span<const ResourceKind> dims) const noexcept {
+  for (ResourceKind k : dims) {
+    if ((*this)[k] > limit[k]) return false;
+  }
+  return true;
+}
+
+unsigned ResourceVector::exceeded_mask(
+    const ResourceVector& limit,
+    std::span<const ResourceKind> dims) const noexcept {
+  unsigned mask = 0;
+  for (ResourceKind k : dims) {
+    if ((*this)[k] > limit[k]) mask |= resource_bit(k);
+  }
+  return mask;
+}
+
+ResourceVector ResourceVector::max_with(const ResourceVector& o) const noexcept {
+  ResourceVector r;
+  for (std::size_t i = 0; i < kResourceCount; ++i) {
+    r.v_[i] = v_[i] > o.v_[i] ? v_[i] : o.v_[i];
+  }
+  return r;
+}
+
+ResourceVector ResourceVector::min_with(const ResourceVector& o) const noexcept {
+  ResourceVector r;
+  for (std::size_t i = 0; i < kResourceCount; ++i) {
+    r.v_[i] = v_[i] < o.v_[i] ? v_[i] : o.v_[i];
+  }
+  return r;
+}
+
+ResourceVector ResourceVector::operator+(const ResourceVector& o) const noexcept {
+  ResourceVector r = *this;
+  r += o;
+  return r;
+}
+
+ResourceVector ResourceVector::operator-(const ResourceVector& o) const noexcept {
+  ResourceVector r = *this;
+  r -= o;
+  return r;
+}
+
+ResourceVector ResourceVector::operator*(double s) const noexcept {
+  ResourceVector r = *this;
+  for (auto& x : r.v_) x *= s;
+  return r;
+}
+
+ResourceVector& ResourceVector::operator+=(const ResourceVector& o) noexcept {
+  for (std::size_t i = 0; i < kResourceCount; ++i) v_[i] += o.v_[i];
+  return *this;
+}
+
+ResourceVector& ResourceVector::operator-=(const ResourceVector& o) noexcept {
+  for (std::size_t i = 0; i < kResourceCount; ++i) v_[i] -= o.v_[i];
+  return *this;
+}
+
+bool ResourceVector::non_negative() const noexcept {
+  for (ResourceKind k : kManagedResources) {
+    if ((*this)[k] < 0.0) return false;
+  }
+  return true;
+}
+
+std::ostream& operator<<(std::ostream& os, const ResourceVector& v) {
+  return os << "(cores=" << v.cores() << ", mem=" << v.memory_mb()
+            << "MB, disk=" << v.disk_mb() << "MB, time=" << v.time_s() << "s)";
+}
+
+std::ostream& operator<<(std::ostream& os, ResourceKind k) {
+  return os << to_string(k);
+}
+
+}  // namespace tora::core

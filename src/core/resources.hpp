@@ -1,0 +1,101 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <iosfwd>
+#include <string_view>
+
+namespace tora::core {
+
+/// The resource dimensions a task consumes and an allocation declares.
+///
+/// The paper's task model is the 4-tuple (cores, memory MB, disk MB,
+/// seconds); the evaluation manages cores/memory/disk and leaves execution
+/// time unbounded, and this library follows that convention (TimeS exists in
+/// the vector for completeness and for workloads that want wall-time
+/// enforcement).
+enum class ResourceKind : std::size_t {
+  Cores = 0,
+  MemoryMB = 1,
+  DiskMB = 2,
+  TimeS = 3,
+};
+
+inline constexpr std::size_t kResourceCount = 4;
+
+/// The three dimensions the paper's allocator manages (Fig. 5/6 axes).
+inline constexpr std::array<ResourceKind, 3> kManagedResources = {
+    ResourceKind::Cores, ResourceKind::MemoryMB, ResourceKind::DiskMB};
+
+/// All four dimensions, for deployments that additionally enforce wall time
+/// (the paper's "extension to additional resource types" future work).
+inline constexpr std::array<ResourceKind, 4> kAllResources = {
+    ResourceKind::Cores, ResourceKind::MemoryMB, ResourceKind::DiskMB,
+    ResourceKind::TimeS};
+
+/// Bit assigned to a resource kind in exceeded-dimension masks:
+/// cores = 1, memory = 2, disk = 4, time = 8.
+constexpr unsigned resource_bit(ResourceKind k) {
+  return 1u << static_cast<std::size_t>(k);
+}
+
+std::string_view to_string(ResourceKind kind) noexcept;
+
+/// A value per resource dimension. Used both for task peak consumption
+/// (the hidden truth) and for allocations (the declared limits).
+class ResourceVector {
+ public:
+  constexpr ResourceVector() = default;
+  constexpr ResourceVector(double cores, double memory_mb, double disk_mb,
+                           double time_s = 0.0)
+      : v_{cores, memory_mb, disk_mb, time_s} {}
+
+  constexpr double operator[](ResourceKind k) const {
+    return v_[static_cast<std::size_t>(k)];
+  }
+  constexpr double& operator[](ResourceKind k) {
+    return v_[static_cast<std::size_t>(k)];
+  }
+
+  constexpr double cores() const { return (*this)[ResourceKind::Cores]; }
+  constexpr double memory_mb() const { return (*this)[ResourceKind::MemoryMB]; }
+  constexpr double disk_mb() const { return (*this)[ResourceKind::DiskMB]; }
+  constexpr double time_s() const { return (*this)[ResourceKind::TimeS]; }
+
+  /// True iff every dimension in `dims` of `*this` is <= the corresponding
+  /// dimension of `limit`. Defaults to the paper's three managed dimensions
+  /// (time not compared).
+  bool fits_within(const ResourceVector& limit,
+                   std::span<const ResourceKind> dims =
+                       kManagedResources) const noexcept;
+
+  /// Bitmask (see resource_bit) of the dimensions in `dims` where `*this`
+  /// exceeds `limit`. Bits: cores = 1, memory = 2, disk = 4, time = 8.
+  unsigned exceeded_mask(const ResourceVector& limit,
+                         std::span<const ResourceKind> dims =
+                             kManagedResources) const noexcept;
+
+  /// Element-wise max / min.
+  ResourceVector max_with(const ResourceVector& o) const noexcept;
+  ResourceVector min_with(const ResourceVector& o) const noexcept;
+
+  ResourceVector operator+(const ResourceVector& o) const noexcept;
+  ResourceVector operator-(const ResourceVector& o) const noexcept;
+  ResourceVector operator*(double s) const noexcept;
+  ResourceVector& operator+=(const ResourceVector& o) noexcept;
+  ResourceVector& operator-=(const ResourceVector& o) noexcept;
+
+  bool operator==(const ResourceVector& o) const = default;
+
+  /// True iff all managed dimensions are >= 0 (validity check after -=).
+  bool non_negative() const noexcept;
+
+ private:
+  std::array<double, kResourceCount> v_{};
+};
+
+std::ostream& operator<<(std::ostream& os, const ResourceVector& v);
+std::ostream& operator<<(std::ostream& os, ResourceKind k);
+
+}  // namespace tora::core

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/resources.hpp"
+
+namespace tora::core {
+
+/// The paper's *Task* entity (§II-B): an isolated executable whose true peak
+/// resource consumption `demand` and duration are UNKNOWN to the allocator
+/// until the task completes. Workload generators produce TaskSpecs; the
+/// simulator executes them; only successful completions reveal `demand` to
+/// the allocation policies.
+struct TaskSpec {
+  /// Submission order, starting at 0 (the x-axis of Fig. 2 / Fig. 4; also
+  /// the basis of the significance value, §V-A).
+  std::uint64_t id = 0;
+
+  /// Task category (e.g. "evaluate_mpnn", "processing"). The allocator keeps
+  /// independent state per category (§IV-D).
+  std::string category;
+
+  /// True peak consumption per resource dimension.
+  ResourceVector demand;
+
+  /// Wall-clock duration of a successful execution, seconds.
+  double duration_s = 0.0;
+
+  /// How the task's consumption evolves toward its peak (per managed
+  /// spatial dimension; time is always linear by definition).
+  enum class Ramp : std::uint8_t {
+    /// Consumption jumps to the peak at peak_fraction * duration (the
+    /// default; failed attempts run peak_fraction of the duration).
+    Step,
+    /// Consumption grows linearly from 0, reaching the peak at
+    /// peak_fraction * duration — an under-allocated attempt dies EARLIER,
+    /// when the ramp crosses the allocation.
+    Linear,
+    /// Consumption sits at the peak from the start (e.g. a fixed-size
+    /// buffer allocation) — an under-allocated attempt dies immediately
+    /// (at the first monitor sample).
+    Constant,
+  };
+
+  /// Fraction of the duration at which consumption reaches its peak. An
+  /// attempt whose allocation is below `demand` in any managed dimension is
+  /// killed when its ramp crosses the allocation — for the default Step
+  /// ramp that is `peak_fraction * duration_s`, the execution time t_i that
+  /// the Failed Allocation waste term charges (§II-C).
+  double peak_fraction = 0.7;
+
+  /// Consumption ramp model (see Ramp).
+  Ramp ramp = Ramp::Step;
+
+  /// Ids of tasks that must complete before this one becomes ready (the
+  /// dependency graph Fig. 1's workflow manager resolves at runtime). Every
+  /// dependency id must be smaller than this task's id, which guarantees
+  /// the graph is acyclic. Empty = ready at its submission time.
+  std::vector<std::uint64_t> deps;
+};
+
+}  // namespace tora::core

@@ -1,0 +1,125 @@
+#include "core/task_allocator.hpp"
+
+#include <stdexcept>
+
+namespace tora::core {
+
+TaskAllocator::TaskAllocator(std::string policy_name, PolicyFactory factory,
+                             AllocatorConfig config)
+    : policy_name_(std::move(policy_name)),
+      factory_(std::move(factory)),
+      config_(config) {
+  if (!factory_) {
+    throw std::invalid_argument("TaskAllocator: null policy factory");
+  }
+  if (config_.managed.empty()) {
+    throw std::invalid_argument("TaskAllocator: managed set must be non-empty");
+  }
+  for (ResourceKind k : config_.managed) {
+    if (!(config_.worker_capacity[k] > 0.0)) {
+      throw std::invalid_argument(
+          "TaskAllocator: worker capacity must be positive in every managed "
+          "dimension");
+    }
+  }
+}
+
+TaskAllocator::CategoryState& TaskAllocator::state_for(
+    const std::string& category) {
+  auto [it, inserted] = categories_.try_emplace(category);
+  if (inserted) {
+    for (ResourceKind k : config_.managed) {
+      it->second.policies.emplace(k, factory_(k, config_));
+    }
+  }
+  return it->second;
+}
+
+ResourceVector TaskAllocator::clamp(ResourceVector v) const {
+  for (ResourceKind k : config_.managed) {
+    if (v[k] > config_.worker_capacity[k]) v[k] = config_.worker_capacity[k];
+  }
+  return v;
+}
+
+ResourceVector TaskAllocator::exploration_alloc() const {
+  switch (config_.exploration.mode) {
+    case ExplorationConfig::Mode::FixedDefault:
+      return clamp(config_.exploration.default_alloc);
+    case ExplorationConfig::Mode::WholeMachine:
+      return config_.worker_capacity;
+  }
+  return config_.worker_capacity;
+}
+
+bool TaskAllocator::exploring(const std::string& category) const {
+  const auto it = categories_.find(category);
+  const std::size_t done = it == categories_.end() ? 0 : it->second.completed;
+  return done < config_.exploration.min_records;
+}
+
+std::size_t TaskAllocator::records_for(const std::string& category) const {
+  const auto it = categories_.find(category);
+  return it == categories_.end() ? 0 : it->second.completed;
+}
+
+ResourcePolicy& TaskAllocator::policy(const std::string& category,
+                                      ResourceKind kind) {
+  auto& st = state_for(category);
+  const auto it = st.policies.find(kind);
+  if (it == st.policies.end()) {
+    throw std::logic_error("TaskAllocator: unmanaged resource kind");
+  }
+  return *it->second;
+}
+
+ResourceVector TaskAllocator::allocate(const std::string& category) {
+  auto& st = state_for(category);
+  if (st.completed < config_.exploration.min_records) {
+    return exploration_alloc();
+  }
+  ResourceVector alloc;
+  for (ResourceKind k : config_.managed) {
+    alloc[k] = st.policies.at(k)->predict();
+  }
+  return clamp(alloc);
+}
+
+ResourceVector TaskAllocator::allocate_retry(const std::string& category,
+                                             const ResourceVector& failed_alloc,
+                                             unsigned exceeded_mask) {
+  if (exceeded_mask == 0) {
+    throw std::invalid_argument(
+        "TaskAllocator::allocate_retry: empty exceeded mask");
+  }
+  auto& st = state_for(category);
+  const bool explore = st.completed < config_.exploration.min_records;
+  ResourceVector next = failed_alloc;
+  for (ResourceKind k : config_.managed) {
+    if (!(exceeded_mask & resource_bit(k))) continue;
+    if (explore) {
+      // Exploratory failures double the exhausted dimension (§V-A).
+      next[k] = failed_alloc[k] > 0.0 ? failed_alloc[k] * 2.0 : 1.0;
+    } else {
+      next[k] = st.policies.at(k)->retry(failed_alloc[k]);
+    }
+  }
+  return clamp(next);
+}
+
+void TaskAllocator::record_completion(const std::string& category,
+                                      const ResourceVector& peak,
+                                      std::optional<double> significance) {
+  auto& st = state_for(category);
+  const double sig = significance.value_or(next_significance_);
+  if (!significance.has_value()) next_significance_ += 1.0;
+  for (ResourceKind k : config_.managed) {
+    st.policies.at(k)->observe(peak[k], sig);
+  }
+  ++st.completed;
+  ++revision_;
+  if (config_.record_history) history_.push_back({category, peak, sig});
+  if (sig >= next_significance_) next_significance_ = sig + 1.0;
+}
+
+}  // namespace tora::core

@@ -1,0 +1,148 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "core/resources.hpp"
+
+namespace tora::core {
+
+/// How an allocator behaves before a category has enough completed records
+/// to let its predictive policy take over (paper §IV-D / §V-A).
+struct ExplorationConfig {
+  enum class Mode {
+    /// Bucketing algorithms: allocate a small fixed default (1 core / 1 GB
+    /// memory / 1 GB disk) and double the exhausted dimension on failure.
+    FixedDefault,
+    /// The comparison algorithms: allocate a whole worker, trading an
+    /// expensive exploration for guaranteed first-try success (§V-C).
+    WholeMachine,
+  };
+
+  Mode mode = Mode::FixedDefault;
+  /// First-try allocation in FixedDefault mode.
+  ResourceVector default_alloc{1.0, 1024.0, 1024.0, 0.0};
+  /// Records needed per category before leaving exploration (paper: 10).
+  std::size_t min_records = 10;
+};
+
+/// Global allocator configuration.
+struct AllocatorConfig {
+  /// Full worker size; allocations are clamped to it and WholeMachine
+  /// exploration hands it out. Paper setup: 16 cores, 64 GB, 64 GB.
+  ResourceVector worker_capacity{16.0, 64.0 * 1024.0, 64.0 * 1024.0, 0.0};
+  ExplorationConfig exploration;
+  /// Which resource dimensions the allocator manages. Defaults to the
+  /// paper's three (cores, memory, disk); add ResourceKind::TimeS to also
+  /// size wall-time limits (the paper's future-work extension) — then
+  /// worker_capacity's and the exploration default's TimeS must be positive.
+  std::vector<ResourceKind> managed{kManagedResources.begin(),
+                                    kManagedResources.end()};
+  /// Keep the completion history (one entry per record_completion). Enables
+  /// checkpoint/restore (core/checkpoint.hpp) at ~40 bytes per completed
+  /// task; disable for extremely long-running allocators.
+  bool record_history = true;
+};
+
+/// Creates the per-(category × resource) policy instance. Invoked lazily the
+/// first time a category is seen, once per managed resource kind.
+using PolicyFactory =
+    std::function<ResourcePolicyPtr(ResourceKind kind, const AllocatorConfig&)>;
+
+/// The adaptive resource allocator of paper §IV-D: one ResourcePolicy
+/// instance per (task category × resource kind), an exploratory cold-start
+/// mode per category, and clamping to worker capacity.
+///
+/// Protocol (mirrors Fig. 3a):
+///  1. allocate(category)            -> first allocation for a ready task;
+///  2. on an over-consumption kill:  allocate_retry(...) -> bigger allocation;
+///  3. on success: record_completion(category, peak [, significance]).
+///
+/// Significance defaults to a per-allocator monotone counter; callers that
+/// track submission order (the paper uses the task ID) can pass it
+/// explicitly.
+class TaskAllocator {
+ public:
+  TaskAllocator(std::string policy_name, PolicyFactory factory,
+                AllocatorConfig config);
+
+  /// First allocation for a fresh task of `category`.
+  ResourceVector allocate(const std::string& category);
+
+  /// Next allocation after an execution was killed having exhausted
+  /// `failed_alloc` in the dimensions of `exceeded_mask` (bits per
+  /// resource_bit(): cores = 1, memory = 2, disk = 4, time = 8). Dimensions
+  /// not exceeded keep their previous allocation. The result is clamped to
+  /// worker capacity; when every exceeded dimension is already at capacity
+  /// the same vector comes back and the caller must declare the task
+  /// unrunnable.
+  ResourceVector allocate_retry(const std::string& category,
+                                const ResourceVector& failed_alloc,
+                                unsigned exceeded_mask);
+
+  /// Feed back a successful execution's peak consumption.
+  void record_completion(const std::string& category,
+                         const ResourceVector& peak,
+                         std::optional<double> significance = std::nullopt);
+
+  /// True while `category` is still in the exploratory mode.
+  bool exploring(const std::string& category) const;
+
+  /// Completed-record count for a category (0 if never seen).
+  std::size_t records_for(const std::string& category) const;
+
+  /// Access to the underlying per-resource policy (creates it if needed).
+  ResourcePolicy& policy(const std::string& category, ResourceKind kind);
+
+  const AllocatorConfig& config() const noexcept { return config_; }
+  const std::string& policy_name() const noexcept { return policy_name_; }
+
+  /// Categories seen so far (via any of the three entry points).
+  std::size_t category_count() const noexcept { return categories_.size(); }
+
+  /// One completed-task observation, as retained for checkpointing.
+  struct CompletionRecord {
+    std::string category;
+    ResourceVector peak;
+    double significance = 0.0;
+  };
+
+  /// The retained completion history (empty when config().record_history is
+  /// false). Order matches the record_completion call order.
+  const std::vector<CompletionRecord>& history() const noexcept {
+    return history_;
+  }
+
+  /// Monotone counter bumped on every record_completion. Schedulers that
+  /// cache a first-attempt allocation for a queued task can invalidate the
+  /// cache when the revision changes (the bucketing state evolved), which
+  /// reproduces Fig. 3a's "ask the bucketing manager at dispatch" protocol
+  /// without re-sampling on every placement attempt.
+  std::uint64_t revision() const noexcept { return revision_; }
+
+ private:
+  struct CategoryState {
+    std::map<ResourceKind, ResourcePolicyPtr> policies;
+    std::size_t completed = 0;
+  };
+
+  CategoryState& state_for(const std::string& category);
+  ResourceVector clamp(ResourceVector v) const;
+  ResourceVector exploration_alloc() const;
+
+  std::string policy_name_;
+  PolicyFactory factory_;
+  AllocatorConfig config_;
+  std::map<std::string, CategoryState> categories_;
+  std::vector<CompletionRecord> history_;
+  double next_significance_ = 1.0;
+  std::uint64_t revision_ = 0;
+};
+
+}  // namespace tora::core

@@ -1,0 +1,102 @@
+#include "core/tovar.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace tora::core {
+
+TovarPolicy::TovarPolicy(TovarObjective objective) : objective_(objective) {}
+
+std::string TovarPolicy::name() const {
+  return objective_ == TovarObjective::MinWaste ? "min_waste"
+                                                : "max_throughput";
+}
+
+void TovarPolicy::observe(double peak_value, double /*significance*/) {
+  if (peak_value < 0.0) {
+    throw std::invalid_argument("TovarPolicy: negative resource value");
+  }
+  values_.insert(
+      std::upper_bound(values_.begin(), values_.end(), peak_value),
+      peak_value);
+  dirty_ = true;
+}
+
+double TovarPolicy::max_value() const noexcept {
+  return values_.empty() ? 0.0 : values_.back();
+}
+
+void TovarPolicy::rebuild_if_dirty() {
+  if (!dirty_) return;
+  if (values_.empty()) {
+    throw std::logic_error(
+        "TovarPolicy: predict() before any record; exploration must cover "
+        "the cold start");
+  }
+  const std::size_t n = values_.size();
+  const double v_max = values_.back();
+
+  // Prefix sums: value_prefix[i] = sum of values [0, i).
+  std::vector<double> value_prefix(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    value_prefix[i + 1] = value_prefix[i] + values_[i];
+  }
+  const double total = value_prefix[n];
+
+  double best_score = std::numeric_limits<double>::infinity();
+  if (objective_ == TovarObjective::MaxThroughput) best_score = -best_score;
+  double best_a = v_max;
+
+  // Candidate first allocations are the observed peak values; for each,
+  // evaluate the objective in O(1) using the prefix sums. `i` is the last
+  // index covered by candidate a = values_[i].
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + 1 < n && values_[i + 1] == values_[i]) continue;  // dedupe
+    const double a = values_[i];
+    const double covered = static_cast<double>(i + 1);
+    const double uncovered = static_cast<double>(n - i - 1);
+    if (objective_ == TovarObjective::MinWaste) {
+      // Covered tasks waste (a - v); uncovered tasks burn a entirely and
+      // retry at v_max, wasting a + (v_max - v).
+      const double covered_waste = covered * a - value_prefix[i + 1];
+      const double uncovered_waste =
+          uncovered * (a + v_max) - (total - value_prefix[i + 1]);
+      const double score = covered_waste + uncovered_waste;
+      if (score < best_score) {
+        best_score = score;
+        best_a = a;
+      }
+    } else {
+      // Expected completions per unit of committed resource: a covered task
+      // commits a; an uncovered one commits a + v_max across both attempts.
+      if (a <= 0.0) continue;
+      const double p_cover = covered / static_cast<double>(n);
+      const double score =
+          p_cover / a + (1.0 - p_cover) / (a + v_max);
+      if (score > best_score) {
+        best_score = score;
+        best_a = a;
+      }
+    }
+  }
+  if (best_a <= 0.0) best_a = v_max > 0.0 ? v_max : 1.0;
+  choice_ = best_a;
+  dirty_ = false;
+}
+
+double TovarPolicy::current_choice() {
+  rebuild_if_dirty();
+  return choice_;
+}
+
+double TovarPolicy::predict() { return current_choice(); }
+
+double TovarPolicy::retry(double failed_alloc) {
+  // At-most-once retry: jump straight to the max seen; beyond that, double.
+  const double vmax = max_value();
+  if (vmax > failed_alloc) return vmax;
+  return failed_alloc > 0.0 ? failed_alloc * 2.0 : 1.0;
+}
+
+}  // namespace tora::core

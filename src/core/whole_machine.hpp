@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstddef>
+
+#include "core/policy.hpp"
+
+namespace tora::core {
+
+/// Whole Machine — the paper's baseline (§V-A): every task is allocated an
+/// entire worker's worth of the resource. Tasks essentially never fail from
+/// under-allocation but one task monopolizes a worker, making this the
+/// resource-efficiency floor of Fig. 5.
+class WholeMachinePolicy final : public ResourcePolicy {
+ public:
+  /// `capacity` > 0: a full worker's amount of this resource
+  /// (16 cores / 65536 MB memory / 65536 MB disk in the paper's setup).
+  explicit WholeMachinePolicy(double capacity);
+
+  void observe(double peak_value, double significance) override;
+  double predict() override { return capacity_; }
+  double retry(double failed_alloc) override;
+
+  std::string name() const override { return "whole_machine"; }
+  std::size_t record_count() const override { return count_; }
+
+  double capacity() const noexcept { return capacity_; }
+
+ private:
+  double capacity_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace tora::core

@@ -1,0 +1,154 @@
+#include "exp/experiment.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "util/stats.hpp"
+
+namespace tora::exp {
+
+namespace {
+
+ReplicatedStat to_stat(const util::OnlineStats& s) {
+  ReplicatedStat r;
+  r.mean = s.mean();
+  r.stddev = s.stddev();
+  r.min = s.min();
+  r.max = s.max();
+  r.runs = s.count();
+  return r;
+}
+
+}  // namespace
+
+std::vector<ExperimentResult> run_grid_parallel(
+    const std::vector<std::string>& workflows,
+    const std::vector<std::string>& policies, const ExperimentConfig& config,
+    std::size_t threads) {
+  // Flatten the grid into independent cells; each worker thread claims the
+  // next unclaimed index. Every cell generates its own workload copy, so
+  // threads share nothing but the (const) name lists and config.
+  struct Cell {
+    const std::string* workflow;
+    const std::string* policy;
+  };
+  std::vector<Cell> cells;
+  cells.reserve(workflows.size() * policies.size());
+  for (const auto& wf : workflows) {
+    for (const auto& p : policies) cells.push_back({&wf, &p});
+  }
+  std::vector<ExperimentResult> results(cells.size());
+  if (cells.empty()) return results;
+
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, cells.size());
+
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  // Exceptions inside workers are rethrown after join (first one wins).
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  for (std::size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= cells.size()) return;
+        try {
+          results[i] =
+              run_experiment(*cells[i].workflow, *cells[i].policy, config);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!error) error = std::current_exception();
+          return;
+        }
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  if (error) std::rethrow_exception(error);
+  return results;
+}
+
+ReplicatedStat ReplicatedResult::awe(core::ResourceKind kind) const {
+  util::OnlineStats s;
+  for (const auto& r : runs) s.add(r.awe(kind));
+  return to_stat(s);
+}
+
+ReplicatedStat ReplicatedResult::makespan() const {
+  util::OnlineStats s;
+  for (const auto& r : runs) s.add(r.sim.makespan_s);
+  return to_stat(s);
+}
+
+ReplicatedResult run_replicated(std::string_view workflow,
+                                std::string_view policy,
+                                std::size_t replications,
+                                const ExperimentConfig& base) {
+  if (replications == 0) {
+    throw std::invalid_argument("run_replicated: need at least one run");
+  }
+  ReplicatedResult out;
+  out.workflow = std::string(workflow);
+  out.policy = std::string(policy);
+  out.runs.reserve(replications);
+  for (std::size_t i = 0; i < replications; ++i) {
+    ExperimentConfig cfg = base;
+    // Decorrelate every stochastic element per replication.
+    cfg.workload_seed = base.workload_seed + 1000003 * (i + 1);
+    cfg.policy_seed = base.policy_seed + 999983 * (i + 1);
+    cfg.sim.seed = base.sim.seed + 99991 * (i + 1);
+    out.runs.push_back(run_experiment(workflow, policy, cfg));
+  }
+  return out;
+}
+
+sim::SimConfig default_experiment_sim() {
+  sim::SimConfig cfg;
+  cfg.submit_interval_s = 5.0;
+  return cfg;
+}
+
+ExperimentResult run_experiment(const workloads::Workload& workload,
+                                std::string_view policy,
+                                const ExperimentConfig& config) {
+  core::TaskAllocator allocator = core::make_allocator(
+      policy, config.policy_seed, config.sim.worker_capacity, config.registry);
+  sim::Simulation simulation(workload.tasks, allocator, config.sim);
+  ExperimentResult r;
+  r.workflow = workload.name;
+  r.policy = std::string(policy);
+  r.sim = simulation.run();
+  return r;
+}
+
+ExperimentResult run_experiment(std::string_view workflow,
+                                std::string_view policy,
+                                const ExperimentConfig& config) {
+  const workloads::Workload w =
+      workloads::make_workload(workflow, config.workload_seed);
+  return run_experiment(w, policy, config);
+}
+
+std::vector<ExperimentResult> run_grid(
+    const std::vector<std::string>& workflows,
+    const std::vector<std::string>& policies,
+    const ExperimentConfig& config) {
+  std::vector<ExperimentResult> results;
+  results.reserve(workflows.size() * policies.size());
+  for (const std::string& wf : workflows) {
+    const workloads::Workload w =
+        workloads::make_workload(wf, config.workload_seed);
+    for (const std::string& p : policies) {
+      results.push_back(run_experiment(w, p, config));
+    }
+  }
+  return results;
+}
+
+}  // namespace tora::exp

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "sim/simulation.hpp"
+#include "workloads/workload.hpp"
+
+namespace tora::exp {
+
+/// The simulator defaults used by the paper-reproduction experiments: the
+/// application generates tasks as a steady stream (a dynamic workflow emits
+/// tasks over time rather than flooding the scheduler at t=0), so early
+/// completions inform later allocations — the online regime the paper
+/// evaluates.
+sim::SimConfig default_experiment_sim();
+
+/// Everything needed to reproduce one paper experiment cell:
+/// workflow generation seed, policy sampling seed, and the simulated
+/// opportunistic cluster configuration.
+struct ExperimentConfig {
+  std::uint64_t workload_seed = 7;
+  std::uint64_t policy_seed = 11;
+  sim::SimConfig sim = default_experiment_sim();
+  core::RegistryOptions registry;
+};
+
+/// One (workflow × policy) outcome.
+struct ExperimentResult {
+  std::string workflow;
+  std::string policy;
+  sim::SimResult sim;
+
+  double awe(core::ResourceKind k) const { return sim.accounting.awe(k); }
+  const core::WasteBreakdown& waste(core::ResourceKind k) const {
+    return sim.accounting.breakdown(k);
+  }
+};
+
+/// Runs one workflow under one allocation policy on the simulated cluster.
+ExperimentResult run_experiment(const workloads::Workload& workload,
+                                std::string_view policy,
+                                const ExperimentConfig& config = {});
+
+/// Generates the named workflow and runs it (convenience for benches).
+ExperimentResult run_experiment(std::string_view workflow,
+                                std::string_view policy,
+                                const ExperimentConfig& config = {});
+
+/// Full evaluation grid: every named workflow under every named policy.
+/// Workflows are generated once per name and shared across policies, so
+/// every algorithm faces the identical task sequence (as in the paper).
+std::vector<ExperimentResult> run_grid(
+    const std::vector<std::string>& workflows,
+    const std::vector<std::string>& policies,
+    const ExperimentConfig& config = {});
+
+/// run_grid distributed over a pool of threads — every (workflow × policy)
+/// cell is an independent deterministic simulation, so the results are
+/// bit-identical to the serial version, in the same order. `threads` = 0
+/// uses the hardware concurrency.
+std::vector<ExperimentResult> run_grid_parallel(
+    const std::vector<std::string>& workflows,
+    const std::vector<std::string>& policies,
+    const ExperimentConfig& config = {}, std::size_t threads = 0);
+
+/// Mean / sd / min / max of a metric over replicated runs.
+struct ReplicatedStat {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t runs = 0;
+};
+
+/// One (workflow × policy) cell aggregated over R independent replications
+/// (workload, policy-sampling, and simulation seeds all varied per run).
+struct ReplicatedResult {
+  std::string workflow;
+  std::string policy;
+  std::vector<ExperimentResult> runs;
+
+  /// AWE statistics across the replications for one resource kind.
+  ReplicatedStat awe(core::ResourceKind kind) const;
+  /// Makespan statistics (seconds).
+  ReplicatedStat makespan() const;
+};
+
+/// Runs one cell R times with derived seeds (base config's seeds + run
+/// index) and aggregates. `replications` must be >= 1.
+ReplicatedResult run_replicated(std::string_view workflow,
+                                std::string_view policy,
+                                std::size_t replications,
+                                const ExperimentConfig& base = {});
+
+}  // namespace tora::exp

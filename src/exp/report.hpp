@@ -1,0 +1,38 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tora::exp {
+
+/// Fixed-width plain-text table used by the figure/table harnesses to print
+/// paper-style result matrices to stdout. Columns are right-aligned except
+/// the first (row label).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 3);
+
+  void print(std::ostream& out) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t columns() const noexcept { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared by harnesses).
+std::string fmt(double v, int precision = 3);
+
+/// Formats a value as a percentage with one decimal, e.g. 0.873 -> "87.3%".
+std::string fmt_pct(double ratio);
+
+}  // namespace tora::exp

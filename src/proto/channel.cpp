@@ -1,0 +1,18 @@
+#include "proto/channel.hpp"
+
+namespace tora::proto {
+
+void Channel::send(std::string line) {
+  bytes_ += line.size() + 1;  // + newline framing on a real socket
+  ++messages_;
+  queue_.push_back(std::move(line));
+}
+
+std::optional<std::string> Channel::poll() {
+  if (queue_.empty()) return std::nullopt;
+  std::string line = std::move(queue_.front());
+  queue_.pop_front();
+  return line;
+}
+
+}  // namespace tora::proto

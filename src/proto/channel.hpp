@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace tora::proto {
+
+/// One direction of a simulated network link: an in-order, lossless queue
+/// of encoded protocol lines with byte accounting. The protocol layer never
+/// shares memory between manager and worker — everything crosses a Channel,
+/// so the in-process runtime exercises exactly the serialization a socket
+/// deployment would.
+class Channel {
+ public:
+  void send(std::string line);
+
+  /// Next pending line, or nullopt when drained.
+  std::optional<std::string> poll();
+
+  bool empty() const noexcept { return queue_.empty(); }
+  std::size_t pending() const noexcept { return queue_.size(); }
+  std::size_t messages_sent() const noexcept { return messages_; }
+  std::size_t bytes_sent() const noexcept { return bytes_; }
+
+ private:
+  std::deque<std::string> queue_;
+  std::size_t messages_ = 0;
+  std::size_t bytes_ = 0;
+};
+
+/// A duplex link: the manager writes to `to_worker` and reads from
+/// `to_manager`; the worker agent does the opposite.
+struct DuplexLink {
+  Channel to_worker;
+  Channel to_manager;
+};
+
+using DuplexLinkPtr = std::shared_ptr<DuplexLink>;
+
+}  // namespace tora::proto

@@ -1,0 +1,286 @@
+#include "proto/manager.hpp"
+
+#include <stdexcept>
+
+#include "proto/worker_agent.hpp"
+#include "util/log.hpp"
+
+namespace tora::proto {
+
+using core::ResourceKind;
+using core::ResourceVector;
+
+ProtocolManager::ProtocolManager(std::span<const core::TaskSpec> tasks,
+                                 core::TaskAllocator& allocator,
+                                 std::vector<DuplexLinkPtr> links)
+    : tasks_(tasks),
+      allocator_(allocator),
+      links_(std::move(links)),
+      states_(tasks.size()),
+      dependents_(tasks.size()) {
+  for (const auto& link : links_) {
+    if (!link) throw std::invalid_argument("ProtocolManager: null link");
+  }
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (tasks_[i].id != i) {
+      throw std::invalid_argument(
+          "ProtocolManager: task ids must be dense and ordered");
+    }
+    states_[i].deps_remaining = tasks_[i].deps.size();
+    for (std::uint64_t dep : tasks_[i].deps) {
+      if (dep >= i) {
+        throw std::invalid_argument(
+            "ProtocolManager: dependency ids must precede the task");
+      }
+      dependents_[dep].push_back(i);
+    }
+  }
+}
+
+void ProtocolManager::start() {
+  if (started_) throw std::logic_error("ProtocolManager: started twice");
+  started_ = true;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) maybe_ready(i);
+}
+
+void ProtocolManager::maybe_ready(std::uint64_t task_id) {
+  TaskState& st = states_[task_id];
+  if (st.status != TStatus::Waiting || st.deps_remaining > 0) return;
+  st.status = TStatus::Queued;
+  ready_.push_back(task_id);
+}
+
+std::size_t ProtocolManager::pump() {
+  std::size_t handled = 0;
+  for (const auto& link : links_) {
+    while (auto line = link->to_manager.poll()) {
+      const auto msg = decode(*line);
+      if (!msg) {
+        util::log_warn("manager: dropping malformed message: ", *line);
+        continue;
+      }
+      handle(*msg);
+      ++handled;
+    }
+  }
+  dispatch_queued();
+  return handled;
+}
+
+void ProtocolManager::handle(const Message& msg) {
+  switch (msg.type) {
+    case MsgType::WorkerReady: {
+      // Worker ids equal link indices (the runtime assigns both); a ready
+      // message from an unknown id is a protocol violation.
+      if (msg.worker_id >= links_.size()) {
+        util::log_warn("manager: ready from unknown worker ", msg.worker_id);
+        break;
+      }
+      WorkerState ws;
+      ws.capacity = msg.resources;
+      ws.link = links_[msg.worker_id];
+      workers_[msg.worker_id] = std::move(ws);
+      break;
+    }
+    case MsgType::TaskResult:
+      on_result(msg);
+      break;
+    case MsgType::Evict: {
+      // Requeue with the same allocation; not charged to the algorithm.
+      if (msg.task_id < states_.size() &&
+          states_[msg.task_id].status == TStatus::Running) {
+        TaskState& st = states_[msg.task_id];
+        auto it = workers_.find(st.running_on);
+        if (it != workers_.end()) it->second.committed -= st.alloc;
+        st.status = TStatus::Queued;
+        ready_.push_front(msg.task_id);
+      }
+      break;
+    }
+    default:
+      util::log_warn("manager: unexpected message type");
+      break;
+  }
+}
+
+void ProtocolManager::on_result(const Message& msg) {
+  if (msg.task_id >= states_.size()) {
+    util::log_warn("manager: result for unknown task ", msg.task_id);
+    return;
+  }
+  TaskState& st = states_[msg.task_id];
+  if (st.status != TStatus::Running || st.running_on != msg.worker_id) {
+    util::log_warn("manager: stale result for task ", msg.task_id);
+    return;
+  }
+  auto wit = workers_.find(msg.worker_id);
+  if (wit != workers_.end()) wit->second.committed -= st.alloc;
+
+  const core::TaskSpec& spec = tasks_[msg.task_id];
+  if (msg.outcome == Outcome::Success) {
+    st.status = TStatus::Done;
+    ++completed_;
+    ++finished_;
+    core::TaskUsage usage;
+    usage.category = spec.category;
+    usage.peak = msg.resources;  // the worker-measured peak
+    usage.final_alloc = st.alloc;
+    usage.final_runtime_s = msg.runtime_s;
+    usage.failed_attempts = st.failed_attempts;
+    accounting_.add(usage);
+    allocator_.record_completion(spec.category, msg.resources,
+                                 static_cast<double>(spec.id) + 1.0);
+    for (std::uint64_t dep : dependents_[msg.task_id]) {
+      TaskState& ds = states_[dep];
+      if (ds.deps_remaining > 0) {
+        --ds.deps_remaining;
+        maybe_ready(dep);
+      }
+    }
+    return;
+  }
+
+  // Resource exhaustion: log the failed attempt and escalate.
+  st.failed_attempts.push_back({st.alloc, msg.runtime_s});
+  if (st.attempts >= max_attempts_) {
+    make_fatal(msg.task_id);
+    return;
+  }
+  const unsigned mask = msg.exceeded_mask;
+  if (mask == 0) {
+    util::log_warn("manager: exhausted result without exceeded mask");
+    make_fatal(msg.task_id);
+    return;
+  }
+  const ResourceVector next =
+      allocator_.allocate_retry(spec.category, st.alloc, mask);
+  bool grew = false;
+  for (ResourceKind k : allocator_.config().managed) {
+    if ((mask & core::resource_bit(k)) && next[k] > st.alloc[k]) {
+      grew = true;
+      break;
+    }
+  }
+  if (!grew) {
+    make_fatal(msg.task_id);
+    return;
+  }
+  st.alloc = next;
+  st.is_retry = true;
+  st.status = TStatus::Queued;
+  ready_.push_back(msg.task_id);
+}
+
+void ProtocolManager::make_fatal(std::uint64_t task_id) {
+  TaskState& st = states_[task_id];
+  if (st.status == TStatus::Fatal) return;
+  st.status = TStatus::Fatal;
+  ++fatal_;
+  ++finished_;
+  for (std::uint64_t dep : dependents_[task_id]) make_fatal(dep);
+}
+
+void ProtocolManager::dispatch_queued() {
+  std::deque<std::uint64_t> waiting;
+  while (!ready_.empty()) {
+    const std::uint64_t task_id = ready_.front();
+    ready_.pop_front();
+    TaskState& st = states_[task_id];
+    if (!st.has_alloc ||
+        (!st.is_retry && st.alloc_revision != allocator_.revision())) {
+      st.alloc = allocator_.allocate(tasks_[task_id].category);
+      st.has_alloc = true;
+      st.alloc_revision = allocator_.revision();
+    }
+    bool placed = false;
+    for (auto& [wid, ws] : workers_) {
+      const ResourceVector free = ws.capacity - ws.committed;
+      if (st.alloc.fits_within(free)) {
+        ws.committed += st.alloc;
+        st.status = TStatus::Running;
+        st.running_on = wid;
+        ++st.attempts;
+        Message m;
+        m.type = MsgType::TaskDispatch;
+        m.worker_id = wid;
+        m.task_id = task_id;
+        m.category = tasks_[task_id].category;
+        m.resources = st.alloc;
+        ws.link->to_worker.send(encode(m));
+        ++dispatches_;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) waiting.push_back(task_id);
+  }
+  ready_ = std::move(waiting);
+}
+
+void ProtocolManager::shutdown_workers() {
+  for (auto& [wid, ws] : workers_) {
+    Message m;
+    m.type = MsgType::Shutdown;
+    m.worker_id = wid;
+    ws.link->to_worker.send(encode(m));
+  }
+}
+
+// ---------------------------------------------------------------- runtime
+
+ProtocolRuntime::ProtocolRuntime(std::span<const core::TaskSpec> tasks,
+                                 core::TaskAllocator& allocator,
+                                 std::size_t num_workers,
+                                 core::ResourceVector worker_capacity)
+    : tasks_(tasks),
+      allocator_(allocator),
+      links_([num_workers] {
+        std::vector<DuplexLinkPtr> links;
+        links.reserve(num_workers);
+        for (std::size_t i = 0; i < num_workers; ++i) {
+          links.push_back(std::make_shared<DuplexLink>());
+        }
+        return links;
+      }()),
+      manager_(tasks, allocator, links_) {
+  if (num_workers == 0) {
+    throw std::invalid_argument("ProtocolRuntime: need at least one worker");
+  }
+  agents_.reserve(num_workers);
+  for (std::size_t i = 0; i < num_workers; ++i) {
+    agents_.emplace_back(i, worker_capacity, tasks_, links_[i]);
+  }
+}
+
+ProtocolRunResult ProtocolRuntime::run(std::size_t max_rounds) {
+  for (auto& agent : agents_) agent.announce();
+  manager_.start();
+  ProtocolRunResult result;
+  for (result.rounds = 0; result.rounds < max_rounds; ++result.rounds) {
+    std::size_t progress = manager_.pump();
+    for (auto& agent : agents_) progress += agent.pump();
+    if (manager_.done()) break;
+    if (progress == 0) {
+      throw std::runtime_error(
+          "ProtocolRuntime: no progress with unfinished tasks (allocation "
+          "larger than every worker?)");
+    }
+  }
+  if (!manager_.done()) {
+    throw std::runtime_error("ProtocolRuntime: round limit exceeded");
+  }
+  manager_.shutdown_workers();
+  for (auto& agent : agents_) agent.pump();
+
+  result.accounting = manager_.accounting();
+  result.tasks_completed = manager_.tasks_completed();
+  result.tasks_fatal = manager_.tasks_fatal();
+  for (const auto& link : links_) {
+    result.messages +=
+        link->to_worker.messages_sent() + link->to_manager.messages_sent();
+    result.bytes += link->to_worker.bytes_sent() + link->to_manager.bytes_sent();
+  }
+  return result;
+}
+
+}  // namespace tora::proto

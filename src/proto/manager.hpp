@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/task.hpp"
+#include "core/task_allocator.hpp"
+#include "proto/channel.hpp"
+#include "proto/message.hpp"
+#include "proto/worker_agent.hpp"
+
+namespace tora::proto {
+
+/// The manager side of the protocol (paper Fig. 1's workflow manager + task
+/// scheduler + bucketing manager): resolves dependencies, asks the
+/// TaskAllocator for an allocation at dispatch time, matches tasks to
+/// workers first-fit against the capacities they announced, and feeds
+/// completed records back into the allocator. All worker interaction goes
+/// through encoded protocol messages over the DuplexLinks.
+///
+/// This runtime is functional rather than timed — it validates the protocol
+/// and the allocation logic end-to-end; the discrete-event simulator
+/// (sim::Simulation) owns timing questions.
+class ProtocolManager {
+ public:
+  ProtocolManager(std::span<const core::TaskSpec> tasks,
+                  core::TaskAllocator& allocator,
+                  std::vector<DuplexLinkPtr> links);
+
+  /// Enqueues every dependency-free task. Call once before pumping.
+  void start();
+
+  /// Reads all pending worker messages and dispatches queued tasks onto
+  /// free workers. Returns the number of messages processed.
+  std::size_t pump();
+
+  /// True once every task is completed or fatal.
+  bool done() const noexcept {
+    return finished_ == tasks_.size();
+  }
+
+  /// Broadcasts Shutdown to every known worker.
+  void shutdown_workers();
+
+  const core::WasteAccounting& accounting() const noexcept {
+    return accounting_;
+  }
+  std::size_t tasks_completed() const noexcept { return completed_; }
+  std::size_t tasks_fatal() const noexcept { return fatal_; }
+  std::size_t dispatches_sent() const noexcept { return dispatches_; }
+  std::size_t workers_known() const noexcept { return workers_.size(); }
+
+ private:
+  enum class TStatus : std::uint8_t { Waiting, Queued, Running, Done, Fatal };
+
+  struct TaskState {
+    TStatus status = TStatus::Waiting;
+    core::ResourceVector alloc;
+    bool has_alloc = false;
+    bool is_retry = false;
+    std::uint64_t alloc_revision = 0;
+    std::vector<core::AttemptLog> failed_attempts;
+    std::size_t deps_remaining = 0;
+    std::size_t attempts = 0;
+    std::uint64_t running_on = 0;
+  };
+
+  struct WorkerState {
+    core::ResourceVector capacity;
+    core::ResourceVector committed;
+    DuplexLinkPtr link;
+  };
+
+  void handle(const Message& msg);
+  void on_result(const Message& msg);
+  void dispatch_queued();
+  void maybe_ready(std::uint64_t task_id);
+  void make_fatal(std::uint64_t task_id);
+
+  std::span<const core::TaskSpec> tasks_;
+  core::TaskAllocator& allocator_;
+  std::vector<DuplexLinkPtr> links_;
+  std::map<std::uint64_t, WorkerState> workers_;
+  std::vector<TaskState> states_;
+  std::vector<std::vector<std::uint64_t>> dependents_;
+  std::deque<std::uint64_t> ready_;
+  core::WasteAccounting accounting_;
+  std::size_t completed_ = 0;
+  std::size_t fatal_ = 0;
+  std::size_t finished_ = 0;
+  std::size_t dispatches_ = 0;
+  std::size_t max_attempts_ = 64;
+  bool started_ = false;
+};
+
+/// Aggregate outcome of a full protocol run.
+struct ProtocolRunResult {
+  core::WasteAccounting accounting;
+  std::size_t tasks_completed = 0;
+  std::size_t tasks_fatal = 0;
+  std::size_t messages = 0;
+  std::size_t bytes = 0;
+  std::size_t rounds = 0;
+};
+
+/// Convenience harness: builds `num_workers` WorkerAgents of the given
+/// capacity wired to a ProtocolManager over in-process links and pumps the
+/// whole system to completion.
+class ProtocolRuntime {
+ public:
+  ProtocolRuntime(std::span<const core::TaskSpec> tasks,
+                  core::TaskAllocator& allocator, std::size_t num_workers,
+                  core::ResourceVector worker_capacity = {
+                      16.0, 64.0 * 1024.0, 64.0 * 1024.0, 0.0});
+
+  /// Runs to completion; throws std::runtime_error if the system stops
+  /// making progress before every task finishes.
+  ProtocolRunResult run(std::size_t max_rounds = 1000000);
+
+ private:
+  std::span<const core::TaskSpec> tasks_;
+  core::TaskAllocator& allocator_;
+  std::vector<DuplexLinkPtr> links_;
+  std::vector<WorkerAgent> agents_;
+  ProtocolManager manager_;
+};
+
+}  // namespace tora::proto

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/resources.hpp"
+
+namespace tora::proto {
+
+/// Message kinds of the manager <-> worker protocol, modelled after Work
+/// Queue's line-oriented control protocol (paper Fig. 1: tasks are
+/// dispatched to remote workers, results and resource records flow back).
+enum class MsgType : std::uint8_t {
+  WorkerReady,   ///< worker -> manager: announces itself and its capacity
+  TaskDispatch,  ///< manager -> worker: run task `task_id` under `resources`
+  TaskResult,    ///< worker -> manager: outcome + measured peak + runtime
+  Evict,         ///< worker -> manager: attempt cancelled (worker leaving)
+  Shutdown,      ///< manager -> worker: drain and disconnect
+};
+
+/// How an attempt ended (TaskResult payload).
+enum class Outcome : std::uint8_t {
+  Success,            ///< ran to completion within its allocation
+  ResourceExhausted,  ///< killed for exceeding the allocation
+};
+
+/// One protocol message. Field relevance by type:
+///  WorkerReady:  worker_id, resources (= capacity)
+///  TaskDispatch: worker_id, task_id, category, resources (= allocation)
+///  TaskResult:   worker_id, task_id, outcome, resources (= measured peak),
+///                runtime_s, exceeded_mask
+///  Evict:        worker_id, task_id
+///  Shutdown:     worker_id
+struct Message {
+  MsgType type = MsgType::WorkerReady;
+  std::uint64_t worker_id = 0;
+  std::uint64_t task_id = 0;
+  std::string category;
+  core::ResourceVector resources;
+  double runtime_s = 0.0;
+  Outcome outcome = Outcome::Success;
+  unsigned exceeded_mask = 0;
+
+  bool operator==(const Message&) const = default;
+};
+
+/// Encodes a message as one line of space-separated `key=value` tokens with
+/// a leading verb, e.g.
+///   `dispatch worker=3 task=17 category=proc cores=1 memory=512 disk=64 time=0`
+/// Category values are URL-%-escaped so spaces/equals survive.
+std::string encode(const Message& msg);
+
+/// Parses one encoded line. Returns nullopt on any malformed input
+/// (unknown verb, missing field, bad number) — the protocol never throws on
+/// remote data.
+std::optional<Message> decode(std::string_view line);
+
+std::string_view to_string(MsgType type) noexcept;
+std::string_view to_string(Outcome outcome) noexcept;
+
+}  // namespace tora::proto

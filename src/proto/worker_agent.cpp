@@ -1,0 +1,102 @@
+#include "proto/worker_agent.hpp"
+
+#include <stdexcept>
+
+#include "sim/enforcement.hpp"
+#include "util/log.hpp"
+
+namespace tora::proto {
+
+WorkerAgent::WorkerAgent(std::uint64_t id, core::ResourceVector capacity,
+                         std::span<const core::TaskSpec> ground_truth,
+                         DuplexLinkPtr link)
+    : id_(id),
+      capacity_(capacity),
+      ground_truth_(ground_truth),
+      link_(std::move(link)) {
+  if (!link_) throw std::invalid_argument("WorkerAgent: null link");
+}
+
+void WorkerAgent::announce() {
+  Message m;
+  m.type = MsgType::WorkerReady;
+  m.worker_id = id_;
+  m.resources = capacity_;
+  link_->to_manager.send(encode(m));
+}
+
+std::size_t WorkerAgent::pump() {
+  std::size_t handled = 0;
+  while (auto line = link_->to_worker.poll()) {
+    const auto msg = decode(*line);
+    if (!msg) {
+      util::log_warn("worker ", id_, ": dropping malformed message: ", *line);
+      continue;
+    }
+    if (msg->worker_id != id_) {
+      util::log_warn("worker ", id_, ": message addressed to worker ",
+                     msg->worker_id, ", dropping");
+      continue;
+    }
+    switch (msg->type) {
+      case MsgType::TaskDispatch:
+        handle_dispatch(*msg);
+        break;
+      case MsgType::Shutdown:
+        shutdown_ = true;
+        break;
+      default:
+        util::log_warn("worker ", id_, ": unexpected message type");
+        break;
+    }
+    ++handled;
+  }
+  return handled;
+}
+
+void WorkerAgent::handle_dispatch(const Message& msg) {
+  Message result;
+  result.type = MsgType::TaskResult;
+  result.worker_id = id_;
+  result.task_id = msg.task_id;
+
+  if (msg.task_id >= ground_truth_.size()) {
+    throw std::logic_error("WorkerAgent: dispatch for unknown task id");
+  }
+  if (!msg.resources.fits_within(capacity_)) {
+    // The manager asked for more than this worker has: refuse. Real Work
+    // Queue would never match such a task; reporting exhaustion keeps the
+    // protocol total.
+    ++rejected_;
+    result.outcome = Outcome::ResourceExhausted;
+    result.exceeded_mask = msg.resources.exceeded_mask(capacity_);
+    result.runtime_s = 0.001;
+    result.resources = core::ResourceVector{};
+    link_->to_manager.send(encode(result));
+    return;
+  }
+
+  const core::TaskSpec& task = ground_truth_[msg.task_id];
+  // "Execute": the enforcement model decides whether and when the monitored
+  // process crosses its allocation.
+  const unsigned exceeded =
+      task.demand.exceeded_mask(msg.resources, core::kManagedResources);
+  const double runtime = sim::attempt_runtime(task, msg.resources,
+                                              core::kManagedResources);
+  if (exceeded == 0) {
+    ++executed_;
+    result.outcome = Outcome::Success;
+    result.resources = task.demand;  // the measured peak consumption
+  } else {
+    ++killed_;
+    result.outcome = Outcome::ResourceExhausted;
+    // The worker only observed consumption up to the kill: report the
+    // allocation as the measured ceiling plus which dimensions tripped.
+    result.resources = msg.resources;
+    result.exceeded_mask = exceeded;
+  }
+  result.runtime_s = runtime;
+  link_->to_manager.send(encode(result));
+}
+
+}  // namespace tora::proto

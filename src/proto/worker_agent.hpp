@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/resources.hpp"
+#include "core/task.hpp"
+#include "proto/channel.hpp"
+#include "proto/message.hpp"
+
+namespace tora::proto {
+
+/// The worker side of the protocol (paper Fig. 1's worker node): announces
+/// its capacity, accepts TaskDispatch messages, "executes" tasks against
+/// their hidden ground-truth demands (the agent plays the role of the real
+/// process whose consumption the worker monitors), enforces the dispatched
+/// allocation — rejecting over-commitment and killing over-consumption —
+/// and reports TaskResult messages with the measured peak and runtime.
+///
+/// The agent communicates exclusively through its DuplexLink; the manager
+/// never touches its state.
+class WorkerAgent {
+ public:
+  /// `ground_truth` is the workload indexed by task id (the "application
+  /// code" the worker runs); must outlive the agent.
+  WorkerAgent(std::uint64_t id, core::ResourceVector capacity,
+              std::span<const core::TaskSpec> ground_truth, DuplexLinkPtr link);
+
+  /// Sends the WorkerReady announcement. Call once before pumping.
+  void announce();
+
+  /// Processes every pending message; returns the number handled.
+  /// Execution is synchronous: each dispatch produces its result
+  /// immediately (the protocol runtime is functional, not timed — the
+  /// discrete-event simulator covers timing).
+  std::size_t pump();
+
+  std::uint64_t id() const noexcept { return id_; }
+  const core::ResourceVector& capacity() const noexcept { return capacity_; }
+  bool shutdown_received() const noexcept { return shutdown_; }
+  std::size_t tasks_executed() const noexcept { return executed_; }
+  std::size_t tasks_killed() const noexcept { return killed_; }
+  /// Dispatches that could not even be admitted (allocation above capacity);
+  /// reported back as ResourceExhausted so the manager re-plans.
+  std::size_t rejected_dispatches() const noexcept { return rejected_; }
+
+ private:
+  void handle_dispatch(const Message& msg);
+
+  std::uint64_t id_;
+  core::ResourceVector capacity_;
+  std::span<const core::TaskSpec> ground_truth_;
+  DuplexLinkPtr link_;
+  bool shutdown_ = false;
+  std::size_t executed_ = 0;
+  std::size_t killed_ = 0;
+  std::size_t rejected_ = 0;
+};
+
+}  // namespace tora::proto

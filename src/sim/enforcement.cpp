@@ -1,0 +1,66 @@
+#include "sim/enforcement.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tora::sim {
+
+using core::ResourceKind;
+using core::TaskSpec;
+
+double ramp_crossing_time(TaskSpec::Ramp ramp, double demand, double alloc,
+                          double duration_s, double peak_fraction) {
+  if (!(demand > alloc)) {
+    throw std::invalid_argument("ramp_crossing_time: demand must exceed alloc");
+  }
+  const double peak_time = peak_fraction * duration_s;
+  switch (ramp) {
+    case TaskSpec::Ramp::Step:
+      // Below-peak consumption until the step; the step itself crosses.
+      return peak_time;
+    case TaskSpec::Ramp::Linear:
+      // consumption(t) = demand * t / peak_time crosses alloc at
+      // t = peak_time * alloc / demand (alloc < demand => t < peak_time).
+      return peak_time * (alloc / demand);
+    case TaskSpec::Ramp::Constant:
+      return 0.0;  // over the limit from the first instant
+  }
+  return peak_time;
+}
+
+double attempt_runtime(const TaskSpec& task, const core::ResourceVector& alloc,
+                       std::span<const ResourceKind> managed,
+                       double monitor_interval_s) {
+  if (monitor_interval_s < 0.0) {
+    throw std::invalid_argument("attempt_runtime: negative monitor interval");
+  }
+  const unsigned exceeded = task.demand.exceeded_mask(alloc, managed);
+  if (exceeded == 0) return task.duration_s;
+
+  double kill = task.duration_s;
+  bool spatial_kill = false;
+  for (ResourceKind k : managed) {
+    if (k == ResourceKind::TimeS) continue;
+    if (!(exceeded & core::resource_bit(k))) continue;
+    spatial_kill = true;
+    kill = std::min(kill, ramp_crossing_time(task.ramp, task.demand[k],
+                                             alloc[k], task.duration_s,
+                                             task.peak_fraction));
+  }
+  if (spatial_kill && monitor_interval_s > 0.0) {
+    // Sampled monitoring: the violation is noticed at the next sample tick.
+    kill = std::ceil(kill / monitor_interval_s) * monitor_interval_s;
+  }
+  // Wall-time enforcement is exact (the batch system owns the clock).
+  if (exceeded & core::resource_bit(ResourceKind::TimeS)) {
+    kill = std::min(kill, alloc[ResourceKind::TimeS]);
+  }
+  kill = std::min(kill, task.duration_s);
+  // Keep runtimes strictly positive so retry chains always advance the
+  // simulated clock (a Constant ramp under continuous monitoring would
+  // otherwise yield zero-length attempts).
+  return std::max(kill, 1e-3);
+}
+
+}  // namespace tora::sim

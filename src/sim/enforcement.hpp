@@ -1,0 +1,38 @@
+#pragma once
+
+#include <span>
+
+#include "core/resources.hpp"
+#include "core/task.hpp"
+
+namespace tora::sim {
+
+/// Resource-enforcement model of the paper's worker (§II-B assumption 4):
+/// the worker monitors a task's consumption and kills it the moment any
+/// managed dimension exceeds its allocation.
+///
+/// `attempt_runtime` computes how long an attempt runs:
+///  * a covering allocation runs the full `duration_s`;
+///  * an under-allocated attempt is killed when the task's consumption ramp
+///    (TaskSpec::Ramp) first crosses the allocation in any exceeded spatial
+///    dimension, or at the wall-time limit if TimeS is managed and exceeded
+///    — whichever happens first;
+///  * `monitor_interval_s` > 0 models sampling-based monitoring (standard
+///    OS-metric polling): the kill lands on the next sample boundary after
+///    the crossing, so a coarse monitor lets a task overrun slightly longer
+///    (and waste more). 0 means continuous (instant) enforcement.
+///
+/// The returned runtime is always in (0, duration_s].
+double attempt_runtime(const core::TaskSpec& task,
+                       const core::ResourceVector& alloc,
+                       std::span<const core::ResourceKind> managed,
+                       double monitor_interval_s = 0.0);
+
+/// The instant at which one spatial dimension's consumption ramp crosses an
+/// allocation below its peak (helper for attempt_runtime; exposed for
+/// tests). Requires demand > alloc >= 0.
+double ramp_crossing_time(core::TaskSpec::Ramp ramp, double demand,
+                          double alloc, double duration_s,
+                          double peak_fraction);
+
+}  // namespace tora::sim

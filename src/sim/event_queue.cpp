@@ -1,0 +1,27 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+
+namespace tora::sim {
+
+void EventQueue::push(SimTime time, EventKind kind, std::uint64_t a,
+                      std::uint64_t b, std::uint64_t epoch) {
+  if (time < 0.0) throw std::invalid_argument("EventQueue: negative time");
+  Event e;
+  e.time = time;
+  e.kind = kind;
+  e.a = a;
+  e.b = b;
+  e.epoch = epoch;
+  e.seq = next_seq_++;
+  heap_.push(e);
+}
+
+Event EventQueue::pop() {
+  if (heap_.empty()) throw std::logic_error("EventQueue: pop on empty queue");
+  Event e = heap_.top();
+  heap_.pop();
+  return e;
+}
+
+}  // namespace tora::sim

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace tora::sim {
+
+/// Discrete-event clock value, seconds since simulation start.
+using SimTime = double;
+
+/// Event kinds the simulator processes. Payload fields are interpreted per
+/// kind (see Simulation::step).
+enum class EventKind {
+  TaskSubmit,     ///< task `a` becomes ready for dispatch
+  AttemptFinish,  ///< attempt of task `a` on worker `b` reaches its end
+  WorkerJoin,     ///< a new opportunistic worker appears
+  WorkerLeave,    ///< worker `a` is evicted from the pool
+};
+
+struct Event {
+  SimTime time = 0.0;
+  EventKind kind = EventKind::TaskSubmit;
+  std::uint64_t a = 0;  ///< task id or worker id (per kind)
+  std::uint64_t b = 0;  ///< worker id for AttemptFinish
+  /// Attempt epoch: an AttemptFinish is stale (ignored) if the task has
+  /// been rescheduled since it was enqueued (eviction cancels attempts).
+  std::uint64_t epoch = 0;
+  /// Insertion sequence; breaks time ties deterministically (FIFO).
+  std::uint64_t seq = 0;
+};
+
+/// Min-heap of events ordered by (time, seq). Deterministic: equal-time
+/// events pop in insertion order.
+class EventQueue {
+ public:
+  void push(SimTime time, EventKind kind, std::uint64_t a = 0,
+            std::uint64_t b = 0, std::uint64_t epoch = 0);
+
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Pops the earliest event. Requires !empty().
+  Event pop();
+
+  /// Time of the earliest event. Requires !empty().
+  SimTime next_time() const { return heap_.top().time; }
+
+ private:
+  struct Later {
+    bool operator()(const Event& x, const Event& y) const noexcept {
+      if (x.time != y.time) return x.time > y.time;
+      return x.seq > y.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace tora::sim

@@ -1,0 +1,69 @@
+#include "sim/observer.hpp"
+
+#include <ostream>
+
+#include "util/csv.hpp"
+
+namespace tora::sim {
+
+CsvTraceObserver::CsvTraceObserver(std::ostream& out) : out_(out) {
+  out_ << "time,event,task,worker,cores,memory_mb,disk_mb\n";
+}
+
+void CsvTraceObserver::row(SimTime t, const char* event, std::int64_t task,
+                           std::int64_t worker,
+                           const core::ResourceVector* alloc) {
+  util::CsvWriter csv(out_);
+  csv.field(t).field(event);
+  if (task >= 0) csv.field(static_cast<long long>(task));
+  else csv.field("");
+  if (worker >= 0) csv.field(static_cast<long long>(worker));
+  else csv.field("");
+  if (alloc != nullptr) {
+    csv.field(alloc->cores()).field(alloc->memory_mb()).field(alloc->disk_mb());
+  } else {
+    csv.field("").field("").field("");
+  }
+  csv.end_row();
+  ++rows_;
+}
+
+void CsvTraceObserver::on_task_submitted(SimTime t, std::uint64_t task) {
+  row(t, "submit", static_cast<std::int64_t>(task), -1, nullptr);
+}
+
+void CsvTraceObserver::on_attempt_started(SimTime t, std::uint64_t task,
+                                          std::uint64_t worker,
+                                          const core::ResourceVector& alloc) {
+  row(t, "start", static_cast<std::int64_t>(task),
+      static_cast<std::int64_t>(worker), &alloc);
+}
+
+void CsvTraceObserver::on_attempt_failed(SimTime t, std::uint64_t task,
+                                         unsigned /*exceeded_mask*/) {
+  row(t, "exhausted", static_cast<std::int64_t>(task), -1, nullptr);
+}
+
+void CsvTraceObserver::on_task_completed(SimTime t, std::uint64_t task) {
+  row(t, "complete", static_cast<std::int64_t>(task), -1, nullptr);
+}
+
+void CsvTraceObserver::on_task_fatal(SimTime t, std::uint64_t task) {
+  row(t, "fatal", static_cast<std::int64_t>(task), -1, nullptr);
+}
+
+void CsvTraceObserver::on_task_evicted(SimTime t, std::uint64_t task,
+                                       std::uint64_t worker) {
+  row(t, "evict", static_cast<std::int64_t>(task),
+      static_cast<std::int64_t>(worker), nullptr);
+}
+
+void CsvTraceObserver::on_worker_joined(SimTime t, std::uint64_t worker) {
+  row(t, "worker_join", -1, static_cast<std::int64_t>(worker), nullptr);
+}
+
+void CsvTraceObserver::on_worker_left(SimTime t, std::uint64_t worker) {
+  row(t, "worker_leave", -1, static_cast<std::int64_t>(worker), nullptr);
+}
+
+}  // namespace tora::sim

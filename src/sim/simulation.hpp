@@ -1,0 +1,173 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/resources.hpp"
+#include "core/task.hpp"
+#include "core/task_allocator.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/observer.hpp"
+#include "sim/worker_pool.hpp"
+#include "util/rng.hpp"
+
+namespace tora::sim {
+
+/// A heterogeneous-pool entry: workers of this capacity join with
+/// probability proportional to `weight`.
+struct WorkerProfile {
+  double weight = 1.0;
+  core::ResourceVector capacity;
+};
+
+/// Simulation parameters. Defaults reproduce the paper's §V-A setup:
+/// opportunistic workers of (16 cores, 64 GB memory, 64 GB disk), 20–50 of
+/// them alive at any time.
+struct SimConfig {
+  core::ResourceVector worker_capacity{16.0, 64.0 * 1024.0, 64.0 * 1024.0, 0.0};
+  /// Optional heterogeneous pool: when non-empty, each joining worker draws
+  /// its capacity from these profiles (weighted); `worker_capacity` is then
+  /// only the allocator clamp ceiling and should equal the element-wise max
+  /// of the profiles so every clamped allocation fits SOME worker kind. At
+  /// least one profile must match that maximum or oversized tasks can wait
+  /// forever.
+  std::vector<WorkerProfile> worker_profiles;
+  /// How the scheduler picks among workers that fit (paper: Work Queue uses
+  /// first-fit-style matching; BestFit/WorstFit are ablation knobs).
+  Placement placement = Placement::FirstFit;
+  ChurnConfig churn;
+  /// Tasks become ready at id * submit_interval_s (0 = all ready at t=0,
+  /// modelling a manager that floods the scheduler with ready tasks).
+  double submit_interval_s = 0.0;
+  std::uint64_t seed = 42;
+  /// Safety valve: a task exceeding this many execution attempts is fatal.
+  std::size_t max_attempts_per_task = 64;
+
+  /// Worker resource-monitor sampling interval (sim/enforcement.hpp).
+  /// 0 = continuous enforcement; > 0 = OS-metric polling cadence, letting
+  /// violations overrun to the next sample boundary.
+  double monitor_interval_s = 0.0;
+
+  /// How record significance is assigned on completion. TaskId follows the
+  /// paper (§V-A: significance = task id, so recent submissions dominate);
+  /// Constant disables recency weighting (the ablation baseline).
+  enum class SignificanceMode { TaskId, Constant };
+  SignificanceMode significance = SignificanceMode::TaskId;
+};
+
+/// Lifecycle of a task inside the simulator.
+enum class TaskStatus : std::uint8_t {
+  Pending,  ///< not yet submitted or waiting on dependencies
+  Queued,   ///< ready, waiting for a worker
+  Running,  ///< attempt in flight
+  Done,     ///< completed successfully
+  Fatal,    ///< cannot run (demand above capacity or attempt limit)
+};
+
+/// Aggregate outcome of one simulated workflow run.
+struct SimResult {
+  core::WasteAccounting accounting;
+  double makespan_s = 0.0;
+  std::size_t tasks_completed = 0;
+  std::size_t tasks_fatal = 0;
+  /// Eviction statistics. Evicted attempts are requeued with the SAME
+  /// allocation and their cost is tracked separately — the paper's waste
+  /// metric charges only allocation-induced failures to the algorithm.
+  std::size_t evictions = 0;
+  core::ResourceVector evicted_alloc_seconds;
+  std::size_t total_joins = 0;
+  std::size_t total_leaves = 0;
+  std::size_t peak_workers = 0;
+  /// Time-integrals over the run: Σ committed[k]·dt and Σ capacity[k]·dt
+  /// across the alive pool. Their ratio is the pool utilization — the
+  /// administrator-side metric the paper's introduction motivates
+  /// (opportunistic workers soaking up idle capacity).
+  core::ResourceVector committed_integral;
+  core::ResourceVector capacity_integral;
+
+  /// Fraction of the pool's capacity-time that was committed to tasks.
+  /// 0 when nothing was observed.
+  double pool_utilization(core::ResourceKind kind) const {
+    return capacity_integral[kind] > 0.0
+               ? committed_integral[kind] / capacity_integral[kind]
+               : 0.0;
+  }
+};
+
+/// Discrete-event simulator of the paper's dynamic workflow system (Fig. 1
+/// and Fig. 3a): ready tasks are allocated by the TaskAllocator at dispatch
+/// time, placed first-fit onto opportunistic workers, killed at the moment
+/// they exceed any allocated dimension, retried with a bigger allocation,
+/// and reported back into the allocator's bucketing state on success.
+class Simulation {
+ public:
+  /// `tasks` must outlive the simulation; ids must equal the index order
+  /// produced by the workload generators (0-based, dense).
+  Simulation(std::span<const core::TaskSpec> tasks,
+             core::TaskAllocator& allocator, SimConfig config);
+
+  /// Runs to completion of every task and returns the aggregate result.
+  /// Call at most once.
+  SimResult run();
+
+  /// Attaches a lifecycle observer (nullptr to detach). Must be set before
+  /// run(); the observer must outlive the simulation.
+  void set_observer(SimObserver* observer) noexcept { observer_ = observer; }
+
+ private:
+  struct TaskState {
+    core::ResourceVector alloc;
+    bool has_alloc = false;
+    /// True once the allocation came from a retry (failure escalation);
+    /// retry allocations are never invalidated by allocator revisions.
+    bool is_retry = false;
+    /// Allocator revision at which a first-attempt allocation was computed;
+    /// a stale revision means newer records exist and the allocation is
+    /// re-requested at the next dispatch (Fig. 3a dispatch-time protocol).
+    std::uint64_t alloc_revision = 0;
+    TaskStatus status = TaskStatus::Pending;
+    std::vector<core::AttemptLog> failed_attempts;
+    std::uint64_t epoch = 0;       ///< bumped when a running attempt dies
+    std::uint64_t running_on = 0;  ///< worker id while Running
+    SimTime attempt_start = 0.0;
+    std::size_t attempts = 0;
+    bool submitted = false;        ///< submission time reached
+    std::size_t deps_remaining = 0;
+  };
+
+  void bootstrap();
+  void handle(const Event& e);
+  void on_submit(std::uint64_t task_id);
+  void on_attempt_finish(const Event& e);
+  void on_worker_join();
+  void on_worker_leave(std::uint64_t worker_id);
+  void dispatch();
+  void start_attempt(std::uint64_t task_id, std::uint64_t worker_id);
+  void complete_task(std::uint64_t task_id);
+  void fail_attempt(std::uint64_t task_id, SimTime runtime);
+  void make_fatal(std::uint64_t task_id);
+  void schedule_worker_lifetime(std::uint64_t worker_id);
+  std::uint64_t spawn_worker();
+  /// Queues the task if it is submitted and all dependencies are complete.
+  void maybe_ready(std::uint64_t task_id);
+
+  std::span<const core::TaskSpec> tasks_;
+  std::vector<std::vector<std::uint64_t>> dependents_;
+  core::TaskAllocator& allocator_;
+  SimConfig config_;
+  util::Rng rng_;
+  EventQueue events_;
+  WorkerPool pool_;
+  std::vector<TaskState> states_;
+  std::deque<std::uint64_t> ready_;  ///< FIFO; evictions requeue at the front
+  SimTime now_ = 0.0;
+  SimResult result_;
+  std::size_t finished_ = 0;  ///< Done + Fatal
+  bool ran_ = false;
+  SimObserver* observer_ = nullptr;
+};
+
+}  // namespace tora::sim

@@ -1,0 +1,57 @@
+#include "sim/worker.hpp"
+
+#include <stdexcept>
+
+namespace tora::sim {
+
+using core::ResourceKind;
+using core::ResourceVector;
+
+Worker::Worker(std::uint64_t id, const ResourceVector& capacity)
+    : id_(id), capacity_(capacity) {
+  for (ResourceKind k : core::kManagedResources) {
+    if (!(capacity[k] > 0.0)) {
+      throw std::invalid_argument("Worker: capacity must be positive");
+    }
+  }
+}
+
+ResourceVector Worker::free() const noexcept {
+  return capacity_ - committed_;
+}
+
+bool Worker::can_fit(const ResourceVector& alloc) const noexcept {
+  // A small relative epsilon absorbs accumulated floating-point error from
+  // repeated commit/release cycles.
+  constexpr double kEps = 1e-9;
+  for (ResourceKind k : core::kManagedResources) {
+    if (committed_[k] + alloc[k] > capacity_[k] * (1.0 + kEps)) return false;
+  }
+  return true;
+}
+
+void Worker::start(std::uint64_t task_id, const ResourceVector& alloc) {
+  if (!can_fit(alloc)) {
+    throw std::logic_error("Worker: allocation does not fit");
+  }
+  if (!running_.insert(task_id).second) {
+    throw std::logic_error("Worker: task already running here");
+  }
+  committed_ += alloc;
+}
+
+void Worker::finish(std::uint64_t task_id, const ResourceVector& alloc) {
+  if (running_.erase(task_id) == 0) {
+    throw std::logic_error("Worker: finishing a task that is not running here");
+  }
+  committed_ -= alloc;
+  // Clamp tiny negative residue from floating-point arithmetic.
+  for (ResourceKind k : core::kManagedResources) {
+    if (committed_[k] < 0.0 && committed_[k] > -1e-6) committed_[k] = 0.0;
+  }
+  if (!committed_.non_negative()) {
+    throw std::logic_error("Worker: commitment went negative");
+  }
+}
+
+}  // namespace tora::sim

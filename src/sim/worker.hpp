@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+#include "core/resources.hpp"
+
+namespace tora::sim {
+
+/// One opportunistic worker node: fixed capacity, tracks the resources
+/// currently committed to running attempts and enforces that commitments
+/// never exceed capacity. Matches the paper's worker role (Fig. 1): a worker
+/// "allocates the specified portion of its resources to the task".
+class Worker {
+ public:
+  Worker(std::uint64_t id, const core::ResourceVector& capacity);
+
+  std::uint64_t id() const noexcept { return id_; }
+  const core::ResourceVector& capacity() const noexcept { return capacity_; }
+  const core::ResourceVector& committed() const noexcept { return committed_; }
+
+  /// Free amount per managed dimension.
+  core::ResourceVector free() const noexcept;
+
+  /// True iff an allocation of `alloc` fits in the current free resources.
+  bool can_fit(const core::ResourceVector& alloc) const noexcept;
+
+  /// Commits `alloc` to task `task_id`. Throws std::logic_error if it does
+  /// not fit or the task is already running here.
+  void start(std::uint64_t task_id, const core::ResourceVector& alloc);
+
+  /// Releases the commitment of task `task_id`. Throws if not running here.
+  void finish(std::uint64_t task_id, const core::ResourceVector& alloc);
+
+  std::size_t running_count() const noexcept { return running_.size(); }
+  const std::set<std::uint64_t>& running_tasks() const noexcept {
+    return running_;
+  }
+
+  /// Pool-departure flag: a draining worker accepts no new tasks.
+  bool draining() const noexcept { return draining_; }
+  void set_draining(bool d) noexcept { draining_ = d; }
+
+ private:
+  std::uint64_t id_;
+  core::ResourceVector capacity_;
+  core::ResourceVector committed_;
+  std::set<std::uint64_t> running_;
+  bool draining_ = false;
+};
+
+}  // namespace tora::sim

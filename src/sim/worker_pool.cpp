@@ -1,0 +1,80 @@
+#include "sim/worker_pool.hpp"
+
+#include <stdexcept>
+
+namespace tora::sim {
+
+std::uint64_t WorkerPool::add_worker() { return add_worker(capacity_); }
+
+std::uint64_t WorkerPool::add_worker(const core::ResourceVector& capacity) {
+  const std::uint64_t id = next_id_++;
+  workers_.emplace(id, Worker(id, capacity));
+  return id;
+}
+
+std::vector<std::uint64_t> WorkerPool::remove_worker(std::uint64_t id) {
+  const auto it = workers_.find(id);
+  if (it == workers_.end()) {
+    throw std::logic_error("WorkerPool: removing unknown worker");
+  }
+  std::vector<std::uint64_t> tasks(it->second.running_tasks().begin(),
+                                   it->second.running_tasks().end());
+  workers_.erase(it);
+  return tasks;
+}
+
+Worker& WorkerPool::worker(std::uint64_t id) {
+  const auto it = workers_.find(id);
+  if (it == workers_.end()) throw std::logic_error("WorkerPool: unknown worker");
+  return it->second;
+}
+
+const Worker& WorkerPool::worker(std::uint64_t id) const {
+  const auto it = workers_.find(id);
+  if (it == workers_.end()) throw std::logic_error("WorkerPool: unknown worker");
+  return it->second;
+}
+
+namespace {
+
+/// Normalized slack remaining on `w` after hypothetically placing `alloc`:
+/// the sum over spatial dimensions of free-after-placement as a fraction of
+/// the worker's capacity. Smaller = tighter fit.
+double slack_after(const Worker& w, const core::ResourceVector& alloc) {
+  double slack = 0.0;
+  const core::ResourceVector free = w.free();
+  for (core::ResourceKind k : core::kManagedResources) {
+    if (w.capacity()[k] > 0.0) {
+      slack += (free[k] - alloc[k]) / w.capacity()[k];
+    }
+  }
+  return slack;
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> WorkerPool::find_worker_for(
+    const core::ResourceVector& alloc, Placement placement) const {
+  std::optional<std::uint64_t> best;
+  double best_slack = 0.0;
+  for (const auto& [id, w] : workers_) {
+    if (w.draining() || !w.can_fit(alloc)) continue;
+    if (placement == Placement::FirstFit) return id;
+    const double slack = slack_after(w, alloc);
+    const bool better = placement == Placement::BestFit ? slack < best_slack
+                                                        : slack > best_slack;
+    if (!best || better) {
+      best = id;
+      best_slack = slack;
+    }
+  }
+  return best;
+}
+
+std::size_t WorkerPool::running_attempts() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [id, w] : workers_) n += w.running_count();
+  return n;
+}
+
+}  // namespace tora::sim

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/resources.hpp"
+#include "sim/worker.hpp"
+
+namespace tora::sim {
+
+/// Churn model for the opportunistic pool (paper §V-A: "20 to 50 workers
+/// depending on the availability of the local HTCondor cluster"). Joins are
+/// a Poisson process; each worker's lifetime is exponential. The pool is
+/// bounded: joins are dropped at `max_workers`, departures are deferred at
+/// `min_workers`.
+struct ChurnConfig {
+  bool enabled = true;
+  std::size_t initial_workers = 35;
+  std::size_t min_workers = 20;
+  std::size_t max_workers = 50;
+  double mean_interarrival_s = 120.0;
+  double mean_lifetime_s = 3600.0;
+};
+
+/// How the scheduler chooses among workers that can fit an allocation.
+/// All policies break ties by ascending worker id, so placement is
+/// deterministic.
+enum class Placement {
+  FirstFit,  ///< lowest-id worker that fits (the default)
+  BestFit,   ///< worker with the least normalized slack left after placing
+  WorstFit,  ///< worker with the most normalized slack left after placing
+};
+
+/// Container for the alive workers; placement queries are deterministic.
+/// Workers may be heterogeneous: add_worker takes an optional per-worker
+/// capacity (defaulting to the pool's base capacity).
+class WorkerPool {
+ public:
+  explicit WorkerPool(core::ResourceVector worker_capacity)
+      : capacity_(worker_capacity) {}
+
+  const core::ResourceVector& worker_capacity() const noexcept {
+    return capacity_;
+  }
+
+  /// Adds a worker with the pool's base capacity; returns its id.
+  /// Ids are never reused.
+  std::uint64_t add_worker();
+
+  /// Adds a worker with an explicit capacity (heterogeneous pools).
+  std::uint64_t add_worker(const core::ResourceVector& capacity);
+
+  /// Removes a worker; returns the task ids that were running on it (the
+  /// caller evicts/requeues them). Throws if the id is not alive.
+  std::vector<std::uint64_t> remove_worker(std::uint64_t id);
+
+  bool alive(std::uint64_t id) const noexcept { return workers_.count(id) > 0; }
+  Worker& worker(std::uint64_t id);
+  const Worker& worker(std::uint64_t id) const;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// A non-draining worker that fits `alloc`, chosen per `placement`.
+  std::optional<std::uint64_t> find_worker_for(
+      const core::ResourceVector& alloc,
+      Placement placement = Placement::FirstFit) const;
+
+  /// Sum of running attempts across alive workers.
+  std::size_t running_attempts() const noexcept;
+
+  const std::map<std::uint64_t, Worker>& workers() const noexcept {
+    return workers_;
+  }
+
+ private:
+  core::ResourceVector capacity_;
+  std::map<std::uint64_t, Worker> workers_;
+  std::uint64_t next_id_ = 0;
+};
+
+}  // namespace tora::sim

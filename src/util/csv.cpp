@@ -1,0 +1,110 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace tora::util {
+
+namespace {
+
+bool needs_quoting(std::string_view s) {
+  return s.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+
+}  // namespace
+
+void CsvWriter::sep() {
+  if (!at_row_start_) out_ << ',';
+  at_row_start_ = false;
+}
+
+CsvWriter& CsvWriter::field(std::string_view s) {
+  sep();
+  if (needs_quoting(s)) {
+    out_ << '"';
+    for (char c : s) {
+      if (c == '"') out_ << '"';
+      out_ << c;
+    }
+    out_ << '"';
+  } else {
+    out_ << s;
+  }
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(double v) {
+  sep();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out_ << buf;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(long long v) {
+  sep();
+  out_ << v;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(unsigned long long v) {
+  sep();
+  out_ << v;
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  out_ << '\n';
+  at_row_start_ = true;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (const auto& f : fields) field(f);
+  end_row();
+}
+
+std::vector<std::string> parse_csv_line(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (c != '\r') {
+      cur += c;
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+std::vector<std::vector<std::string>> parse_csv(std::string_view text) {
+  std::vector<std::vector<std::string>> rows;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(start, end - start);
+    if (!line.empty() && line != "\r") rows.push_back(parse_csv_line(line));
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  return rows;
+}
+
+}  // namespace tora::util

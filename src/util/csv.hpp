@@ -1,0 +1,46 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tora::util {
+
+/// Minimal RFC-4180-ish CSV writer used for trace dumps and figure data.
+///
+/// Fields containing commas, quotes, or newlines are quoted; numeric
+/// overloads format with enough precision to round-trip doubles.
+class CsvWriter {
+ public:
+  /// Writes to an externally owned stream; the stream must outlive this.
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  CsvWriter& field(std::string_view s);
+  CsvWriter& field(double v);
+  CsvWriter& field(long long v);
+  CsvWriter& field(unsigned long long v);
+  CsvWriter& field(int v) { return field(static_cast<long long>(v)); }
+  CsvWriter& field(std::size_t v) {
+    return field(static_cast<unsigned long long>(v));
+  }
+
+  /// Ends the current row.
+  void end_row();
+
+  /// Writes a full row of string fields.
+  void row(const std::vector<std::string>& fields);
+
+ private:
+  void sep();
+  std::ostream& out_;
+  bool at_row_start_ = true;
+};
+
+/// Splits one CSV line into fields, honoring double-quote escaping.
+std::vector<std::string> parse_csv_line(std::string_view line);
+
+/// Parses a whole CSV document into rows of fields. Blank lines are skipped.
+std::vector<std::vector<std::string>> parse_csv(std::string_view text);
+
+}  // namespace tora::util

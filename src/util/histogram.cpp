@@ -1,0 +1,52 @@
+#include "util/histogram.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tora::util {
+
+FixedWidthHistogram::FixedWidthHistogram(double bucket_width)
+    : width_(bucket_width) {
+  if (!(bucket_width > 0.0)) {
+    throw std::invalid_argument("FixedWidthHistogram: bucket_width must be > 0");
+  }
+}
+
+void FixedWidthHistogram::add(double value, double weight) {
+  if (value < 0.0) throw std::invalid_argument("histogram value must be >= 0");
+  if (weight < 0.0) throw std::invalid_argument("histogram weight must be >= 0");
+  values_[value] += weight;
+  total_weight_ += weight;
+  ++count_;
+  if (count_ == 1 || value > max_value_) max_value_ = value;
+}
+
+double FixedWidthHistogram::round_up(double value) const noexcept {
+  if (value <= 0.0) return 0.0;
+  return std::ceil(value / width_) * width_;
+}
+
+double FixedWidthHistogram::cdf(double x) const noexcept {
+  if (total_weight_ <= 0.0) return 0.0;
+  double acc = 0.0;
+  for (const auto& [v, w] : values_) {
+    if (v > x) break;
+    acc += w;
+  }
+  return acc / total_weight_;
+}
+
+std::vector<double> FixedWidthHistogram::distinct_values() const {
+  std::vector<double> out;
+  out.reserve(values_.size());
+  for (const auto& [v, w] : values_) out.push_back(v);
+  return out;
+}
+
+std::vector<std::pair<double, double>> FixedWidthHistogram::buckets() const {
+  std::map<double, double> acc;
+  for (const auto& [v, w] : values_) acc[round_up(v)] += w;
+  return {acc.begin(), acc.end()};
+}
+
+}  // namespace tora::util

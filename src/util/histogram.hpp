@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+namespace tora::util {
+
+/// Fixed-width-bucket histogram over non-negative values.
+///
+/// Used by the Max Seen policy (paper §V-C: a 250 MB bucket size causes a
+/// 306 MB disk peak to be allocated as 500 MB) and by the Tovar first-
+/// allocation policies to maintain the empirical peak distribution.
+/// Buckets are keyed by index: value v lands in bucket floor(v / width);
+/// the bucket's upper boundary (index+1)*width is its representative
+/// round-up value.
+class FixedWidthHistogram {
+ public:
+  /// `bucket_width` must be > 0.
+  explicit FixedWidthHistogram(double bucket_width);
+
+  /// Adds a value with an associated weight (default 1).
+  void add(double value, double weight = 1.0);
+
+  double bucket_width() const noexcept { return width_; }
+  std::size_t count() const noexcept { return count_; }
+  double total_weight() const noexcept { return total_weight_; }
+  bool empty() const noexcept { return count_ == 0; }
+
+  /// The smallest bucket upper boundary that is >= `value`; i.e. `value`
+  /// rounded up to the next bucket edge. round_up(306) with width 250 = 500.
+  /// Exact multiples stay put: round_up(500) = 500.
+  double round_up(double value) const noexcept;
+
+  /// Maximum value observed so far (not bucket-rounded). 0 when empty.
+  double max_value() const noexcept { return max_value_; }
+
+  /// Fraction of total weight at values <= x. 0 when empty. Uses exact
+  /// stored values, not bucket boundaries, so the CDF is exact.
+  double cdf(double x) const noexcept;
+
+  /// Sorted distinct observed values (candidate allocation points for the
+  /// Tovar policies).
+  std::vector<double> distinct_values() const;
+
+  /// (bucket upper boundary, accumulated weight) pairs in ascending order.
+  std::vector<std::pair<double, double>> buckets() const;
+
+ private:
+  double width_;
+  std::size_t count_ = 0;
+  double total_weight_ = 0.0;
+  double max_value_ = 0.0;
+  // Exact (value -> weight) multiset; bucketization is derived on demand so
+  // no precision is lost for cdf / distinct_values.
+  std::map<double, double> values_;
+};
+
+}  // namespace tora::util

@@ -1,0 +1,38 @@
+#include "util/log.hpp"
+
+#include <iostream>
+
+#include <atomic>
+
+namespace tora::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+}
+
+LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+const char* log_level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+namespace detail {
+
+void log_line(LogLevel level, std::string_view msg) {
+  std::clog << "[tora:" << log_level_name(level) << "] " << msg << '\n';
+}
+
+}  // namespace detail
+
+}  // namespace tora::util

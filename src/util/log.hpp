@@ -1,0 +1,48 @@
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace tora::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Process-wide logger threshold. Defaults to Warn so library users and
+/// benchmarks are quiet unless they opt in.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+const char* log_level_name(LogLevel level) noexcept;
+
+namespace detail {
+void log_line(LogLevel level, std::string_view msg);
+}
+
+/// Streaming-style logging: arguments are ostream-inserted in order.
+/// Argument formatting is skipped when the level is below the threshold.
+template <typename... Args>
+void log(LogLevel level, Args&&... args) {
+  if (level < log_level()) return;
+  std::ostringstream oss;
+  (oss << ... << std::forward<Args>(args));
+  detail::log_line(level, oss.str());
+}
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  log(LogLevel::Debug, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  log(LogLevel::Info, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  log(LogLevel::Warn, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  log(LogLevel::Error, std::forward<Args>(args)...);
+}
+
+}  // namespace tora::util

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tora::util {
+
+/// Welford's online algorithm for running mean / variance.
+///
+/// Numerically stable for long streams; supports merging two accumulators
+/// (parallel reduction) via `merge`.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  /// Merges another accumulator into this one (Chan et al. pairwise update).
+  void merge(const OnlineStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  /// Population variance (divides by n). Zero for n < 2.
+  double variance() const noexcept;
+  /// Sample variance (divides by n-1). Zero for n < 2.
+  double sample_variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ > 0 ? min_ : 0.0; }
+  double max() const noexcept { return n_ > 0 ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Significance-weighted mean: sum(v_i * w_i) / sum(w_i).
+/// Returns 0 when the total weight is zero (empty input or all-zero weights).
+double weighted_mean(std::span<const double> values,
+                     std::span<const double> weights) noexcept;
+
+/// Quantile of a sample by linear interpolation between closest ranks
+/// (the "R-7" / NumPy default definition). `q` is clamped to [0, 1].
+/// `sorted` must be ascending and non-empty.
+double quantile_sorted(std::span<const double> sorted, double q) noexcept;
+
+/// Convenience: copies, sorts, then delegates to quantile_sorted.
+/// Returns 0 for an empty input.
+double quantile(std::vector<double> values, double q) noexcept;
+
+}  // namespace tora::util

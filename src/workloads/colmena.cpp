@@ -1,0 +1,51 @@
+#include "workloads/colmena.hpp"
+
+#include "workloads/distributions.hpp"
+
+namespace tora::workloads {
+
+Workload make_colmena(std::uint64_t seed, const ColmenaConfig& cfg) {
+  util::Rng rng(seed);
+  Workload w;
+  w.name = std::string(kColmenaXTB);
+
+  const auto mpnn_mem = uniform(1000.0, 1200.0);
+  const auto mpnn_cores = normal(1.0, 0.08, 0.5, 1.6);
+  const auto mpnn_disk = uniform(8.0, 12.0);
+  const auto mpnn_dur = uniform(60.0, 180.0);
+
+  const auto cae_mem = normal(200.0, 15.0, 120.0, 320.0);
+  const auto cae_cores = uniform(0.9, 3.6);
+  const auto cae_disk = uniform(8.0, 12.0);
+  const auto cae_dur = uniform(30.0, 600.0);
+
+  std::uint64_t id = 0;
+  const auto emit = [&](const std::string& category, const DistPtr& cores,
+                        const DistPtr& mem, const DistPtr& disk,
+                        const DistPtr& dur) {
+    core::TaskSpec t;
+    t.id = id++;
+    t.category = category;
+    t.demand[core::ResourceKind::Cores] = cores->sample(rng);
+    t.demand[core::ResourceKind::MemoryMB] = mem->sample(rng);
+    t.demand[core::ResourceKind::DiskMB] = disk->sample(rng);
+    t.duration_s = dur->sample(rng);
+    t.demand[core::ResourceKind::TimeS] = t.duration_s;
+    t.peak_fraction = rng.uniform(0.4, 0.95);
+    w.tasks.push_back(std::move(t));
+  };
+
+  for (std::size_t i = 0; i < cfg.evaluate_mpnn_tasks; ++i) {
+    emit("evaluate_mpnn", mpnn_cores, mpnn_mem, mpnn_disk, mpnn_dur);
+  }
+  for (std::size_t i = 0; i < cfg.compute_atomization_energy_tasks; ++i) {
+    emit("compute_atomization_energy", cae_cores, cae_mem, cae_disk, cae_dur);
+    if (cfg.with_dependencies && cfg.evaluate_mpnn_tasks > 0) {
+      // Phase barrier: rankings complete before any energy task starts.
+      w.tasks.back().deps.push_back(cfg.evaluate_mpnn_tasks - 1);
+    }
+  }
+  return w;
+}
+
+}  // namespace tora::workloads

@@ -1,0 +1,209 @@
+#include "workloads/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace tora::workloads {
+
+namespace {
+
+class ConstantDist final : public Distribution {
+ public:
+  explicit ConstantDist(double v) : v_(v) {
+    if (v < 0.0) throw std::invalid_argument("constant: value must be >= 0");
+  }
+  double sample(util::Rng&) const override { return v_; }
+  std::string describe() const override {
+    std::ostringstream oss;
+    oss << "const(" << v_ << ")";
+    return oss.str();
+  }
+
+ private:
+  double v_;
+};
+
+class NormalDist final : public Distribution {
+ public:
+  NormalDist(double mean, double sigma, double lo, double hi)
+      : mean_(mean), sigma_(sigma), lo_(lo), hi_(hi) {
+    if (!(sigma >= 0.0)) throw std::invalid_argument("normal: sigma < 0");
+    if (!(lo <= hi)) throw std::invalid_argument("normal: lo > hi");
+    if (!(lo >= 0.0)) throw std::invalid_argument("normal: lo < 0");
+  }
+  double sample(util::Rng& rng) const override {
+    // Truncation by resampling keeps the in-range shape intact; a bounded
+    // retry count guards pathological parameters (mean far outside the
+    // range), falling back to clamping.
+    for (int i = 0; i < 64; ++i) {
+      const double v = rng.normal(mean_, sigma_);
+      if (v >= lo_ && v <= hi_) return v;
+    }
+    return std::clamp(mean_, lo_, hi_);
+  }
+  std::string describe() const override {
+    std::ostringstream oss;
+    oss << "normal(" << mean_ << ", " << sigma_ << ") in [" << lo_ << ", "
+        << hi_ << "]";
+    return oss.str();
+  }
+
+ private:
+  double mean_, sigma_, lo_, hi_;
+};
+
+class UniformDist final : public Distribution {
+ public:
+  UniformDist(double lo, double hi) : lo_(lo), hi_(hi) {
+    if (!(lo <= hi)) throw std::invalid_argument("uniform: lo > hi");
+    if (!(lo >= 0.0)) throw std::invalid_argument("uniform: lo < 0");
+  }
+  double sample(util::Rng& rng) const override {
+    return rng.uniform(lo_, hi_);
+  }
+  std::string describe() const override {
+    std::ostringstream oss;
+    oss << "uniform(" << lo_ << ", " << hi_ << ")";
+    return oss.str();
+  }
+
+ private:
+  double lo_, hi_;
+};
+
+class ExponentialDist final : public Distribution {
+ public:
+  ExponentialDist(double offset, double scale, double cap)
+      : offset_(offset), scale_(scale), cap_(cap) {
+    if (!(offset >= 0.0)) throw std::invalid_argument("exponential: offset < 0");
+    if (!(scale > 0.0)) throw std::invalid_argument("exponential: scale <= 0");
+    if (!(cap > offset)) throw std::invalid_argument("exponential: cap <= offset");
+  }
+  double sample(util::Rng& rng) const override {
+    return std::min(offset_ + rng.exponential(1.0 / scale_), cap_);
+  }
+  std::string describe() const override {
+    std::ostringstream oss;
+    oss << offset_ << " + exp(scale=" << scale_ << ") cap " << cap_;
+    return oss.str();
+  }
+
+ private:
+  double offset_, scale_, cap_;
+};
+
+class MixtureDist final : public Distribution {
+ public:
+  explicit MixtureDist(std::vector<std::pair<double, DistPtr>> components)
+      : components_(std::move(components)) {
+    if (components_.empty()) {
+      throw std::invalid_argument("mixture: no components");
+    }
+    for (const auto& [w, d] : components_) {
+      if (!(w > 0.0)) throw std::invalid_argument("mixture: weight <= 0");
+      if (!d) throw std::invalid_argument("mixture: null component");
+      total_ += w;
+    }
+  }
+  double sample(util::Rng& rng) const override {
+    const double u = rng.uniform01() * total_;
+    double acc = 0.0;
+    for (const auto& [w, d] : components_) {
+      acc += w;
+      if (u < acc) return d->sample(rng);
+    }
+    return components_.back().second->sample(rng);
+  }
+  std::string describe() const override {
+    std::ostringstream oss;
+    oss << "mixture(";
+    bool first = true;
+    for (const auto& [w, d] : components_) {
+      if (!first) oss << ", ";
+      oss << w / total_ << "*" << d->describe();
+      first = false;
+    }
+    oss << ")";
+    return oss.str();
+  }
+
+ private:
+  std::vector<std::pair<double, DistPtr>> components_;
+  double total_ = 0.0;
+};
+
+class ParetoDist final : public Distribution {
+ public:
+  ParetoDist(double x_m, double alpha, double cap)
+      : x_m_(x_m), alpha_(alpha), cap_(cap) {
+    if (!(x_m > 0.0)) throw std::invalid_argument("pareto: x_m <= 0");
+    if (!(alpha > 0.0)) throw std::invalid_argument("pareto: alpha <= 0");
+    if (!(cap > x_m)) throw std::invalid_argument("pareto: cap <= x_m");
+  }
+  double sample(util::Rng& rng) const override {
+    // Inverse-CDF: x_m / u^(1/alpha), u ~ U(0,1).
+    double u = rng.uniform01();
+    if (u < 1e-12) u = 1e-12;
+    return std::min(x_m_ / std::pow(u, 1.0 / alpha_), cap_);
+  }
+  std::string describe() const override {
+    std::ostringstream oss;
+    oss << "pareto(x_m=" << x_m_ << ", alpha=" << alpha_ << ") cap " << cap_;
+    return oss.str();
+  }
+
+ private:
+  double x_m_, alpha_, cap_;
+};
+
+class LogNormalDist final : public Distribution {
+ public:
+  LogNormalDist(double mu, double sigma, double cap)
+      : mu_(mu), sigma_(sigma), cap_(cap) {
+    if (!(sigma >= 0.0)) throw std::invalid_argument("lognormal: sigma < 0");
+    if (!(cap > 0.0)) throw std::invalid_argument("lognormal: cap <= 0");
+  }
+  double sample(util::Rng& rng) const override {
+    return std::min(std::exp(rng.normal(mu_, sigma_)), cap_);
+  }
+  std::string describe() const override {
+    std::ostringstream oss;
+    oss << "lognormal(mu=" << mu_ << ", sigma=" << sigma_ << ") cap " << cap_;
+    return oss.str();
+  }
+
+ private:
+  double mu_, sigma_, cap_;
+};
+
+}  // namespace
+
+DistPtr constant(double value) { return std::make_shared<ConstantDist>(value); }
+
+DistPtr normal(double mean, double sigma, double lo, double hi) {
+  return std::make_shared<NormalDist>(mean, sigma, lo, hi);
+}
+
+DistPtr uniform(double lo, double hi) {
+  return std::make_shared<UniformDist>(lo, hi);
+}
+
+DistPtr exponential(double offset, double scale, double cap) {
+  return std::make_shared<ExponentialDist>(offset, scale, cap);
+}
+
+DistPtr mixture(std::vector<std::pair<double, DistPtr>> components) {
+  return std::make_shared<MixtureDist>(std::move(components));
+}
+
+DistPtr pareto(double x_m, double alpha, double cap) {
+  return std::make_shared<ParetoDist>(x_m, alpha, cap);
+}
+
+DistPtr lognormal(double mu, double sigma, double cap) {
+  return std::make_shared<LogNormalDist>(mu, sigma, cap);
+}
+
+}  // namespace tora::workloads

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace tora::workloads {
+
+/// A positive-valued sampling distribution for one resource dimension of a
+/// synthetic task category. Implementations must be pure w.r.t. the Rng
+/// (all state lives in the generator) so workload generation is replayable.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+  virtual double sample(util::Rng& rng) const = 0;
+  virtual std::string describe() const = 0;
+};
+
+using DistPtr = std::shared_ptr<const Distribution>;
+
+/// Degenerate point mass (e.g. TopEFT's constant 306 MB disk footprint).
+DistPtr constant(double value);
+
+/// Normal(mean, sigma) truncated by resampling into [lo, hi].
+DistPtr normal(double mean, double sigma, double lo, double hi);
+
+/// Uniform over [lo, hi).
+DistPtr uniform(double lo, double hi);
+
+/// offset + Exponential(scale), capped at `cap` — the long-tail/outlier
+/// workload shape (paper: "Exponential for outliers").
+DistPtr exponential(double offset, double scale, double cap);
+
+/// Weighted mixture of component distributions (Bimodal = two normals).
+/// Weights need not be normalized; they must be positive.
+DistPtr mixture(std::vector<std::pair<double, DistPtr>> components);
+
+/// Pareto (power-law) with scale x_m > 0 and shape alpha > 0, capped at
+/// `cap` > x_m — the heaviest-tailed shape in the library, for robustness
+/// sweeps beyond the paper's Exponential workload.
+DistPtr pareto(double x_m, double alpha, double cap);
+
+/// Log-normal: exp(Normal(mu, sigma)) capped at `cap` > 0 — the classic
+/// skewed-but-not-catastrophic memory-footprint shape.
+DistPtr lognormal(double mu, double sigma, double cap);
+
+}  // namespace tora::workloads

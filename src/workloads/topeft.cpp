@@ -1,0 +1,106 @@
+#include "workloads/topeft.hpp"
+
+#include <algorithm>
+
+#include "workloads/distributions.hpp"
+
+namespace tora::workloads {
+
+Workload make_topeft(std::uint64_t seed, const TopEFTConfig& cfg) {
+  util::Rng rng(seed);
+  Workload w;
+  w.name = std::string(kTopEFT);
+
+  // Most tasks sit at or below one core; a small fraction spikes to ~3
+  // (paper: "some tasks go as high as three cores").
+  const auto cores = mixture({{0.95, uniform(0.4, 1.05)},
+                              {0.05, uniform(1.2, 3.0)}});
+  const auto disk = constant(306.0);
+
+  const auto pre_mem = normal(180.0, 8.0, 140.0, 240.0);
+  const auto pre_dur = uniform(10.0, 60.0);
+
+  const auto proc_mem = mixture({{0.55, normal(450.0, 14.0, 380.0, 520.0)},
+                                 {0.45, normal(580.0, 14.0, 520.1, 660.0)}});
+  const auto proc_dur = uniform(60.0, 240.0);
+
+  const auto acc_mem = normal(180.0, 12.0, 130.0, 260.0);
+  const auto acc_dur = uniform(20.0, 90.0);
+
+  std::uint64_t id = 0;
+  const auto emit = [&](const std::string& category, const DistPtr& mem,
+                        const DistPtr& dur,
+                        std::vector<std::uint64_t> deps = {}) -> std::uint64_t {
+    core::TaskSpec t;
+    t.id = id++;
+    t.category = category;
+    t.demand[core::ResourceKind::Cores] = cores->sample(rng);
+    t.demand[core::ResourceKind::MemoryMB] = mem->sample(rng);
+    t.demand[core::ResourceKind::DiskMB] = disk->sample(rng);
+    t.duration_s = dur->sample(rng);
+    t.demand[core::ResourceKind::TimeS] = t.duration_s;
+    t.peak_fraction = rng.uniform(0.4, 0.95);
+    t.deps = std::move(deps);
+    w.tasks.push_back(std::move(t));
+    return w.tasks.back().id;
+  };
+
+  std::vector<std::uint64_t> preprocessing_ids;
+  for (std::size_t i = 0; i < cfg.preprocessing_tasks; ++i) {
+    preprocessing_ids.push_back(emit("preprocessing", pre_mem, pre_dur));
+  }
+  std::vector<std::uint64_t> processing_ids;
+  std::size_t acc_chunk_cursor = 0;
+  const std::size_t acc_chunk =
+      cfg.accumulating_tasks > 0
+          ? std::max<std::size_t>(1, cfg.processing_tasks /
+                                         std::max<std::size_t>(
+                                             1, cfg.accumulating_tasks))
+          : 1;
+  // Coffea interleaves merge (accumulating) tasks among the processing
+  // stream once partial results exist: spread them evenly through the
+  // second half of the processing submissions.
+  const std::size_t proc_total = cfg.processing_tasks;
+  const std::size_t acc_total = cfg.accumulating_tasks;
+  std::size_t acc_emitted = 0;
+  const auto emit_processing = [&](std::size_t i) {
+    std::vector<std::uint64_t> deps;
+    if (cfg.with_dependencies && !preprocessing_ids.empty()) {
+      deps.push_back(preprocessing_ids[i % preprocessing_ids.size()]);
+    }
+    processing_ids.push_back(
+        emit("processing", proc_mem, proc_dur, std::move(deps)));
+  };
+  const auto emit_accumulating = [&] {
+    std::vector<std::uint64_t> deps;
+    if (cfg.with_dependencies) {
+      // Merge the next contiguous chunk of processing outputs.
+      for (std::size_t j = 0;
+           j < acc_chunk && acc_chunk_cursor < processing_ids.size();
+           ++j, ++acc_chunk_cursor) {
+        deps.push_back(processing_ids[acc_chunk_cursor]);
+      }
+    }
+    emit("accumulating", acc_mem, acc_dur, std::move(deps));
+  };
+  for (std::size_t i = 0; i < proc_total; ++i) {
+    emit_processing(i);
+    if (acc_total > 0 && i >= proc_total / 2) {
+      // Fraction of the second half elapsed; keep accumulators on pace.
+      const double progress = static_cast<double>(i - proc_total / 2 + 1) /
+                              static_cast<double>(proc_total - proc_total / 2);
+      while (acc_emitted <
+             static_cast<std::size_t>(progress * static_cast<double>(acc_total))) {
+        emit_accumulating();
+        ++acc_emitted;
+      }
+    }
+  }
+  while (acc_emitted < acc_total) {
+    emit_accumulating();
+    ++acc_emitted;
+  }
+  return w;
+}
+
+}  // namespace tora::workloads

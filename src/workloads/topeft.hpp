@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+
+#include "workloads/workload.hpp"
+
+namespace tora::workloads {
+
+/// Generation knobs for the TopEFT-like trace. Defaults reproduce the
+/// quantitative description of paper §III-B / Fig. 2 (bottom row).
+struct TopEFTConfig {
+  std::size_t preprocessing_tasks = 363;
+  std::size_t processing_tasks = 3994;
+  std::size_t accumulating_tasks = 212;
+  /// Attach the Coffea-style dependency structure: each processing task
+  /// depends on one preprocessing task (round-robin over the metadata
+  /// shards) and each accumulating task merges a contiguous chunk of
+  /// processing outputs. Off by default — the paper's evaluation drives
+  /// tasks as a submission stream.
+  bool with_dependencies = false;
+};
+
+/// Synthetic stand-in for the TopEFT production workflow (LHC effective-
+/// field-theory analysis: TopCoffea + Coffea + Work Queue). Reproduced
+/// stochastic elements (§III-B):
+///  * `preprocessing` runs first (metadata scan), then `processing` with
+///    `accumulating` merge tasks interleaved near the end of the run;
+///  * `preprocessing` and `accumulating` both use ~180 MB memory —
+///    independent categories that happen to coincide;
+///  * `processing` memory is BIMODAL: one cluster near 450 MB and one near
+///    580 MB (the "puzzling" two-cluster behaviour);
+///  * cores: most tasks need <= 1 core but rare outliers reach ~3 cores;
+///  * disk is a constant 306 MB for every task — the value that exposes Max
+///    Seen's 250 MB histogram rounding (306 -> 500 MB, §V-C) and lets the
+///    bucketing algorithms approach 100% disk AWE.
+Workload make_topeft(std::uint64_t seed, const TopEFTConfig& cfg = {});
+
+}  // namespace tora::workloads

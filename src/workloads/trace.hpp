@@ -1,0 +1,24 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workloads/workload.hpp"
+
+namespace tora::workloads {
+
+/// Writes a workload as CSV with header
+/// `id,category,cores,memory_mb,disk_mb,duration_s,peak_fraction`,
+/// one row per task in submission order — the format the figure harnesses
+/// dump and external plotting scripts consume.
+void write_trace(std::ostream& out, const Workload& w);
+
+/// Parses a trace produced by write_trace. Throws std::invalid_argument on
+/// malformed input (bad header, non-numeric fields, non-dense ids).
+Workload read_trace(std::istream& in, std::string name = "trace");
+
+/// File-path convenience wrappers. Throw std::runtime_error on I/O failure.
+void save_trace(const std::string& path, const Workload& w);
+Workload load_trace(const std::string& path);
+
+}  // namespace tora::workloads

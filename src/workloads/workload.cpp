@@ -1,0 +1,33 @@
+#include "workloads/workload.hpp"
+
+#include <stdexcept>
+
+#include "workloads/colmena.hpp"
+#include "workloads/synthetic.hpp"
+#include "workloads/topeft.hpp"
+
+namespace tora::workloads {
+
+const std::vector<std::string>& all_workflow_names() {
+  static const std::vector<std::string> names = {
+      std::string(kNormal),   std::string(kUniform),
+      std::string(kExponential), std::string(kBimodal),
+      std::string(kTrimodal), std::string(kColmenaXTB),
+      std::string(kTopEFT)};
+  return names;
+}
+
+Workload make_workload(std::string_view name, std::uint64_t seed) {
+  if (name == kNormal) return generate_synthetic(normal_spec(), seed);
+  if (name == kUniform) return generate_synthetic(uniform_spec(), seed);
+  if (name == kExponential) {
+    return generate_synthetic(exponential_spec(), seed);
+  }
+  if (name == kBimodal) return generate_synthetic(bimodal_spec(), seed);
+  if (name == kTrimodal) return generate_synthetic(trimodal_spec(), seed);
+  if (name == kColmenaXTB) return make_colmena(seed);
+  if (name == kTopEFT) return make_topeft(seed);
+  throw std::invalid_argument("unknown workflow: " + std::string(name));
+}
+
+}  // namespace tora::workloads

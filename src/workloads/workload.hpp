@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/task.hpp"
+
+namespace tora::workloads {
+
+/// A fully generated workflow: tasks in submission order (dense 0-based
+/// ids). The demands are the hidden ground truth the simulator enforces and
+/// the allocators try to predict.
+struct Workload {
+  std::string name;
+  std::vector<core::TaskSpec> tasks;
+
+  std::size_t size() const noexcept { return tasks.size(); }
+};
+
+/// Canonical workflow names in the paper's Fig. 5 column order.
+inline constexpr std::string_view kNormal = "normal";
+inline constexpr std::string_view kUniform = "uniform";
+inline constexpr std::string_view kExponential = "exponential";
+inline constexpr std::string_view kBimodal = "bimodal";
+inline constexpr std::string_view kTrimodal = "trimodal";
+inline constexpr std::string_view kColmenaXTB = "colmena_xtb";
+inline constexpr std::string_view kTopEFT = "topeft";
+
+/// All seven workflow names (5 synthetic + 2 production-like).
+const std::vector<std::string>& all_workflow_names();
+
+/// Dispatch by name; throws std::invalid_argument for unknown names.
+/// `seed` drives every stochastic element of the generation.
+Workload make_workload(std::string_view name, std::uint64_t seed);
+
+}  // namespace tora::workloads

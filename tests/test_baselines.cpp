@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "core/max_seen.hpp"
+#include "core/tovar.hpp"
+#include "core/whole_machine.hpp"
+
+namespace {
+
+using tora::core::MaxSeenPolicy;
+using tora::core::TovarObjective;
+using tora::core::TovarPolicy;
+using tora::core::WholeMachinePolicy;
+
+// ------------------------------------------------------------- Max Seen
+
+TEST(MaxSeen, RejectsBadWidth) {
+  EXPECT_THROW(MaxSeenPolicy(0.0), std::invalid_argument);
+}
+
+TEST(MaxSeen, PredictBeforeRecordsThrows) {
+  MaxSeenPolicy p(250.0);
+  EXPECT_THROW(p.predict(), std::logic_error);
+}
+
+TEST(MaxSeen, PaperDiskScenario) {
+  // TopEFT: constant 306 MB disk, 250 MB histogram -> 500 MB allocation
+  // forever (§V-C), capping AWE at 61.2%.
+  MaxSeenPolicy p(250.0);
+  for (int i = 0; i < 100; ++i) p.observe(306.0, 1.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 500.0);
+}
+
+TEST(MaxSeen, TracksRunningMaximum) {
+  MaxSeenPolicy p(1.0);
+  p.observe(2.5, 1.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 3.0);
+  p.observe(7.2, 2.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 8.0);
+  p.observe(1.0, 3.0);  // lower values never shrink the allocation
+  EXPECT_DOUBLE_EQ(p.predict(), 8.0);
+  EXPECT_DOUBLE_EQ(p.max_value(), 7.2);
+}
+
+TEST(MaxSeen, ExactMultipleStaysPut) {
+  MaxSeenPolicy p(250.0);
+  p.observe(500.0, 1.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 500.0);
+}
+
+TEST(MaxSeen, RetryPrefersRoundedMaxThenDoubles) {
+  MaxSeenPolicy p(250.0);
+  p.observe(306.0, 1.0);
+  // A failure at 250 escalates to the rounded max first.
+  EXPECT_DOUBLE_EQ(p.retry(250.0), 500.0);
+  // Beyond the rounded max, double.
+  EXPECT_DOUBLE_EQ(p.retry(500.0), 1000.0);
+}
+
+TEST(MaxSeen, RetryWithNoRecords) {
+  MaxSeenPolicy p(250.0);
+  EXPECT_DOUBLE_EQ(p.retry(100.0), 200.0);
+  EXPECT_DOUBLE_EQ(p.retry(0.0), 250.0);
+}
+
+TEST(MaxSeen, DegenerateZeroHistory) {
+  MaxSeenPolicy p(250.0);
+  p.observe(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 250.0);  // minimal non-zero allocation
+}
+
+// --------------------------------------------------------- Whole Machine
+
+TEST(WholeMachine, AlwaysAllocatesCapacity) {
+  WholeMachinePolicy p(16.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 16.0);
+  p.observe(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 16.0);
+  EXPECT_EQ(p.record_count(), 1u);
+}
+
+TEST(WholeMachine, RetryContract) {
+  WholeMachinePolicy p(16.0);
+  EXPECT_DOUBLE_EQ(p.retry(8.0), 16.0);
+  EXPECT_DOUBLE_EQ(p.retry(16.0), 32.0);  // growth even beyond capacity
+}
+
+TEST(WholeMachine, RejectsBadCapacity) {
+  EXPECT_THROW(WholeMachinePolicy(0.0), std::invalid_argument);
+}
+
+// ------------------------------------------------------- Tovar policies
+
+TEST(TovarMinWaste, SingleValueAllocatesIt) {
+  TovarPolicy p(TovarObjective::MinWaste);
+  p.observe(4.0, 1.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 4.0);
+}
+
+TEST(TovarMinWaste, HandComputedChoice) {
+  // Values {1, 1, 1, 10}. Candidates: a=1 and a=10.
+  //  a=1:  covered waste 0; uncovered: 1 task wasting (1 + 10 - 10) = 1.
+  //        total 1.
+  //  a=10: covered waste (10-1)*3 + 0 = 27.
+  // MinWaste must pick a=1.
+  TovarPolicy p(TovarObjective::MinWaste);
+  for (double v : {1.0, 1.0, 1.0, 10.0}) p.observe(v, 1.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 1.0);
+}
+
+TEST(TovarMinWaste, SwitchesWhenOutliersCommon) {
+  // Values {9, 9, 9, 10}: a=9 costs 1 failure (9+10-10)=9; a=10 costs
+  // (10-9)*3 = 3 -> picks 10.
+  TovarPolicy p(TovarObjective::MinWaste);
+  for (double v : {9.0, 9.0, 9.0, 10.0}) p.observe(v, 1.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 10.0);
+}
+
+TEST(TovarMaxThroughput, PrefersSmallAllocWhenCheap) {
+  // Values {1,1,1,10}: throughput(1) = .75/1 + .25/11 = 0.773;
+  // throughput(10) = 1/10 = 0.1 -> picks 1.
+  TovarPolicy p(TovarObjective::MaxThroughput);
+  for (double v : {1.0, 1.0, 1.0, 10.0}) p.observe(v, 1.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 1.0);
+}
+
+TEST(TovarMaxThroughput, PrefersCoverageWhenValuesClose) {
+  // Values {9, 10}: throughput(9) = .5/9 + .5/19 = 0.0819;
+  // throughput(10) = 1/10 = 0.1 -> picks 10.
+  TovarPolicy p(TovarObjective::MaxThroughput);
+  p.observe(9.0, 1.0);
+  p.observe(10.0, 1.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 10.0);
+}
+
+TEST(Tovar, AtMostOnceRetryJumpsToMax) {
+  TovarPolicy p(TovarObjective::MinWaste);
+  for (double v : {1.0, 2.0, 50.0}) p.observe(v, 1.0);
+  EXPECT_DOUBLE_EQ(p.retry(2.0), 50.0);
+  // Above the max seen: doubling.
+  EXPECT_DOUBLE_EQ(p.retry(50.0), 100.0);
+}
+
+TEST(Tovar, PredictBeforeRecordsThrows) {
+  TovarPolicy p(TovarObjective::MaxThroughput);
+  EXPECT_THROW(p.predict(), std::logic_error);
+}
+
+TEST(Tovar, Names) {
+  EXPECT_EQ(TovarPolicy(TovarObjective::MinWaste).name(), "min_waste");
+  EXPECT_EQ(TovarPolicy(TovarObjective::MaxThroughput).name(),
+            "max_throughput");
+}
+
+TEST(Tovar, LazyRebuildAfterObserve) {
+  TovarPolicy p(TovarObjective::MinWaste);
+  p.observe(5.0, 1.0);
+  EXPECT_DOUBLE_EQ(p.current_choice(), 5.0);
+  p.observe(1.0, 1.0);
+  p.observe(1.0, 1.0);
+  p.observe(1.0, 1.0);
+  // {1,1,1,5}: a=1 -> waste (1+5-5)=1; a=5 -> 4*... (5-1)*3=12 -> picks 1.
+  EXPECT_DOUBLE_EQ(p.current_choice(), 1.0);
+}
+
+}  // namespace

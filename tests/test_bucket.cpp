@@ -1,0 +1,211 @@
+#include "core/bucket.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+using tora::core::Bucket;
+using tora::core::BucketSet;
+using tora::core::expected_waste;
+using tora::core::Record;
+using tora::util::Rng;
+
+std::vector<Record> uniform_records(std::initializer_list<double> values) {
+  std::vector<Record> r;
+  for (double v : values) r.push_back({v, 1.0});
+  return r;
+}
+
+TEST(BucketSet, SingleBucketBasics) {
+  const auto recs = uniform_records({1.0, 2.0, 3.0});
+  const std::vector<std::size_t> ends{2};
+  const auto set = BucketSet::from_break_indices(recs, ends);
+  ASSERT_EQ(set.size(), 1u);
+  const Bucket& b = set.buckets()[0];
+  EXPECT_DOUBLE_EQ(b.rep, 3.0);
+  EXPECT_DOUBLE_EQ(b.prob, 1.0);
+  EXPECT_DOUBLE_EQ(b.weighted_mean, 2.0);
+  EXPECT_EQ(b.size(), 3u);
+}
+
+TEST(BucketSet, TwoBucketsProbAndRep) {
+  const auto recs = uniform_records({1.0, 2.0, 10.0, 12.0});
+  const std::vector<std::size_t> ends{1, 3};
+  const auto set = BucketSet::from_break_indices(recs, ends);
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_DOUBLE_EQ(set.buckets()[0].rep, 2.0);
+  EXPECT_DOUBLE_EQ(set.buckets()[0].prob, 0.5);
+  EXPECT_DOUBLE_EQ(set.buckets()[0].weighted_mean, 1.5);
+  EXPECT_DOUBLE_EQ(set.buckets()[1].rep, 12.0);
+  EXPECT_DOUBLE_EQ(set.buckets()[1].prob, 0.5);
+  EXPECT_DOUBLE_EQ(set.buckets()[1].weighted_mean, 11.0);
+}
+
+TEST(BucketSet, SignificanceWeightsProbabilities) {
+  // Higher significance in the upper bucket shifts probability there.
+  const std::vector<Record> recs{{1.0, 1.0}, {10.0, 3.0}};
+  const std::vector<std::size_t> ends{0, 1};
+  const auto set = BucketSet::from_break_indices(recs, ends);
+  EXPECT_DOUBLE_EQ(set.buckets()[0].prob, 0.25);
+  EXPECT_DOUBLE_EQ(set.buckets()[1].prob, 0.75);
+}
+
+TEST(BucketSet, SignificanceWeightsMeans) {
+  const std::vector<Record> recs{{2.0, 1.0}, {4.0, 3.0}};
+  const std::vector<std::size_t> ends{1};
+  const auto set = BucketSet::from_break_indices(recs, ends);
+  // (2*1 + 4*3) / 4 = 3.5
+  EXPECT_DOUBLE_EQ(set.buckets()[0].weighted_mean, 3.5);
+}
+
+TEST(BucketSet, ProbabilitiesSumToOne) {
+  const auto recs = uniform_records({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  const std::vector<std::size_t> ends{2, 5, 9};
+  const auto set = BucketSet::from_break_indices(recs, ends);
+  double total = 0.0;
+  for (const Bucket& b : set.buckets()) total += b.prob;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(BucketSet, EveryRecordCoveredExactlyOnce) {
+  const auto recs = uniform_records({1, 2, 3, 4, 5, 6, 7});
+  const std::vector<std::size_t> ends{1, 4, 6};
+  const auto set = BucketSet::from_break_indices(recs, ends);
+  std::size_t covered = 0;
+  std::size_t expect_begin = 0;
+  for (const Bucket& b : set.buckets()) {
+    EXPECT_EQ(b.begin, expect_begin);
+    covered += b.size();
+    expect_begin = b.end + 1;
+  }
+  EXPECT_EQ(covered, recs.size());
+}
+
+TEST(BucketSet, RejectsMalformedInput) {
+  const auto recs = uniform_records({1.0, 2.0});
+  EXPECT_THROW(BucketSet::from_break_indices(recs, std::vector<std::size_t>{}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      BucketSet::from_break_indices(recs, std::vector<std::size_t>{0}),
+      std::invalid_argument);  // must end at last index
+  EXPECT_THROW(
+      BucketSet::from_break_indices(recs, std::vector<std::size_t>{1, 1}),
+      std::invalid_argument);  // not strictly increasing
+  const std::vector<Record> unsorted{{2.0, 1.0}, {1.0, 1.0}};
+  EXPECT_THROW(
+      BucketSet::from_break_indices(unsorted, std::vector<std::size_t>{1}),
+      std::invalid_argument);
+  EXPECT_THROW(BucketSet::from_break_indices({}, std::vector<std::size_t>{0}),
+               std::invalid_argument);
+}
+
+TEST(BucketSet, SampleRespectsProbabilities) {
+  const std::vector<Record> recs{{1.0, 9.0}, {10.0, 1.0}};
+  const std::vector<std::size_t> ends{0, 1};
+  const auto set = BucketSet::from_break_indices(recs, ends);
+  Rng rng(5);
+  int low = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (set.sample_allocation(rng) == 1.0) ++low;
+  }
+  EXPECT_NEAR(static_cast<double>(low) / n, 0.9, 0.01);
+}
+
+TEST(BucketSet, SampleAboveFiltersAndRenormalizes) {
+  const auto recs = uniform_records({1.0, 5.0, 10.0});
+  const std::vector<std::size_t> ends{0, 1, 2};
+  const auto set = BucketSet::from_break_indices(recs, ends);
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = set.sample_above(5.0, rng);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_DOUBLE_EQ(*v, 10.0);
+  }
+  // Above the top rep there is nothing left.
+  EXPECT_FALSE(set.sample_above(10.0, rng).has_value());
+  EXPECT_FALSE(set.sample_above(11.0, rng).has_value());
+}
+
+TEST(BucketSet, SampleAboveMixesEligibleBuckets) {
+  const auto recs = uniform_records({1.0, 5.0, 10.0, 20.0});
+  const std::vector<std::size_t> ends{0, 1, 2, 3};
+  const auto set = BucketSet::from_break_indices(recs, ends);
+  Rng rng(7);
+  int got10 = 0, got20 = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = set.sample_above(5.0, rng);
+    ASSERT_TRUE(v.has_value());
+    if (*v == 10.0) ++got10;
+    else if (*v == 20.0) ++got20;
+    else FAIL() << "unexpected allocation " << *v;
+  }
+  // Equal significance => the two eligible buckets split evenly.
+  EXPECT_NEAR(got10, got20, 500);
+}
+
+TEST(BucketSet, MaxRep) {
+  const auto recs = uniform_records({1.0, 2.0, 9.0});
+  const std::vector<std::size_t> ends{1, 2};
+  const auto set = BucketSet::from_break_indices(recs, ends);
+  EXPECT_DOUBLE_EQ(set.max_rep(), 9.0);
+}
+
+// ---------------------------------------------------------------- expected
+// waste (the Exhaustive Bucketing cost table)
+
+TEST(ExpectedWaste, SingleBucketIsRepMinusMean) {
+  const auto recs = uniform_records({2.0, 4.0, 6.0});
+  const auto set =
+      BucketSet::from_break_indices(recs, std::vector<std::size_t>{2});
+  // One bucket: waste = rep - weighted mean = 6 - 4.
+  EXPECT_NEAR(expected_waste(set), 2.0, 1e-12);
+}
+
+TEST(ExpectedWaste, TwoBucketHandComputed) {
+  // Records {1, 3} split into singleton buckets: p = 0.5 each,
+  // v_0 = 1, v_1 = 3, rep_0 = 1, rep_1 = 3.
+  // T[0][0] = 0, T[0][1] = 3 - 1 = 2,
+  // T[1][1] = 0, T[1][0] = rep_0 + T[1][1] = 1.
+  // W = .25*(0 + 2 + 1 + 0) = 0.75.
+  const auto recs = uniform_records({1.0, 3.0});
+  const auto set =
+      BucketSet::from_break_indices(recs, std::vector<std::size_t>{0, 1});
+  EXPECT_NEAR(expected_waste(set), 0.75, 1e-12);
+}
+
+TEST(ExpectedWaste, ThreeBucketEscalationChain) {
+  // Singleton buckets {1, 2, 4}, uniform significance (p = 1/3 each).
+  // Row i=2 (task in top bucket): T[2][2]=0,
+  //   T[2][1] = rep_1 + T[2][2] = 2,
+  //   T[2][0] = rep_0 + (p1*T[2][1] + p2*T[2][2])/(p1+p2) = 1 + 1 = 2.
+  // Row i=1: T[1][1]=4-2=2... wait T[1][1] = rep_1 - v_1 = 0; T[1][2] = 4-2 = 2;
+  //   T[1][0] = rep_0 + (p1*T[1][1]+p2*T[1][2])/(2/3) = 1 + (0+2)/2 = 2.
+  // Row i=0: T[0][0]=0, T[0][1]=1, T[0][2]=3.
+  // W = (1/9)*(0+1+3 + 2+0+2 + 2+2+0) = 12/9.
+  const auto recs = uniform_records({1.0, 2.0, 4.0});
+  const auto set =
+      BucketSet::from_break_indices(recs, std::vector<std::size_t>{0, 1, 2});
+  EXPECT_NEAR(expected_waste(set), 12.0 / 9.0, 1e-12);
+}
+
+TEST(ExpectedWaste, SplittingWellSeparatedClustersWins) {
+  // Two tight clusters far apart: a 2-bucket configuration must beat the
+  // single bucket.
+  const auto recs =
+      uniform_records({1.0, 1.1, 1.2, 100.0, 100.1, 100.2});
+  const auto one =
+      BucketSet::from_break_indices(recs, std::vector<std::size_t>{5});
+  const auto two =
+      BucketSet::from_break_indices(recs, std::vector<std::size_t>{2, 5});
+  EXPECT_LT(expected_waste(two), expected_waste(one));
+}
+
+TEST(ExpectedWaste, ThrowsOnEmpty) {
+  EXPECT_THROW(expected_waste(BucketSet{}), std::invalid_argument);
+}
+
+}  // namespace

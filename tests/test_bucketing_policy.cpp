@@ -1,0 +1,132 @@
+// Tests for the shared BucketingPolicy base class (record management, lazy
+// rebuilds, the predict/retry protocol) independent of any concrete
+// break-point algorithm.
+
+#include "core/bucketing_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using tora::core::BucketingPolicy;
+using tora::core::Record;
+using tora::util::Rng;
+
+/// Minimal concrete policy: singleton buckets (every record its own
+/// bucket), which makes the probabilistic machinery fully observable.
+class SingletonBuckets final : public BucketingPolicy {
+ public:
+  explicit SingletonBuckets(Rng rng) : BucketingPolicy(rng) {}
+  std::string name() const override { return "singleton"; }
+
+ protected:
+  std::vector<std::size_t> compute_break_indices(
+      std::span<const Record> sorted) override {
+    std::vector<std::size_t> ends;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      if (i + 1 == sorted.size() ||
+          sorted[i + 1].value != sorted[i].value) {
+        ends.push_back(i);
+      }
+    }
+    return ends;
+  }
+};
+
+TEST(BucketingPolicyBase, TiesKeepInsertionOrder) {
+  SingletonBuckets p{Rng(1)};
+  p.observe(5.0, 1.0);
+  p.observe(5.0, 2.0);
+  p.observe(3.0, 3.0);
+  p.observe(5.0, 4.0);
+  const auto& recs = p.records();
+  ASSERT_EQ(recs.size(), 4u);
+  EXPECT_DOUBLE_EQ(recs[0].value, 3.0);
+  // Equal values in arrival order: significances 1, 2, 4.
+  EXPECT_DOUBLE_EQ(recs[1].significance, 1.0);
+  EXPECT_DOUBLE_EQ(recs[2].significance, 2.0);
+  EXPECT_DOUBLE_EQ(recs[3].significance, 4.0);
+}
+
+TEST(BucketingPolicyBase, PredictSamplesBySignificanceShare) {
+  SingletonBuckets p{Rng(2)};
+  p.observe(10.0, 9.0);
+  p.observe(100.0, 1.0);
+  int low = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (p.predict() == 10.0) ++low;
+  }
+  EXPECT_NEAR(static_cast<double>(low) / n, 0.9, 0.01);
+}
+
+TEST(BucketingPolicyBase, RetryWithNoRecordsDoubles) {
+  SingletonBuckets p{Rng(3)};
+  EXPECT_DOUBLE_EQ(p.retry(8.0), 16.0);
+  EXPECT_DOUBLE_EQ(p.retry(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.retry(-4.0), 1.0);  // degenerate input still grows
+}
+
+TEST(BucketingPolicyBase, BucketsBeforeRecordsThrows) {
+  SingletonBuckets p{Rng(4)};
+  EXPECT_THROW(p.buckets(), std::logic_error);
+}
+
+TEST(BucketingPolicyBase, RebuildOnlyWhenDirty) {
+  SingletonBuckets p{Rng(5)};
+  p.observe(1.0, 1.0);
+  (void)p.buckets();
+  (void)p.predict();
+  (void)p.retry(0.5);
+  EXPECT_EQ(p.rebuild_count(), 1u);
+  p.observe(2.0, 2.0);
+  EXPECT_EQ(p.rebuild_count(), 1u);  // lazy: nothing rebuilt yet
+  (void)p.retry(1.0);                // retry also forces the rebuild
+  EXPECT_EQ(p.rebuild_count(), 2u);
+}
+
+TEST(BucketingPolicyBase, RetryPrefersBucketsStrictlyAbove) {
+  SingletonBuckets p{Rng(6)};
+  for (double v : {1.0, 2.0, 3.0}) p.observe(v, 1.0);
+  for (int i = 0; i < 200; ++i) {
+    const double r = p.retry(2.0);
+    EXPECT_DOUBLE_EQ(r, 3.0);  // the only bucket above 2
+  }
+}
+
+TEST(BucketingPolicyBase, ZeroSignificanceRecordsRejectedByBucketSet) {
+  // All-zero significance cannot form probabilities; the base class surfaces
+  // the invariant violation instead of dividing by zero.
+  SingletonBuckets p{Rng(7)};
+  p.observe(1.0, 0.0);
+  EXPECT_THROW(p.buckets(), std::invalid_argument);
+}
+
+TEST(BucketingPolicyBase, MixedZeroAndPositiveSignificanceWorks) {
+  SingletonBuckets p{Rng(8)};
+  p.observe(1.0, 0.0);  // e.g. a bootstrap record the caller discounts fully
+  p.observe(2.0, 1.0);
+  const auto& set = p.buckets();
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_DOUBLE_EQ(set.buckets()[0].prob, 0.0);
+  EXPECT_DOUBLE_EQ(set.buckets()[1].prob, 1.0);
+  // Zero-probability buckets are never sampled.
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(p.predict(), 2.0);
+}
+
+TEST(BucketingPolicyBase, LargeStreamStaysSorted) {
+  SingletonBuckets p{Rng(9)};
+  Rng values(10);
+  for (int i = 0; i < 500; ++i) {
+    p.observe(values.uniform(0.0, 1000.0), i + 1.0);
+  }
+  const auto& recs = p.records();
+  for (std::size_t i = 1; i < recs.size(); ++i) {
+    ASSERT_LE(recs[i - 1].value, recs[i].value);
+  }
+  EXPECT_EQ(p.record_count(), 500u);
+}
+
+}  // namespace

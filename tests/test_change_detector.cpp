@@ -1,0 +1,142 @@
+#include "core/change_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/bucketing_policy.hpp"
+#include "core/exhaustive_bucketing.hpp"
+#include "core/registry.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using tora::core::ChangeAwarePolicy;
+using tora::core::ExhaustiveBucketing;
+using tora::core::MeanShiftDetector;
+using tora::util::Rng;
+
+TEST(MeanShiftDetector, ValidatesConstruction) {
+  EXPECT_THROW(MeanShiftDetector(1, 2.0), std::invalid_argument);
+  EXPECT_THROW(MeanShiftDetector(5, 1.0), std::invalid_argument);
+  EXPECT_THROW(MeanShiftDetector(5, 0.5), std::invalid_argument);
+}
+
+TEST(MeanShiftDetector, SteadyStreamNeverFires) {
+  MeanShiftDetector d(10, 2.0);
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_FALSE(d.add(rng.uniform(95.0, 105.0)));
+  }
+  EXPECT_EQ(d.changes_detected(), 0u);
+}
+
+TEST(MeanShiftDetector, DetectsUpwardJump) {
+  MeanShiftDetector d(10, 2.0);
+  for (int i = 0; i < 30; ++i) EXPECT_FALSE(d.add(100.0));
+  bool fired = false;
+  for (int i = 0; i < 25 && !fired; ++i) fired = d.add(1000.0);
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(d.changes_detected(), 1u);
+}
+
+TEST(MeanShiftDetector, DetectsDownwardJump) {
+  MeanShiftDetector d(10, 2.0);
+  for (int i = 0; i < 30; ++i) d.add(1000.0);
+  bool fired = false;
+  for (int i = 0; i < 25 && !fired; ++i) fired = d.add(100.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(MeanShiftDetector, SmallDriftBelowThresholdIgnored) {
+  MeanShiftDetector d(10, 3.0);
+  for (int i = 0; i < 30; ++i) d.add(100.0);
+  for (int i = 0; i < 30; ++i) EXPECT_FALSE(d.add(180.0));  // 1.8x < 3x
+}
+
+TEST(MeanShiftDetector, RecoversAndDetectsSecondChange) {
+  MeanShiftDetector d(10, 2.0);
+  for (int i = 0; i < 30; ++i) d.add(100.0);
+  int fires = 0;
+  for (int i = 0; i < 40; ++i) fires += d.add(1000.0) ? 1 : 0;
+  for (int i = 0; i < 40; ++i) fires += d.add(100.0) ? 1 : 0;
+  EXPECT_EQ(fires, 2);
+  EXPECT_EQ(d.changes_detected(), 2u);
+}
+
+TEST(MeanShiftDetector, AllZeroStreamNeverFires) {
+  MeanShiftDetector d(5, 2.0);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(d.add(0.0));
+}
+
+// -------------------------------------------------- ChangeAwarePolicy
+
+ChangeAwarePolicy make_change_aware(std::size_t window = 10) {
+  auto rng = std::make_shared<Rng>(7);
+  return ChangeAwarePolicy(
+      [rng]() -> tora::core::ResourcePolicyPtr {
+        return std::make_unique<ExhaustiveBucketing>(rng->split());
+      },
+      MeanShiftDetector(window, 2.0));
+}
+
+TEST(ChangeAwarePolicy, ValidatesFactory) {
+  EXPECT_THROW(ChangeAwarePolicy(nullptr, MeanShiftDetector(5, 2.0)),
+               std::invalid_argument);
+  EXPECT_THROW(ChangeAwarePolicy(
+                   []() -> tora::core::ResourcePolicyPtr { return nullptr; },
+                   MeanShiftDetector(5, 2.0)),
+               std::invalid_argument);
+}
+
+TEST(ChangeAwarePolicy, DelegatesBeforeAnyChange) {
+  auto p = make_change_aware();
+  for (int i = 0; i < 15; ++i) p.observe(306.0, i + 1.0);
+  EXPECT_EQ(p.resets(), 0u);
+  EXPECT_DOUBLE_EQ(p.predict(), 306.0);
+  EXPECT_EQ(p.record_count(), 15u);
+}
+
+TEST(ChangeAwarePolicy, HardResetDropsStalePhase) {
+  auto p = make_change_aware(10);
+  // Phase 1: 8 GB tasks.
+  for (int i = 0; i < 40; ++i) p.observe(8000.0, i + 1.0);
+  // Phase 2: 500 MB tasks -> detector fires, history resets.
+  double sig = 41.0;
+  for (int i = 0; i < 30; ++i) p.observe(500.0, sig++);
+  EXPECT_GE(p.resets(), 1u);
+  // After the reset the inner policy only knows the new phase: predictions
+  // drop to the new scale instead of hedging toward 8 GB.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_LE(p.predict(), 600.0);
+  }
+  // The inner bucketing policy's record base excludes phase 1 entirely.
+  auto& inner =
+      dynamic_cast<tora::core::BucketingPolicy&>(p.inner());
+  for (const auto& r : inner.records()) EXPECT_LE(r.value, 600.0);
+}
+
+TEST(ChangeAwarePolicy, RetryStillEscalates) {
+  auto p = make_change_aware();
+  for (int i = 0; i < 12; ++i) p.observe(100.0, i + 1.0);
+  EXPECT_DOUBLE_EQ(p.retry(100.0), 200.0);
+}
+
+TEST(ChangeAwarePolicy, NameReflectsInner) {
+  auto p = make_change_aware();
+  EXPECT_EQ(p.name(), "change_aware(exhaustive_bucketing)");
+}
+
+TEST(ChangeAwarePolicy, RegistryConstruction) {
+  auto a =
+      tora::core::make_allocator(tora::core::kChangeAwareBucketing, 3);
+  EXPECT_TRUE(
+      tora::core::is_bucketing_family(tora::core::kChangeAwareBucketing));
+  for (int i = 0; i < 12; ++i) a.record_completion("c", {1.0, 700.0, 70.0});
+  EXPECT_DOUBLE_EQ(a.allocate("c").memory_mb(), 700.0);
+  const auto& names = tora::core::extended_policy_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "change_aware_bucketing"),
+            names.end());
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+#include "core/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/bucketing_policy.hpp"
+#include "core/registry.hpp"
+
+namespace {
+
+using tora::core::ResourceKind;
+using tora::core::ResourceVector;
+using tora::core::restore_allocator_state;
+using tora::core::save_allocator_state;
+
+TEST(Checkpoint, HistoryIsRecordedByDefault) {
+  auto a = tora::core::make_allocator(tora::core::kExhaustiveBucketing, 1);
+  a.record_completion("x", {1.0, 100.0, 10.0}, 5.0);
+  a.record_completion("y", {2.0, 200.0, 20.0});
+  ASSERT_EQ(a.history().size(), 2u);
+  EXPECT_EQ(a.history()[0].category, "x");
+  EXPECT_DOUBLE_EQ(a.history()[0].significance, 5.0);
+  EXPECT_DOUBLE_EQ(a.history()[1].peak.memory_mb(), 200.0);
+  // The default-significance counter continues above explicit values.
+  EXPECT_DOUBLE_EQ(a.history()[1].significance, 6.0);
+}
+
+TEST(Checkpoint, HistoryCanBeDisabled) {
+  tora::core::AllocatorConfig cfg;
+  cfg.record_history = false;
+  tora::core::TaskAllocator a(
+      "x", tora::core::make_policy_factory("max_seen", 1), cfg);
+  a.record_completion("c", {1.0, 1.0, 1.0});
+  EXPECT_TRUE(a.history().empty());
+}
+
+TEST(Checkpoint, RoundTripRestoresExactState) {
+  auto original = tora::core::make_allocator(tora::core::kGreedyBucketing, 7);
+  tora::util::Rng values(3);
+  for (int i = 0; i < 40; ++i) {
+    const std::string cat = i % 3 == 0 ? "small" : "big";
+    original.record_completion(
+        cat, {values.uniform(0.5, 4.0), values.uniform(100.0, 4000.0),
+              values.uniform(10.0, 500.0)});
+  }
+
+  std::stringstream snapshot;
+  save_allocator_state(original, snapshot);
+
+  auto restored = tora::core::make_allocator(tora::core::kGreedyBucketing, 7);
+  restore_allocator_state(restored, snapshot);
+
+  EXPECT_EQ(restored.records_for("small"), original.records_for("small"));
+  EXPECT_EQ(restored.records_for("big"), original.records_for("big"));
+  EXPECT_EQ(restored.exploring("big"), original.exploring("big"));
+
+  // The bucketing states must be bit-identical: same records in the same
+  // order with the same significances.
+  for (const char* cat : {"small", "big"}) {
+    for (ResourceKind k : tora::core::kManagedResources) {
+      auto& po = dynamic_cast<tora::core::BucketingPolicy&>(
+          original.policy(cat, k));
+      auto& pr = dynamic_cast<tora::core::BucketingPolicy&>(
+          restored.policy(cat, k));
+      ASSERT_EQ(po.records().size(), pr.records().size());
+      for (std::size_t i = 0; i < po.records().size(); ++i) {
+        EXPECT_EQ(po.records()[i], pr.records()[i]) << cat << "/" << k;
+      }
+    }
+  }
+}
+
+TEST(Checkpoint, RestoredAllocatorContinuesSignificance) {
+  auto original = tora::core::make_allocator(tora::core::kMaxSeen, 1);
+  original.record_completion("c", {1.0, 100.0, 10.0});  // sig 1
+  original.record_completion("c", {1.0, 100.0, 10.0});  // sig 2
+  std::stringstream snapshot;
+  save_allocator_state(original, snapshot);
+
+  auto restored = tora::core::make_allocator(tora::core::kMaxSeen, 1);
+  restore_allocator_state(restored, snapshot);
+  restored.record_completion("c", {1.0, 100.0, 10.0});
+  ASSERT_EQ(restored.history().size(), 3u);
+  EXPECT_DOUBLE_EQ(restored.history().back().significance, 3.0);
+}
+
+TEST(Checkpoint, EmptyHistoryRoundTrips) {
+  auto a = tora::core::make_allocator(tora::core::kMaxSeen, 1);
+  std::stringstream snapshot;
+  save_allocator_state(a, snapshot);
+  auto b = tora::core::make_allocator(tora::core::kMaxSeen, 1);
+  restore_allocator_state(b, snapshot);
+  EXPECT_TRUE(b.history().empty());
+}
+
+TEST(Checkpoint, RejectsMalformedSnapshots) {
+  auto a = tora::core::make_allocator(tora::core::kMaxSeen, 1);
+  std::stringstream no_header("x,1,2,3,4,5\n");
+  EXPECT_THROW(restore_allocator_state(a, no_header), std::invalid_argument);
+  std::stringstream bad_field(
+      "category,cores,memory_mb,disk_mb,time_s,significance\n"
+      "c,one,2,3,4,5\n");
+  EXPECT_THROW(restore_allocator_state(a, bad_field), std::invalid_argument);
+  std::stringstream short_row(
+      "category,cores,memory_mb,disk_mb,time_s,significance\n"
+      "c,1,2\n");
+  EXPECT_THROW(restore_allocator_state(a, short_row), std::invalid_argument);
+}
+
+TEST(Checkpoint, CategoriesWithCommasSurvive) {
+  auto a = tora::core::make_allocator(tora::core::kMaxSeen, 1);
+  a.record_completion("weird,category", {1.0, 50.0, 5.0});
+  std::stringstream snapshot;
+  save_allocator_state(a, snapshot);
+  auto b = tora::core::make_allocator(tora::core::kMaxSeen, 1);
+  restore_allocator_state(b, snapshot);
+  EXPECT_EQ(b.records_for("weird,category"), 1u);
+}
+
+}  // namespace

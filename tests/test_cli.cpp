@@ -1,0 +1,200 @@
+// Tests for the `tora` command-line driver (parsing + in-process execution).
+
+#include "cli/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace {
+
+using tora::cli::Options;
+using tora::cli::parse_options;
+using tora::cli::run_cli;
+using tora::cli::split_list;
+
+TEST(CliParse, Defaults) {
+  const Options o = parse_options({"run", "--workflow", "uniform"});
+  EXPECT_EQ(o.command, "run");
+  EXPECT_EQ(o.workflow, "uniform");
+  EXPECT_EQ(o.policy, "exhaustive_bucketing");
+  EXPECT_EQ(o.seed, 7u);
+  EXPECT_TRUE(o.churn);
+  EXPECT_EQ(o.placement, tora::sim::Placement::FirstFit);
+}
+
+TEST(CliParse, AllOptions) {
+  const Options o = parse_options(
+      {"run", "--workflow", "topeft", "--policy", "greedy_bucketing",
+       "--seed", "99", "--workers", "12", "--no-churn", "--placement", "best",
+       "--interval", "2.5", "--out", "m.csv", "--trace-log", "t.csv"});
+  EXPECT_EQ(o.policy, "greedy_bucketing");
+  EXPECT_EQ(o.seed, 99u);
+  EXPECT_EQ(o.workers, 12u);
+  EXPECT_FALSE(o.churn);
+  EXPECT_EQ(o.placement, tora::sim::Placement::BestFit);
+  EXPECT_DOUBLE_EQ(o.submit_interval_s, 2.5);
+  EXPECT_EQ(o.output_path, "m.csv");
+  EXPECT_EQ(o.trace_log, "t.csv");
+}
+
+TEST(CliParse, GridLists) {
+  const Options o = parse_options(
+      {"grid", "--workflows", "uniform,bimodal", "--policies",
+       "max_seen,greedy_bucketing"});
+  EXPECT_EQ(o.workflows, (std::vector<std::string>{"uniform", "bimodal"}));
+  EXPECT_EQ(o.policies,
+            (std::vector<std::string>{"max_seen", "greedy_bucketing"}));
+}
+
+TEST(CliParse, Errors) {
+  EXPECT_THROW(parse_options({"bogus"}), std::invalid_argument);
+  EXPECT_THROW(parse_options({"run"}), std::invalid_argument);  // no workflow
+  EXPECT_THROW(parse_options({"run", "--workflow"}), std::invalid_argument);
+  EXPECT_THROW(parse_options({"run", "--workflow", "x", "--seed", "abc"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_options({"run", "--workflow", "x", "--workers", "0"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_options({"run", "--workflow", "x", "--placement", "zz"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_options({"run", "--workflow", "x", "--interval", "-1"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_options({"run", "--workflow", "x", "--nope"}),
+               std::invalid_argument);
+}
+
+TEST(CliParse, EmptyIsHelp) {
+  EXPECT_EQ(parse_options({}).command, "help");
+}
+
+TEST(CliSplit, List) {
+  EXPECT_EQ(split_list("a,b,c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split_list("a,,b"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(split_list("").empty());
+}
+
+TEST(CliRun, ListCommand) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli({"list"}, out, err), 0);
+  EXPECT_NE(out.str().find("exhaustive_bucketing"), std::string::npos);
+  EXPECT_NE(out.str().find("hybrid_bucketing"), std::string::npos);
+  EXPECT_NE(out.str().find("topeft"), std::string::npos);
+}
+
+TEST(CliRun, HelpCommand) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli({"help"}, out, err), 0);
+  EXPECT_NE(out.str().find("usage:"), std::string::npos);
+}
+
+TEST(CliRun, BadArgsReturnNonZeroWithUsage) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli({"frobnicate"}, out, err), 2);
+  EXPECT_NE(err.str().find("unknown command"), std::string::npos);
+  EXPECT_NE(err.str().find("usage:"), std::string::npos);
+}
+
+TEST(CliRun, TraceToStdout) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli({"trace", "--workflow", "uniform", "--seed", "3"}, out,
+                    err),
+            0);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("id,category,cores"), std::string::npos);
+  // 1000 tasks + header.
+  EXPECT_EQ(static_cast<int>(std::count(s.begin(), s.end(), '\n')), 1001);
+}
+
+TEST(CliRun, RunSmallWorkflowEndToEnd) {
+  std::ostringstream out, err;
+  const int rc = run_cli({"run", "--workflow", "uniform", "--policy",
+                          "max_seen", "--no-churn", "--workers", "8",
+                          "--interval", "1"},
+                         out, err);
+  EXPECT_EQ(rc, 0) << err.str();
+  EXPECT_NE(out.str().find("tasks completed 1000"), std::string::npos);
+  EXPECT_NE(out.str().find("AWE"), std::string::npos);
+}
+
+TEST(CliRun, RunFromTraceFileWithOutputs) {
+  const std::string trace_path = ::testing::TempDir() + "/cli_trace.csv";
+  const std::string metrics_path = ::testing::TempDir() + "/cli_metrics.csv";
+  const std::string log_path = ::testing::TempDir() + "/cli_events.csv";
+  {
+    std::ostringstream out, err;
+    ASSERT_EQ(run_cli({"trace", "--workflow", "bimodal", "--out", trace_path},
+                      out, err),
+              0);
+  }
+  std::ostringstream out, err;
+  const int rc = run_cli({"run", "--workflow", trace_path, "--policy",
+                          "exhaustive_bucketing", "--no-churn", "--workers",
+                          "10", "--out", metrics_path, "--trace-log",
+                          log_path},
+                         out, err);
+  EXPECT_EQ(rc, 0) << err.str();
+  std::ifstream metrics(metrics_path);
+  ASSERT_TRUE(metrics.good());
+  std::string header;
+  std::getline(metrics, header);
+  EXPECT_EQ(header, "resource,awe,consumption,allocation,"
+                    "internal_fragmentation,failed_allocation");
+  std::ifstream log(log_path);
+  ASSERT_TRUE(log.good());
+  std::getline(log, header);
+  EXPECT_EQ(header, "time,event,task,worker,cores,memory_mb,disk_mb");
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
+  std::remove(log_path.c_str());
+}
+
+TEST(CliRun, GridWithCsvOutput) {
+  const std::string path = ::testing::TempDir() + "/cli_grid.csv";
+  std::ostringstream out, err;
+  const int rc = run_cli({"grid", "--workflows", "uniform", "--policies",
+                          "max_seen", "--no-churn", "--workers", "8", "--out",
+                          path},
+                         out, err);
+  EXPECT_EQ(rc, 0) << err.str();
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::string header;
+  std::getline(f, header);
+  EXPECT_EQ(header, "resource,policy,workflow,awe");
+  int rows = 0;
+  for (std::string line; std::getline(f, line);) ++rows;
+  EXPECT_EQ(rows, 3);  // one per managed resource
+  std::remove(path.c_str());
+}
+
+TEST(CliRun, GridReplicationsShowSpread) {
+  std::ostringstream out, err;
+  const int rc = run_cli({"grid", "--workflows", "uniform", "--policies",
+                          "max_seen", "--no-churn", "--workers", "8",
+                          "--replications", "2"},
+                         out, err);
+  EXPECT_EQ(rc, 0) << err.str();
+  EXPECT_NE(out.str().find("mean +/- sd over 2 runs"), std::string::npos);
+  EXPECT_NE(out.str().find("+-"), std::string::npos);
+}
+
+TEST(CliParse, ReplicationsValidation) {
+  EXPECT_THROW(parse_options({"grid", "--replications", "0"}),
+               std::invalid_argument);
+  EXPECT_EQ(parse_options({"grid", "--replications", "5"}).replications, 5u);
+}
+
+TEST(CliRun, GridSubsetRuns) {
+  std::ostringstream out, err;
+  const int rc = run_cli({"grid", "--workflows", "uniform", "--policies",
+                          "max_seen,whole_machine", "--no-churn", "--workers",
+                          "8"},
+                         out, err);
+  EXPECT_EQ(rc, 0) << err.str();
+  EXPECT_NE(out.str().find("== AWE: cores =="), std::string::npos);
+  EXPECT_NE(out.str().find("whole_machine"), std::string::npos);
+}
+
+}  // namespace

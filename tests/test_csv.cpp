@@ -1,0 +1,91 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+using tora::util::CsvWriter;
+using tora::util::parse_csv;
+using tora::util::parse_csv_line;
+
+TEST(Csv, PlainFields) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.field("a").field("b").field(3);
+  w.end_row();
+  EXPECT_EQ(out.str(), "a,b,3\n");
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.field("has,comma").field("has\"quote").field("has\nnewline");
+  w.end_row();
+  EXPECT_EQ(out.str(), "\"has,comma\",\"has\"\"quote\",\"has\nnewline\"\n");
+}
+
+TEST(Csv, DoubleRoundTripsPrecision) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  const double v = 0.1 + 0.2;
+  w.field(v);
+  w.end_row();
+  const auto rows = parse_csv(out.str());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(std::stod(rows[0][0]), v);
+}
+
+TEST(Csv, ParseLineBasic) {
+  const auto f = parse_csv_line("a,b,,d");
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[2], "");
+  EXPECT_EQ(f[3], "d");
+}
+
+TEST(Csv, ParseLineQuoted) {
+  const auto f = parse_csv_line("\"x,y\",\"he said \"\"hi\"\"\"");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0], "x,y");
+  EXPECT_EQ(f[1], "he said \"hi\"");
+}
+
+TEST(Csv, ParseMultipleRowsSkipsBlanks) {
+  const auto rows = parse_csv("a,b\n\nc,d\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][1], "b");
+  EXPECT_EQ(rows[1][0], "c");
+}
+
+TEST(Csv, ParseHandlesCrLf) {
+  const auto rows = parse_csv("a,b\r\nc,d\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][1], "b");
+  EXPECT_EQ(rows[1][1], "d");
+}
+
+TEST(Csv, WriterRowHelper) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.row({"x", "y"});
+  w.row({"1", "2"});
+  EXPECT_EQ(out.str(), "x,y\n1,2\n");
+}
+
+TEST(Csv, RoundTripThroughParser) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.field("plain").field("with,comma").field(42).field(2.5);
+  w.end_row();
+  const auto rows = parse_csv(out.str());
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_EQ(rows[0].size(), 4u);
+  EXPECT_EQ(rows[0][0], "plain");
+  EXPECT_EQ(rows[0][1], "with,comma");
+  EXPECT_EQ(rows[0][2], "42");
+  EXPECT_EQ(std::stod(rows[0][3]), 2.5);
+}
+
+}  // namespace

@@ -1,0 +1,192 @@
+// Tests for task-dependency (DAG) support: the workflow-manager behaviour of
+// Fig. 1 where a task only becomes ready once its inputs exist.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/registry.hpp"
+#include "sim/observer.hpp"
+#include "sim/simulation.hpp"
+#include "workloads/colmena.hpp"
+#include "workloads/topeft.hpp"
+
+namespace {
+
+using tora::core::ResourceVector;
+using tora::core::TaskSpec;
+using tora::sim::SimConfig;
+using tora::sim::Simulation;
+using tora::sim::SimTime;
+
+TaskSpec simple_task(std::uint64_t id, double duration = 10.0) {
+  TaskSpec t;
+  t.id = id;
+  t.category = "c";
+  t.demand = ResourceVector{1.0, 100.0, 10.0};
+  t.duration_s = duration;
+  t.peak_fraction = 0.5;
+  return t;
+}
+
+SimConfig quiet(std::size_t workers = 4) {
+  SimConfig cfg;
+  cfg.churn.enabled = false;
+  cfg.churn.initial_workers = workers;
+  return cfg;
+}
+
+/// Records per-task start and completion times.
+struct TimingObserver final : tora::sim::SimObserver {
+  std::map<std::uint64_t, SimTime> first_start;
+  std::map<std::uint64_t, SimTime> completed;
+  void on_attempt_started(SimTime t, std::uint64_t task, std::uint64_t,
+                          const ResourceVector&) override {
+    first_start.try_emplace(task, t);
+  }
+  void on_task_completed(SimTime t, std::uint64_t task) override {
+    completed[task] = t;
+  }
+};
+
+TEST(Dependencies, ChainSerializesExecution) {
+  std::vector<TaskSpec> tasks{simple_task(0), simple_task(1), simple_task(2)};
+  tasks[1].deps = {0};
+  tasks[2].deps = {1};
+  auto alloc = tora::core::make_allocator(tora::core::kWholeMachine, 1);
+  Simulation sim(tasks, alloc, quiet());
+  TimingObserver obs;
+  sim.set_observer(&obs);
+  const auto r = sim.run();
+  EXPECT_EQ(r.tasks_completed, 3u);
+  // Serial chain of three 10 s tasks despite 4 idle workers.
+  EXPECT_NEAR(r.makespan_s, 30.0, 1e-9);
+  EXPECT_GE(obs.first_start[1], obs.completed[0]);
+  EXPECT_GE(obs.first_start[2], obs.completed[1]);
+}
+
+TEST(Dependencies, FanInWaitsForAll) {
+  std::vector<TaskSpec> tasks{simple_task(0, 10.0), simple_task(1, 50.0),
+                              simple_task(2)};
+  tasks[2].deps = {0, 1};
+  auto alloc = tora::core::make_allocator(tora::core::kWholeMachine, 1);
+  Simulation sim(tasks, alloc, quiet());
+  TimingObserver obs;
+  sim.set_observer(&obs);
+  const auto r = sim.run();
+  EXPECT_EQ(r.tasks_completed, 3u);
+  EXPECT_GE(obs.first_start[2], 50.0);  // the slow dependency gates it
+}
+
+TEST(Dependencies, IndependentTasksStillParallel) {
+  std::vector<TaskSpec> tasks{simple_task(0), simple_task(1)};
+  auto alloc = tora::core::make_allocator(tora::core::kMaxSeen, 1);
+  Simulation sim(tasks, alloc, quiet(2));
+  const auto r = sim.run();
+  EXPECT_NEAR(r.makespan_s, 10.0, 1e-9);  // both run at t=0
+}
+
+TEST(Dependencies, ForwardReferenceRejected) {
+  std::vector<TaskSpec> tasks{simple_task(0), simple_task(1)};
+  tasks[0].deps = {1};  // dep id >= own id: cycle-capable, rejected
+  auto alloc = tora::core::make_allocator(tora::core::kMaxSeen, 1);
+  EXPECT_THROW(Simulation(tasks, alloc, quiet()), std::invalid_argument);
+  std::vector<TaskSpec> self{simple_task(0)};
+  self[0].deps = {0};
+  EXPECT_THROW(Simulation(self, alloc, quiet()), std::invalid_argument);
+}
+
+TEST(Dependencies, FatalCascadesToDependents) {
+  std::vector<TaskSpec> tasks{simple_task(0), simple_task(1), simple_task(2),
+                              simple_task(3)};
+  tasks[0].demand[tora::core::ResourceKind::MemoryMB] = 1e9;  // unrunnable
+  tasks[1].deps = {0};
+  tasks[2].deps = {1};
+  // task 3 is independent and must still complete.
+  auto alloc = tora::core::make_allocator(tora::core::kGreedyBucketing, 1);
+  Simulation sim(tasks, alloc, quiet());
+  const auto r = sim.run();
+  EXPECT_EQ(r.tasks_fatal, 3u);
+  EXPECT_EQ(r.tasks_completed, 1u);
+}
+
+TEST(Dependencies, SubmitTimeAndDepsBothGate) {
+  // Task 1 depends on 0 but is also submitted late: readiness is the max of
+  // both conditions.
+  std::vector<TaskSpec> tasks{simple_task(0, 5.0), simple_task(1)};
+  tasks[1].deps = {0};
+  auto alloc = tora::core::make_allocator(tora::core::kWholeMachine, 1);
+  SimConfig cfg = quiet();
+  cfg.submit_interval_s = 100.0;  // task 1 submits at t=100 > dep done at 5
+  Simulation sim(tasks, alloc, cfg);
+  TimingObserver obs;
+  sim.set_observer(&obs);
+  (void)sim.run();
+  EXPECT_NEAR(obs.first_start[1], 100.0, 1e-9);
+}
+
+TEST(Dependencies, ColmenaPhaseBarrier) {
+  tora::workloads::ColmenaConfig cfg;
+  cfg.evaluate_mpnn_tasks = 10;
+  cfg.compute_atomization_energy_tasks = 20;
+  cfg.with_dependencies = true;
+  const auto w = tora::workloads::make_colmena(3, cfg);
+  for (const auto& t : w.tasks) {
+    if (t.category == "compute_atomization_energy") {
+      ASSERT_EQ(t.deps.size(), 1u);
+      EXPECT_EQ(t.deps[0], 9u);
+    } else {
+      EXPECT_TRUE(t.deps.empty());
+    }
+  }
+}
+
+TEST(Dependencies, TopEFTDagShape) {
+  tora::workloads::TopEFTConfig cfg;
+  cfg.preprocessing_tasks = 5;
+  cfg.processing_tasks = 40;
+  cfg.accumulating_tasks = 4;
+  cfg.with_dependencies = true;
+  const auto w = tora::workloads::make_topeft(3, cfg);
+  std::size_t acc_dep_total = 0;
+  for (const auto& t : w.tasks) {
+    for (auto d : t.deps) ASSERT_LT(d, t.id);
+    if (t.category == "processing") {
+      ASSERT_EQ(t.deps.size(), 1u);
+      EXPECT_EQ(w.tasks[t.deps[0]].category, "preprocessing");
+    }
+    if (t.category == "accumulating") {
+      EXPECT_FALSE(t.deps.empty());
+      for (auto d : t.deps) {
+        EXPECT_EQ(w.tasks[d].category, "processing");
+      }
+      acc_dep_total += t.deps.size();
+    }
+  }
+  // Chunks of ~processing/accumulating each.
+  EXPECT_GE(acc_dep_total, 36u);
+}
+
+TEST(Dependencies, TopEFTDagRunsToCompletion) {
+  tora::workloads::TopEFTConfig cfg;
+  cfg.preprocessing_tasks = 20;
+  cfg.processing_tasks = 150;
+  cfg.accumulating_tasks = 8;
+  cfg.with_dependencies = true;
+  const auto w = tora::workloads::make_topeft(4, cfg);
+  auto alloc = tora::core::make_allocator(tora::core::kExhaustiveBucketing, 2);
+  SimConfig scfg = quiet(8);
+  Simulation sim(w.tasks, alloc, scfg);
+  const auto r = sim.run();
+  EXPECT_EQ(r.tasks_completed, w.tasks.size());
+  EXPECT_EQ(r.tasks_fatal, 0u);
+}
+
+TEST(Dependencies, DefaultWorkloadsHaveNoDeps) {
+  for (const char* name : {"colmena_xtb", "topeft"}) {
+    const auto w = tora::workloads::make_workload(name, 5);
+    for (const auto& t : w.tasks) EXPECT_TRUE(t.deps.empty()) << name;
+  }
+}
+
+}  // namespace

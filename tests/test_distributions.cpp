@@ -1,0 +1,187 @@
+#include "workloads/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace tora::workloads;
+using tora::util::Rng;
+
+TEST(Distributions, ConstantAlwaysSame) {
+  Rng rng(1);
+  const auto d = constant(306.0);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(d->sample(rng), 306.0);
+  EXPECT_NE(d->describe().find("306"), std::string::npos);
+}
+
+TEST(Distributions, ConstantRejectsNegative) {
+  EXPECT_THROW(constant(-1.0), std::invalid_argument);
+}
+
+TEST(Distributions, NormalStaysInRange) {
+  Rng rng(2);
+  const auto d = normal(100.0, 50.0, 80.0, 120.0);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = d->sample(rng);
+    ASSERT_GE(v, 80.0);
+    ASSERT_LE(v, 120.0);
+  }
+}
+
+TEST(Distributions, NormalMomentsWhenUntruncated) {
+  Rng rng(3);
+  const auto d = normal(1000.0, 50.0, 0.0, 1e9);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double v = d->sample(rng);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 1000.0, 2.0);
+  EXPECT_NEAR(std::sqrt(sq / n - mean * mean), 50.0, 2.0);
+}
+
+TEST(Distributions, NormalPathologicalParamsClamp) {
+  Rng rng(4);
+  // Mean far below the admissible range: resampling gives up and clamps.
+  const auto d = normal(-100.0, 1.0, 5.0, 10.0);
+  const double v = d->sample(rng);
+  EXPECT_GE(v, 5.0);
+  EXPECT_LE(v, 10.0);
+}
+
+TEST(Distributions, NormalValidation) {
+  EXPECT_THROW(normal(1.0, -1.0, 0.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(normal(1.0, 1.0, 2.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(normal(1.0, 1.0, -1.0, 2.0), std::invalid_argument);
+}
+
+TEST(Distributions, UniformRange) {
+  Rng rng(5);
+  const auto d = uniform(10.0, 20.0);
+  double mn = 1e9, mx = -1e9;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = d->sample(rng);
+    ASSERT_GE(v, 10.0);
+    ASSERT_LT(v, 20.0);
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  EXPECT_LT(mn, 10.5);
+  EXPECT_GT(mx, 19.5);
+}
+
+TEST(Distributions, UniformValidation) {
+  EXPECT_THROW(uniform(2.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(uniform(-1.0, 1.0), std::invalid_argument);
+}
+
+TEST(Distributions, ExponentialOffsetAndCap) {
+  Rng rng(6);
+  const auto d = exponential(100.0, 50.0, 300.0);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = d->sample(rng);
+    ASSERT_GE(v, 100.0);
+    ASSERT_LE(v, 300.0);
+  }
+}
+
+TEST(Distributions, ExponentialMean) {
+  Rng rng(7);
+  const auto d = exponential(0.0, 10.0, 1e9);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += d->sample(rng);
+  EXPECT_NEAR(sum / n, 10.0, 0.2);
+}
+
+TEST(Distributions, ExponentialValidation) {
+  EXPECT_THROW(exponential(-1.0, 1.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(exponential(0.0, 0.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(exponential(5.0, 1.0, 5.0), std::invalid_argument);
+}
+
+TEST(Distributions, MixtureWeightsRespected) {
+  Rng rng(8);
+  const auto d = mixture({{3.0, constant(1.0)}, {1.0, constant(2.0)}});
+  int ones = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    if (d->sample(rng) == 1.0) ++ones;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.01);
+}
+
+TEST(Distributions, MixtureValidation) {
+  EXPECT_THROW(mixture({}), std::invalid_argument);
+  EXPECT_THROW(mixture({{0.0, constant(1.0)}}), std::invalid_argument);
+  EXPECT_THROW(mixture({{1.0, nullptr}}), std::invalid_argument);
+}
+
+TEST(Distributions, ParetoTailAndBounds) {
+  Rng rng(9);
+  const auto d = pareto(100.0, 1.5, 1e6);
+  double mx = 0.0;
+  for (int i = 0; i < 50000; ++i) {
+    const double v = d->sample(rng);
+    ASSERT_GE(v, 100.0);
+    ASSERT_LE(v, 1e6);
+    mx = std::max(mx, v);
+  }
+  EXPECT_GT(mx, 5000.0);  // a genuine power-law tail
+}
+
+TEST(Distributions, ParetoMedianMatchesTheory) {
+  // Median of Pareto(x_m, alpha) = x_m * 2^(1/alpha).
+  Rng rng(10);
+  const auto d = pareto(100.0, 2.0, 1e9);
+  std::vector<double> xs;
+  for (int i = 0; i < 40000; ++i) xs.push_back(d->sample(rng));
+  std::sort(xs.begin(), xs.end());
+  EXPECT_NEAR(xs[xs.size() / 2], 100.0 * std::sqrt(2.0), 2.0);
+}
+
+TEST(Distributions, ParetoValidation) {
+  EXPECT_THROW(pareto(0.0, 1.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(pareto(1.0, 0.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(pareto(5.0, 1.0, 5.0), std::invalid_argument);
+}
+
+TEST(Distributions, LogNormalMedianMatchesTheory) {
+  // Median of LogNormal(mu, sigma) = exp(mu).
+  Rng rng(11);
+  const auto d = lognormal(6.0, 0.5, 1e9);
+  std::vector<double> xs;
+  for (int i = 0; i < 40000; ++i) {
+    const double v = d->sample(rng);
+    ASSERT_GT(v, 0.0);
+    xs.push_back(v);
+  }
+  std::sort(xs.begin(), xs.end());
+  EXPECT_NEAR(xs[xs.size() / 2], std::exp(6.0), 8.0);
+}
+
+TEST(Distributions, LogNormalCapAndValidation) {
+  Rng rng(12);
+  const auto d = lognormal(10.0, 2.0, 500.0);
+  for (int i = 0; i < 1000; ++i) ASSERT_LE(d->sample(rng), 500.0);
+  EXPECT_THROW(lognormal(0.0, -1.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(lognormal(0.0, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Distributions, DescribeIsInformative) {
+  EXPECT_NE(normal(1, 2, 0, 5)->describe().find("normal"), std::string::npos);
+  EXPECT_NE(uniform(1, 2)->describe().find("uniform"), std::string::npos);
+  EXPECT_NE(exponential(1, 2, 9)->describe().find("exp"), std::string::npos);
+  EXPECT_NE(mixture({{1.0, constant(3.0)}})->describe().find("mixture"),
+            std::string::npos);
+  EXPECT_NE(pareto(1, 2, 9)->describe().find("pareto"), std::string::npos);
+  EXPECT_NE(lognormal(1, 2, 9)->describe().find("lognormal"),
+            std::string::npos);
+}
+
+}  // namespace

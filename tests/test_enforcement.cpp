@@ -1,0 +1,167 @@
+// Tests for the worker enforcement model: consumption ramps and monitor
+// sampling (sim/enforcement.hpp).
+
+#include "sim/enforcement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using tora::core::ResourceKind;
+using tora::core::ResourceVector;
+using tora::core::TaskSpec;
+using tora::sim::attempt_runtime;
+using tora::sim::ramp_crossing_time;
+
+TaskSpec base_task() {
+  TaskSpec t;
+  t.id = 0;
+  t.category = "c";
+  t.demand = ResourceVector{1.0, 2000.0, 100.0};
+  t.duration_s = 100.0;
+  t.peak_fraction = 0.5;
+  return t;
+}
+
+TEST(RampCrossing, StepKillsAtPeakTime) {
+  EXPECT_DOUBLE_EQ(
+      ramp_crossing_time(TaskSpec::Ramp::Step, 2000.0, 1000.0, 100.0, 0.5),
+      50.0);
+}
+
+TEST(RampCrossing, LinearKillsProportionally) {
+  // Ramp reaches 2000 at t=50; crosses 1000 at t=25, 500 at t=12.5.
+  EXPECT_DOUBLE_EQ(
+      ramp_crossing_time(TaskSpec::Ramp::Linear, 2000.0, 1000.0, 100.0, 0.5),
+      25.0);
+  EXPECT_DOUBLE_EQ(
+      ramp_crossing_time(TaskSpec::Ramp::Linear, 2000.0, 500.0, 100.0, 0.5),
+      12.5);
+}
+
+TEST(RampCrossing, ConstantKillsImmediately) {
+  EXPECT_DOUBLE_EQ(
+      ramp_crossing_time(TaskSpec::Ramp::Constant, 2000.0, 1000.0, 100.0, 0.5),
+      0.0);
+}
+
+TEST(RampCrossing, RequiresActualViolation) {
+  EXPECT_THROW(
+      ramp_crossing_time(TaskSpec::Ramp::Step, 1000.0, 1000.0, 100.0, 0.5),
+      std::invalid_argument);
+}
+
+TEST(AttemptRuntime, CoveringAllocationRunsFully) {
+  const TaskSpec t = base_task();
+  const ResourceVector alloc{2.0, 4000.0, 200.0};
+  EXPECT_DOUBLE_EQ(
+      attempt_runtime(t, alloc, tora::core::kManagedResources), 100.0);
+}
+
+TEST(AttemptRuntime, StepDefaultMatchesPeakFraction) {
+  const TaskSpec t = base_task();
+  const ResourceVector alloc{2.0, 1000.0, 200.0};  // memory under
+  EXPECT_DOUBLE_EQ(
+      attempt_runtime(t, alloc, tora::core::kManagedResources), 50.0);
+}
+
+TEST(AttemptRuntime, LinearDiesEarlierForSmallerAllocations) {
+  TaskSpec t = base_task();
+  t.ramp = TaskSpec::Ramp::Linear;
+  const double at_1000 = attempt_runtime(t, {2.0, 1000.0, 200.0},
+                                         tora::core::kManagedResources);
+  const double at_200 = attempt_runtime(t, {2.0, 200.0, 200.0},
+                                        tora::core::kManagedResources);
+  EXPECT_DOUBLE_EQ(at_1000, 25.0);
+  EXPECT_DOUBLE_EQ(at_200, 5.0);
+}
+
+TEST(AttemptRuntime, EarliestViolatingDimensionWins) {
+  TaskSpec t = base_task();
+  t.ramp = TaskSpec::Ramp::Linear;
+  // Memory crosses at 25 s; cores (demand 1.0, alloc 0.1) cross at 5 s.
+  const ResourceVector alloc{0.1, 1000.0, 200.0};
+  EXPECT_DOUBLE_EQ(
+      attempt_runtime(t, alloc, tora::core::kManagedResources), 5.0);
+}
+
+TEST(AttemptRuntime, MonitorIntervalRoundsUpToSample) {
+  const TaskSpec t = base_task();  // step kill at 50.0
+  const ResourceVector alloc{2.0, 1000.0, 200.0};
+  EXPECT_DOUBLE_EQ(
+      attempt_runtime(t, alloc, tora::core::kManagedResources, 15.0), 60.0);
+  // Exact multiples stay put.
+  EXPECT_DOUBLE_EQ(
+      attempt_runtime(t, alloc, tora::core::kManagedResources, 25.0), 50.0);
+}
+
+TEST(AttemptRuntime, MonitorNeverExtendsPastDuration) {
+  TaskSpec t = base_task();
+  t.peak_fraction = 0.99;  // kill at 99 s
+  const ResourceVector alloc{2.0, 1000.0, 200.0};
+  EXPECT_DOUBLE_EQ(
+      attempt_runtime(t, alloc, tora::core::kManagedResources, 40.0), 100.0);
+}
+
+TEST(AttemptRuntime, ConstantRampUnderContinuousMonitoringIsEpsilon) {
+  TaskSpec t = base_task();
+  t.ramp = TaskSpec::Ramp::Constant;
+  const ResourceVector alloc{2.0, 1000.0, 200.0};
+  const double rt = attempt_runtime(t, alloc, tora::core::kManagedResources);
+  EXPECT_GT(rt, 0.0);
+  EXPECT_LE(rt, 0.01);
+}
+
+TEST(AttemptRuntime, RejectsNegativeInterval) {
+  const TaskSpec t = base_task();
+  EXPECT_THROW(attempt_runtime(t, t.demand, tora::core::kManagedResources,
+                               -1.0),
+               std::invalid_argument);
+}
+
+TEST(AttemptRuntime, TimeLimitAppliesWhenManaged) {
+  TaskSpec t = base_task();
+  t.demand[ResourceKind::TimeS] = 100.0;
+  const std::array<ResourceKind, 4> all = tora::core::kAllResources;
+  // Covering spatial allocation, 40 s wall-time limit: killed at 40 s.
+  const ResourceVector alloc{2.0, 4000.0, 200.0, 40.0};
+  EXPECT_DOUBLE_EQ(attempt_runtime(t, alloc, all), 40.0);
+  // Spatial violation at 50 s but time limit at 30 s: time wins.
+  const ResourceVector tight{2.0, 1000.0, 200.0, 30.0};
+  EXPECT_DOUBLE_EQ(attempt_runtime(t, tight, all), 30.0);
+}
+
+TEST(AttemptRuntime, EndToEndLinearRampWastesLess) {
+  // A linear-ramp workload wastes less on failed attempts than a step-ramp
+  // one (attempts die earlier), all else equal.
+  auto make_tasks = [](TaskSpec::Ramp ramp) {
+    std::vector<TaskSpec> tasks;
+    for (std::size_t i = 0; i < 30; ++i) {
+      TaskSpec t = base_task();
+      t.id = i;
+      t.ramp = ramp;
+      tasks.push_back(std::move(t));
+    }
+    return tasks;
+  };
+  tora::sim::SimConfig cfg;
+  cfg.churn.enabled = false;
+  cfg.churn.initial_workers = 4;
+  auto run = [&](TaskSpec::Ramp ramp) {
+    const auto tasks = make_tasks(ramp);
+    auto alloc =
+        tora::core::make_allocator(tora::core::kGreedyBucketing, 3);
+    tora::sim::Simulation sim(tasks, alloc, cfg);
+    return sim.run().accounting.breakdown(ResourceKind::MemoryMB)
+        .failed_allocation;
+  };
+  const double step_waste = run(TaskSpec::Ramp::Step);
+  const double linear_waste = run(TaskSpec::Ramp::Linear);
+  EXPECT_GT(step_waste, 0.0);
+  EXPECT_LT(linear_waste, step_waste);
+}
+
+}  // namespace

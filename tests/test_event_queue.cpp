@@ -1,0 +1,56 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using tora::sim::Event;
+using tora::sim::EventKind;
+using tora::sim::EventQueue;
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  q.push(3.0, EventKind::TaskSubmit, 3);
+  q.push(1.0, EventKind::TaskSubmit, 1);
+  q.push(2.0, EventKind::TaskSubmit, 2);
+  EXPECT_EQ(q.pop().a, 1u);
+  EXPECT_EQ(q.pop().a, 2u);
+  EXPECT_EQ(q.pop().a, 3u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  for (std::uint64_t i = 0; i < 10; ++i) q.push(5.0, EventKind::TaskSubmit, i);
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(q.pop().a, i);
+}
+
+TEST(EventQueue, NextTimePeeks) {
+  EventQueue q;
+  q.push(7.5, EventKind::WorkerJoin);
+  q.push(2.5, EventKind::WorkerLeave, 4);
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.5);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(EventQueue, CarriesPayload) {
+  EventQueue q;
+  q.push(1.0, EventKind::AttemptFinish, 11, 22, 33);
+  const Event e = q.pop();
+  EXPECT_EQ(e.kind, EventKind::AttemptFinish);
+  EXPECT_EQ(e.a, 11u);
+  EXPECT_EQ(e.b, 22u);
+  EXPECT_EQ(e.epoch, 33u);
+}
+
+TEST(EventQueue, RejectsNegativeTime) {
+  EventQueue q;
+  EXPECT_THROW(q.push(-1.0, EventKind::TaskSubmit), std::invalid_argument);
+}
+
+TEST(EventQueue, PopOnEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.pop(), std::logic_error);
+}
+
+}  // namespace

@@ -1,0 +1,161 @@
+#include "core/exhaustive_bucketing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/bucket.hpp"
+
+namespace {
+
+using tora::core::BucketSet;
+using tora::core::ExhaustiveBucketing;
+using tora::core::expected_waste;
+using tora::core::Record;
+using tora::util::Rng;
+
+std::vector<Record> uniform_records(std::initializer_list<double> values) {
+  std::vector<Record> r;
+  for (double v : values) r.push_back({v, 1.0});
+  return r;
+}
+
+TEST(EvenSpacingEnds, SingleBucketIsWholeRange) {
+  const auto recs = uniform_records({1.0, 2.0, 3.0});
+  const auto ends = ExhaustiveBucketing::even_spacing_ends(recs, 1);
+  ASSERT_EQ(ends.size(), 1u);
+  EXPECT_EQ(ends[0], 2u);
+}
+
+TEST(EvenSpacingEnds, TwoBucketsCutAtHalfMax) {
+  // v_max = 10, cut at 5: the closest record strictly below 5 is index 1.
+  const auto recs = uniform_records({2.0, 4.0, 6.0, 10.0});
+  const auto ends = ExhaustiveBucketing::even_spacing_ends(recs, 2);
+  ASSERT_EQ(ends.size(), 2u);
+  EXPECT_EQ(ends[0], 1u);
+  EXPECT_EQ(ends[1], 3u);
+}
+
+TEST(EvenSpacingEnds, CutBelowSmallestRecordIsDropped) {
+  // v_max = 100; 4-bucket cuts at 25/50/75 all fall below... here 25 falls
+  // below the smallest record 30? No: 25 < 30, so the first cut maps to
+  // nothing and is dropped.
+  const auto recs = uniform_records({30.0, 60.0, 100.0});
+  const auto ends = ExhaustiveBucketing::even_spacing_ends(recs, 4);
+  // cuts 25 (dropped), 50 -> idx 0 (30 < 50), 75 -> idx 1 (60 < 75).
+  ASSERT_EQ(ends.size(), 3u);
+  EXPECT_EQ(ends[0], 0u);
+  EXPECT_EQ(ends[1], 1u);
+  EXPECT_EQ(ends[2], 2u);
+}
+
+TEST(EvenSpacingEnds, DuplicateMappingsDeduped) {
+  // Many cuts collapsing onto the same record index must dedupe.
+  const auto recs = uniform_records({1.0, 100.0});
+  const auto ends = ExhaustiveBucketing::even_spacing_ends(recs, 8);
+  // Every cut in (1, 100) maps to index 0.
+  ASSERT_EQ(ends.size(), 2u);
+  EXPECT_EQ(ends[0], 0u);
+  EXPECT_EQ(ends[1], 1u);
+}
+
+TEST(EvenSpacingEnds, AllZeroValuesSingleBucket) {
+  const auto recs = uniform_records({0.0, 0.0, 0.0});
+  const auto ends = ExhaustiveBucketing::even_spacing_ends(recs, 5);
+  ASSERT_EQ(ends.size(), 1u);
+  EXPECT_EQ(ends[0], 2u);
+}
+
+TEST(ExhaustiveBucketing, RejectsZeroMaxBuckets) {
+  EXPECT_THROW(ExhaustiveBucketing(Rng(1), 0), std::invalid_argument);
+}
+
+TEST(ExhaustiveBucketing, SingleRecord) {
+  ExhaustiveBucketing eb{Rng(2)};
+  eb.observe(7.0, 1.0);
+  EXPECT_DOUBLE_EQ(eb.predict(), 7.0);
+  EXPECT_EQ(eb.buckets().size(), 1u);
+}
+
+TEST(ExhaustiveBucketing, BimodalSplitsIntoTwoBuckets) {
+  ExhaustiveBucketing eb{Rng(3)};
+  for (double v : {10.0, 10.5, 11.0, 11.5, 90.0, 90.5, 91.0, 91.5}) {
+    eb.observe(v, 1.0);
+  }
+  const auto& set = eb.buckets();
+  ASSERT_GE(set.size(), 2u);
+  EXPECT_DOUBLE_EQ(set.buckets()[0].rep, 11.5);
+  EXPECT_DOUBLE_EQ(set.buckets().back().rep, 91.5);
+}
+
+TEST(ExhaustiveBucketing, ChoosesMinimumCostConfiguration) {
+  ExhaustiveBucketing eb{Rng(4)};
+  const auto recs =
+      uniform_records({1.0, 1.2, 1.4, 50.0, 50.2, 99.0, 99.5, 100.0});
+  for (const Record& r : recs) eb.observe(r.value, r.significance);
+  const auto& chosen = eb.buckets();
+  const double chosen_cost = expected_waste(chosen);
+  // The chosen configuration must be no worse than every candidate the
+  // algorithm is defined to consider.
+  for (std::size_t b = 1; b <= 8; ++b) {
+    const auto ends = ExhaustiveBucketing::even_spacing_ends(recs, b);
+    const auto set = BucketSet::from_break_indices(recs, ends);
+    EXPECT_LE(chosen_cost, expected_waste(set) + 1e-9);
+  }
+}
+
+TEST(ExhaustiveBucketing, RespectsMaxBucketCap) {
+  ExhaustiveBucketing eb{Rng(5), 3};
+  for (int i = 0; i < 50; ++i) eb.observe(i * 10.0 + 1.0, 1.0);
+  EXPECT_LE(eb.buckets().size(), 3u);
+}
+
+TEST(ExhaustiveBucketing, DefaultCapIsTen) {
+  ExhaustiveBucketing eb{Rng(6)};
+  EXPECT_EQ(eb.max_buckets(), 10u);
+  for (int i = 0; i < 200; ++i) eb.observe(i * 7.0 + 1.0, 1.0);
+  EXPECT_LE(eb.buckets().size(), 10u);
+}
+
+TEST(ExhaustiveBucketing, RetryEscalation) {
+  ExhaustiveBucketing eb{Rng(7)};
+  for (double v : {10.0, 10.5, 90.0, 91.0}) eb.observe(v, 1.0);
+  for (int i = 0; i < 50; ++i) {
+    const double r = eb.retry(10.5);
+    EXPECT_GT(r, 10.5);
+  }
+  EXPECT_DOUBLE_EQ(eb.retry(91.0), 182.0);
+}
+
+TEST(ExhaustiveBucketing, IdenticalValuesOneBucket) {
+  ExhaustiveBucketing eb{Rng(8)};
+  for (int i = 0; i < 20; ++i) eb.observe(306.0, i + 1.0);
+  ASSERT_EQ(eb.buckets().size(), 1u);
+  EXPECT_DOUBLE_EQ(eb.predict(), 306.0);
+}
+
+TEST(ExhaustiveBucketing, PhaseChangeShiftsProbability) {
+  ExhaustiveBucketing eb{Rng(9)};
+  double sig = 1.0;
+  for (int i = 0; i < 30; ++i) eb.observe(100.0, sig++);
+  for (int i = 0; i < 30; ++i) eb.observe(1000.0, sig++);
+  const auto& set = eb.buckets();
+  ASSERT_GE(set.size(), 2u);
+  // Later (heavier) records dominate the top bucket's probability.
+  EXPECT_GT(set.buckets().back().prob, 0.55);
+}
+
+TEST(ExhaustiveBucketing, CostNotWorseThanGreedySingleBucketOnClusters) {
+  // Sanity link between the two algorithms' cost models: on well-separated
+  // clusters EB must pick a multi-bucket config cheaper than one bucket.
+  ExhaustiveBucketing eb{Rng(10)};
+  std::vector<Record> recs;
+  for (double v : {1.0, 1.1, 1.2, 200.0, 200.1, 200.2}) {
+    recs.push_back({v, 1.0});
+    eb.observe(v, 1.0);
+  }
+  const auto one = BucketSet::from_break_indices(recs, std::vector<std::size_t>{5});
+  EXPECT_LT(expected_waste(eb.buckets()), expected_waste(one));
+}
+
+}  // namespace

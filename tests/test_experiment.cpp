@@ -1,0 +1,162 @@
+#include "exp/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "exp/report.hpp"
+
+namespace {
+
+using tora::core::ResourceKind;
+using tora::exp::ExperimentConfig;
+using tora::exp::ExperimentResult;
+using tora::exp::run_experiment;
+using tora::exp::run_grid;
+
+ExperimentConfig small_config() {
+  ExperimentConfig cfg;
+  cfg.sim.churn.enabled = false;
+  cfg.sim.churn.initial_workers = 10;
+  return cfg;
+}
+
+TEST(Experiment, RunsNamedWorkflowAndPolicy) {
+  const ExperimentResult r =
+      run_experiment("uniform", "max_seen", small_config());
+  EXPECT_EQ(r.workflow, "uniform");
+  EXPECT_EQ(r.policy, "max_seen");
+  EXPECT_EQ(r.sim.tasks_completed, 1000u);
+  EXPECT_EQ(r.sim.tasks_fatal, 0u);
+}
+
+TEST(Experiment, AweAlwaysInUnitInterval) {
+  for (const char* policy : {"whole_machine", "greedy_bucketing"}) {
+    const ExperimentResult r =
+        run_experiment("bimodal", policy, small_config());
+    for (ResourceKind k : tora::core::kManagedResources) {
+      EXPECT_GT(r.awe(k), 0.0) << policy;
+      EXPECT_LE(r.awe(k), 1.0) << policy;
+    }
+  }
+}
+
+TEST(Experiment, WholeMachineIsWorstOnMemory) {
+  const ExperimentConfig cfg = small_config();
+  const double wm =
+      run_experiment("normal", "whole_machine", cfg).awe(ResourceKind::MemoryMB);
+  for (const char* policy : {"max_seen", "greedy_bucketing",
+                             "exhaustive_bucketing"}) {
+    const double other =
+        run_experiment("normal", policy, cfg).awe(ResourceKind::MemoryMB);
+    EXPECT_GT(other, wm) << policy;
+  }
+}
+
+TEST(Experiment, GridSharesWorkloadAcrossPolicies) {
+  const auto results = run_grid({"uniform"}, {"max_seen", "whole_machine"},
+                                small_config());
+  ASSERT_EQ(results.size(), 2u);
+  // Identical ground-truth consumption across policies proves the same
+  // workload instance is reused.
+  EXPECT_NEAR(
+      results[0].waste(ResourceKind::MemoryMB).consumption,
+      results[1].waste(ResourceKind::MemoryMB).consumption, 1e-6);
+}
+
+TEST(Experiment, DeterministicEndToEnd) {
+  const ExperimentResult a =
+      run_experiment("trimodal", "exhaustive_bucketing", small_config());
+  const ExperimentResult b =
+      run_experiment("trimodal", "exhaustive_bucketing", small_config());
+  for (ResourceKind k : tora::core::kManagedResources) {
+    EXPECT_DOUBLE_EQ(a.awe(k), b.awe(k));
+  }
+  EXPECT_DOUBLE_EQ(a.sim.makespan_s, b.sim.makespan_s);
+}
+
+TEST(Experiment, ReplicatedRunsAggregate) {
+  tora::exp::ExperimentConfig base = small_config();
+  const auto rep =
+      tora::exp::run_replicated("uniform", "max_seen", 3, base);
+  EXPECT_EQ(rep.runs.size(), 3u);
+  const auto awe = rep.awe(ResourceKind::MemoryMB);
+  EXPECT_EQ(awe.runs, 3u);
+  EXPECT_GT(awe.mean, 0.0);
+  EXPECT_LE(awe.mean, 1.0);
+  EXPECT_GE(awe.max, awe.mean);
+  EXPECT_LE(awe.min, awe.mean);
+  const auto mk = rep.makespan();
+  EXPECT_GT(mk.mean, 0.0);
+  // Different seeds per replication: the workloads genuinely differ.
+  EXPECT_NE(rep.runs[0].sim.makespan_s, rep.runs[1].sim.makespan_s);
+}
+
+TEST(Experiment, ReplicatedRejectsZeroRuns) {
+  EXPECT_THROW(tora::exp::run_replicated("uniform", "max_seen", 0),
+               std::invalid_argument);
+}
+
+TEST(Experiment, ParallelGridMatchesSerial) {
+  const std::vector<std::string> wfs{"uniform", "bimodal"};
+  const std::vector<std::string> pols{"max_seen", "greedy_bucketing"};
+  const ExperimentConfig cfg = small_config();
+  const auto serial = tora::exp::run_grid(wfs, pols, cfg);
+  const auto parallel = tora::exp::run_grid_parallel(wfs, pols, cfg, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].workflow, parallel[i].workflow);
+    EXPECT_EQ(serial[i].policy, parallel[i].policy);
+    for (ResourceKind k : tora::core::kManagedResources) {
+      EXPECT_DOUBLE_EQ(serial[i].awe(k), parallel[i].awe(k)) << i;
+    }
+    EXPECT_DOUBLE_EQ(serial[i].sim.makespan_s, parallel[i].sim.makespan_s);
+  }
+}
+
+TEST(Experiment, ParallelGridEmptyInputs) {
+  EXPECT_TRUE(tora::exp::run_grid_parallel({}, {"max_seen"}).empty());
+  EXPECT_TRUE(tora::exp::run_grid_parallel({"uniform"}, {}).empty());
+}
+
+TEST(Experiment, ParallelGridPropagatesErrors) {
+  EXPECT_THROW(
+      tora::exp::run_grid_parallel({"uniform"}, {"no_such_policy"}, {}, 2),
+      std::invalid_argument);
+}
+
+TEST(Experiment, DefaultConfigStreamsSubmissions) {
+  // The paper-reproduction default submits tasks as a stream, not at t=0.
+  tora::exp::ExperimentConfig cfg;
+  EXPECT_GT(cfg.sim.submit_interval_s, 0.0);
+}
+
+// ------------------------------------------------------------- TextTable
+
+TEST(TextTable, FormatsAlignedOutput) {
+  tora::exp::TextTable t({"workflow", "cores", "memory"});
+  t.add_row("uniform", {0.5, 0.75});
+  t.add_row({"topeft", "0.9", "0.8"});
+  std::ostringstream oss;
+  t.print(oss);
+  const std::string s = oss.str();
+  EXPECT_NE(s.find("workflow"), std::string::npos);
+  EXPECT_NE(s.find("0.500"), std::string::npos);
+  EXPECT_NE(s.find("topeft"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 3u);
+}
+
+TEST(TextTable, RejectsWidthMismatch) {
+  tora::exp::TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+  EXPECT_THROW(tora::exp::TextTable({}), std::invalid_argument);
+}
+
+TEST(Report, FmtHelpers) {
+  EXPECT_EQ(tora::exp::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(tora::exp::fmt_pct(0.873), "87.3%");
+  EXPECT_EQ(tora::exp::fmt_pct(1.0), "100.0%");
+}
+
+}  // namespace

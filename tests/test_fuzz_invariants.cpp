@@ -1,0 +1,161 @@
+// Randomized (seeded, deterministic) fuzz tests: throw large volumes of
+// random-but-valid inputs at the core machinery and check invariants that
+// must hold for ANY input — the properties the rest of the system relies on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/bucket.hpp"
+#include "core/exhaustive_bucketing.hpp"
+#include "core/greedy_bucketing.hpp"
+#include "core/kmeans_bucketing.hpp"
+#include "core/quantized_bucketing.hpp"
+#include "proto/message.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using tora::core::BucketSet;
+using tora::core::expected_waste;
+using tora::core::Record;
+using tora::util::Rng;
+
+std::vector<Record> random_records(Rng& rng, std::size_t n) {
+  std::vector<Record> recs;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Mixed scales and duplicates on purpose.
+    double v = 0.0;
+    switch (rng.uniform_int(0, 2)) {
+      case 0: v = rng.uniform(1.0, 100.0); break;
+      case 1: v = rng.uniform(1000.0, 2000.0); break;
+      default: v = 306.0; break;
+    }
+    recs.push_back({v, static_cast<double>(i) + 1.0});
+  }
+  std::sort(recs.begin(), recs.end(),
+            [](const Record& a, const Record& b) { return a.value < b.value; });
+  return recs;
+}
+
+std::vector<std::size_t> random_breaks(Rng& rng, std::size_t n) {
+  std::set<std::size_t> ends{n - 1};
+  const std::size_t extra = rng.uniform_int(0, std::min<std::size_t>(7, n - 1));
+  for (std::size_t i = 0; i < extra; ++i) {
+    std::size_t e = rng.uniform_int(0, n - 1);
+    // A break must not split a run of equal values (equal reps would
+    // violate the strict-increase invariant) — extend through the run.
+    ends.insert(e);
+  }
+  return {ends.begin(), ends.end()};
+}
+
+TEST(FuzzBucketSet, RandomConfigurationsKeepInvariants) {
+  Rng rng(12345);
+  int built = 0;
+  for (int iter = 0; iter < 300; ++iter) {
+    const std::size_t n = rng.uniform_int(1, 60);
+    const auto recs = random_records(rng, n);
+    auto ends = random_breaks(rng, n);
+    // Normalize ends through equal-value runs so the configuration is valid.
+    for (auto& e : ends) {
+      while (e + 1 < n && recs[e + 1].value == recs[e].value) ++e;
+    }
+    std::sort(ends.begin(), ends.end());
+    ends.erase(std::unique(ends.begin(), ends.end()), ends.end());
+
+    const auto set = BucketSet::from_break_indices(recs, ends);
+    ++built;
+    double prob = 0.0;
+    double prev_rep = -1.0;
+    std::size_t covered = 0;
+    for (const auto& b : set.buckets()) {
+      ASSERT_GT(b.rep, prev_rep);
+      ASSERT_GE(b.prob, 0.0);
+      ASSERT_LE(b.weighted_mean, b.rep + 1e-9);
+      prob += b.prob;
+      covered += b.size();
+      prev_rep = b.rep;
+    }
+    ASSERT_NEAR(prob, 1.0, 1e-9);
+    ASSERT_EQ(covered, n);
+    // The expected waste is finite and non-negative for every config.
+    const double w = expected_waste(set);
+    ASSERT_GE(w, -1e-9);
+    ASSERT_LT(w, 1e9);
+  }
+  EXPECT_EQ(built, 300);
+}
+
+TEST(FuzzBucketingAlgorithms, EveryAlgorithmHandlesRandomStreams) {
+  Rng rng(777);
+  for (int iter = 0; iter < 40; ++iter) {
+    tora::core::GreedyBucketing gb{Rng(rng())};
+    tora::core::ExhaustiveBucketing eb{Rng(rng())};
+    tora::core::QuantizedBucketing qb{Rng(rng())};
+    tora::core::KMeansBucketing km{Rng(rng()), 3};
+    const std::size_t n = rng.uniform_int(1, 120);
+    Rng values(rng());
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = values.uniform(0.5, 5000.0);
+      const double sig = static_cast<double>(i) + 1.0;
+      gb.observe(v, sig);
+      eb.observe(v, sig);
+      qb.observe(v, sig);
+      km.observe(v, sig);
+    }
+    const std::vector<tora::core::BucketingPolicy*> policies = {&gb, &eb, &qb,
+                                                                &km};
+    for (tora::core::BucketingPolicy* p : policies) {
+      const auto& set = p->buckets();
+      ASSERT_FALSE(set.empty());
+      const double alloc = p->predict();
+      ASSERT_GT(alloc, 0.0);
+      // Retry from every bucket rep escalates or doubles.
+      for (const auto& b : set.buckets()) {
+        ASSERT_GT(p->retry(b.rep), b.rep);
+      }
+    }
+  }
+}
+
+TEST(FuzzProtoDecode, RandomGarbageNeverCrashes) {
+  Rng rng(999);
+  const char charset[] =
+      " abcdefghijklmnopqrstuvwxyz0123456789=%.-\tdispatchreadyresult";
+  int decoded = 0;
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string line;
+    const std::size_t len = rng.uniform_int(0, 120);
+    for (std::size_t i = 0; i < len; ++i) {
+      line += charset[rng.uniform_int(0, sizeof(charset) - 2)];
+    }
+    if (tora::proto::decode(line)) ++decoded;  // allowed, just never crash
+  }
+  // Random garbage almost never parses as a full message.
+  EXPECT_LT(decoded, 10);
+}
+
+TEST(FuzzProtoRoundTrip, RandomValidMessagesSurvive) {
+  Rng rng(31337);
+  for (int iter = 0; iter < 500; ++iter) {
+    tora::proto::Message m;
+    m.type = tora::proto::MsgType::TaskResult;
+    m.worker_id = rng.uniform_int(0, 1000);
+    m.task_id = rng.uniform_int(0, 1000000);
+    m.outcome = rng.bernoulli(0.5)
+                    ? tora::proto::Outcome::Success
+                    : tora::proto::Outcome::ResourceExhausted;
+    m.runtime_s = rng.uniform(0.0, 1e6);
+    m.exceeded_mask = static_cast<unsigned>(rng.uniform_int(0, 15));
+    m.resources = {rng.uniform(0.0, 64.0), rng.uniform(0.0, 1e6),
+                   rng.uniform(0.0, 1e6), rng.uniform(0.0, 1e5)};
+    const auto d = tora::proto::decode(tora::proto::encode(m));
+    ASSERT_TRUE(d.has_value());
+    ASSERT_EQ(*d, m);
+  }
+}
+
+}  // namespace

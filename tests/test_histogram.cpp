@@ -1,0 +1,87 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+using tora::util::FixedWidthHistogram;
+
+TEST(FixedWidthHistogram, RejectsBadWidth) {
+  EXPECT_THROW(FixedWidthHistogram(0.0), std::invalid_argument);
+  EXPECT_THROW(FixedWidthHistogram(-1.0), std::invalid_argument);
+}
+
+TEST(FixedWidthHistogram, PaperDiskRounding) {
+  // §V-C: a 306 MB disk consumption rounds to a 500 MB allocation with the
+  // Work Queue 250 MB histogram.
+  FixedWidthHistogram h(250.0);
+  EXPECT_DOUBLE_EQ(h.round_up(306.0), 500.0);
+  EXPECT_DOUBLE_EQ(h.round_up(250.0), 250.0);
+  EXPECT_DOUBLE_EQ(h.round_up(251.0), 500.0);
+  EXPECT_DOUBLE_EQ(h.round_up(1.0), 250.0);
+  EXPECT_DOUBLE_EQ(h.round_up(0.0), 0.0);
+}
+
+TEST(FixedWidthHistogram, TracksMaxAndCount) {
+  FixedWidthHistogram h(10.0);
+  EXPECT_TRUE(h.empty());
+  h.add(5.0);
+  h.add(25.0);
+  h.add(15.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.max_value(), 25.0);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 3.0);
+}
+
+TEST(FixedWidthHistogram, WeightedCdf) {
+  FixedWidthHistogram h(1.0);
+  h.add(1.0, 1.0);
+  h.add(2.0, 3.0);
+  EXPECT_DOUBLE_EQ(h.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(h.cdf(1.5), 0.25);
+  EXPECT_DOUBLE_EQ(h.cdf(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.cdf(100.0), 1.0);
+}
+
+TEST(FixedWidthHistogram, EmptyCdfIsZero) {
+  FixedWidthHistogram h(1.0);
+  EXPECT_EQ(h.cdf(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.max_value(), 0.0);
+}
+
+TEST(FixedWidthHistogram, DistinctValuesSortedDeduped) {
+  FixedWidthHistogram h(1.0);
+  h.add(3.0);
+  h.add(1.0);
+  h.add(3.0);
+  h.add(2.0);
+  const auto v = h.distinct_values();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[1], 2.0);
+  EXPECT_DOUBLE_EQ(v[2], 3.0);
+}
+
+TEST(FixedWidthHistogram, BucketsAccumulateWeight) {
+  FixedWidthHistogram h(10.0);
+  h.add(5.0, 2.0);   // bucket edge 10
+  h.add(9.0, 1.0);   // bucket edge 10
+  h.add(15.0, 4.0);  // bucket edge 20
+  const auto b = h.buckets();
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_DOUBLE_EQ(b[0].first, 10.0);
+  EXPECT_DOUBLE_EQ(b[0].second, 3.0);
+  EXPECT_DOUBLE_EQ(b[1].first, 20.0);
+  EXPECT_DOUBLE_EQ(b[1].second, 4.0);
+}
+
+TEST(FixedWidthHistogram, RejectsNegativeInput) {
+  FixedWidthHistogram h(1.0);
+  EXPECT_THROW(h.add(-1.0), std::invalid_argument);
+  EXPECT_THROW(h.add(1.0, -2.0), std::invalid_argument);
+}
+
+}  // namespace

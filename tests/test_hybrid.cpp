@@ -1,0 +1,106 @@
+#include "core/hybrid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/exhaustive_bucketing.hpp"
+#include "core/max_seen.hpp"
+#include "core/quantized_bucketing.hpp"
+#include "core/registry.hpp"
+
+namespace {
+
+using tora::core::ExhaustiveBucketing;
+using tora::core::HybridPolicy;
+using tora::core::MaxSeenPolicy;
+using tora::core::QuantizedBucketing;
+using tora::util::Rng;
+
+HybridPolicy make_hybrid(std::size_t switch_after) {
+  return HybridPolicy(std::make_unique<QuantizedBucketing>(Rng(1)),
+                      std::make_unique<ExhaustiveBucketing>(Rng(2)),
+                      switch_after);
+}
+
+TEST(Hybrid, ValidatesConstruction) {
+  EXPECT_THROW(HybridPolicy(nullptr,
+                            std::make_unique<ExhaustiveBucketing>(Rng(1)), 5),
+               std::invalid_argument);
+  EXPECT_THROW(HybridPolicy(std::make_unique<QuantizedBucketing>(Rng(1)),
+                            nullptr, 5),
+               std::invalid_argument);
+  EXPECT_THROW(HybridPolicy(std::make_unique<QuantizedBucketing>(Rng(1)),
+                            std::make_unique<ExhaustiveBucketing>(Rng(2)), 0),
+               std::invalid_argument);
+}
+
+TEST(Hybrid, UsesInitialStageBeforeSwitch) {
+  auto h = make_hybrid(10);
+  for (int i = 0; i < 5; ++i) h.observe(100.0, i + 1.0);
+  EXPECT_FALSE(h.switched());
+  // Quantized with identical values: rep = 100, always.
+  EXPECT_DOUBLE_EQ(h.predict(), 100.0);
+}
+
+TEST(Hybrid, SwitchesAfterThreshold) {
+  auto h = make_hybrid(10);
+  for (int i = 0; i < 10; ++i) h.observe(100.0, i + 1.0);
+  EXPECT_TRUE(h.switched());
+  EXPECT_DOUBLE_EQ(h.predict(), 100.0);  // EB also converges to 100 here
+}
+
+TEST(Hybrid, BothStagesSeeAllRecords) {
+  auto h = make_hybrid(3);
+  for (int i = 0; i < 8; ++i) h.observe(10.0 * (i + 1), i + 1.0);
+  EXPECT_EQ(h.record_count(), 8u);
+  EXPECT_EQ(h.initial().record_count(), 8u);
+  EXPECT_EQ(h.steady().record_count(), 8u);
+}
+
+TEST(Hybrid, SteadyStageIsWarmAtHandOff) {
+  // A hybrid whose steady stage is MaxSeen: immediately after the switch,
+  // MaxSeen must already know the historical maximum.
+  HybridPolicy h(std::make_unique<QuantizedBucketing>(Rng(3)),
+                 std::make_unique<MaxSeenPolicy>(1.0), 3);
+  h.observe(5.0, 1.0);
+  h.observe(50.0, 2.0);
+  h.observe(7.0, 3.0);
+  EXPECT_TRUE(h.switched());
+  EXPECT_DOUBLE_EQ(h.predict(), 50.0);
+}
+
+TEST(Hybrid, RetryDelegatesToActiveStage) {
+  auto h = make_hybrid(100);
+  for (int i = 0; i < 4; ++i) h.observe(10.0 * (i + 1), i + 1.0);
+  // Still in quantized stage: retry above the top bucket doubles.
+  EXPECT_DOUBLE_EQ(h.retry(40.0), 80.0);
+  EXPECT_GT(h.retry(10.0), 10.0);
+}
+
+TEST(Hybrid, NameDescribesBothStages) {
+  auto h = make_hybrid(5);
+  EXPECT_EQ(h.name(), "hybrid(quantized_bucketing->exhaustive_bucketing)");
+}
+
+TEST(Hybrid, RegistryConstructsIt) {
+  auto a = tora::core::make_allocator(tora::core::kHybridBucketing, 9);
+  EXPECT_TRUE(tora::core::is_bucketing_family(tora::core::kHybridBucketing));
+  // Bucketing-family exploration: fixed 1c/1GB/1GB default.
+  const auto alloc = a.allocate("c");
+  EXPECT_DOUBLE_EQ(alloc.cores(), 1.0);
+  EXPECT_DOUBLE_EQ(alloc.memory_mb(), 1024.0);
+  for (int i = 0; i < 12; ++i) a.record_completion("c", {1.0, 512.0, 64.0});
+  EXPECT_FALSE(a.exploring("c"));
+  EXPECT_DOUBLE_EQ(a.allocate("c").memory_mb(), 512.0);
+}
+
+TEST(Hybrid, ExtendedNamesIncludeIt) {
+  const auto& names = tora::core::extended_policy_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "hybrid_bucketing"),
+            names.end());
+  // The paper grid stays the paper's seven.
+  EXPECT_EQ(tora::core::all_policy_names().size(), 7u);
+}
+
+}  // namespace

@@ -1,0 +1,115 @@
+#include "core/kmeans_bucketing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/registry.hpp"
+
+namespace {
+
+using tora::core::KMeansBucketing;
+using tora::core::Record;
+using tora::util::Rng;
+
+std::vector<Record> uniform_records(std::initializer_list<double> values) {
+  std::vector<Record> r;
+  for (double v : values) r.push_back({v, 1.0});
+  return r;
+}
+
+TEST(KMeansBucketing, ValidatesConstruction) {
+  EXPECT_THROW(KMeansBucketing(Rng(1), 0), std::invalid_argument);
+  EXPECT_THROW(KMeansBucketing(Rng(1), 2, 0), std::invalid_argument);
+}
+
+TEST(KMeansBucketing, SingleClusterIsOneBucket) {
+  const auto recs = uniform_records({1.0, 2.0, 3.0});
+  const auto ends = KMeansBucketing::cluster_ends(recs, 1, 64);
+  EXPECT_EQ(ends, (std::vector<std::size_t>{2}));
+}
+
+TEST(KMeansBucketing, ConstantValuesCollapse) {
+  const auto recs = uniform_records({5.0, 5.0, 5.0, 5.0});
+  const auto ends = KMeansBucketing::cluster_ends(recs, 3, 64);
+  EXPECT_EQ(ends, (std::vector<std::size_t>{3}));
+}
+
+TEST(KMeansBucketing, SeparatesTwoCleanClusters) {
+  const auto recs =
+      uniform_records({1.0, 1.1, 1.2, 1.3, 100.0, 100.1, 100.2, 100.3});
+  const auto ends = KMeansBucketing::cluster_ends(recs, 2, 64);
+  ASSERT_EQ(ends.size(), 2u);
+  EXPECT_EQ(ends[0], 3u);  // exactly at the cluster boundary
+  EXPECT_EQ(ends[1], 7u);
+}
+
+TEST(KMeansBucketing, ThreeClusters) {
+  const auto recs = uniform_records(
+      {1.0, 1.2, 50.0, 50.5, 51.0, 100.0, 100.5});
+  const auto ends = KMeansBucketing::cluster_ends(recs, 3, 64);
+  ASSERT_EQ(ends.size(), 3u);
+  EXPECT_EQ(ends[0], 1u);
+  EXPECT_EQ(ends[1], 4u);
+  EXPECT_EQ(ends[2], 6u);
+}
+
+TEST(KMeansBucketing, KAboveRecordCountClamps) {
+  const auto recs = uniform_records({1.0, 10.0});
+  const auto ends = KMeansBucketing::cluster_ends(recs, 8, 64);
+  ASSERT_EQ(ends.size(), 2u);
+  EXPECT_EQ(ends[0], 0u);
+  EXPECT_EQ(ends[1], 1u);
+}
+
+TEST(KMeansBucketing, NeverSplitsEqualValueRuns) {
+  const auto recs = uniform_records({1.0, 5.0, 5.0, 5.0, 5.0, 5.0});
+  for (std::size_t k = 1; k <= 6; ++k) {
+    const auto ends = KMeansBucketing::cluster_ends(recs, k, 64);
+    // Reps must be strictly increasing: at most {0, 5}.
+    ASSERT_LE(ends.size(), 2u) << "k=" << k;
+    EXPECT_EQ(ends.back(), 5u);
+    if (ends.size() == 2) EXPECT_EQ(ends[0], 0u);
+  }
+}
+
+TEST(KMeansBucketing, PolicyIntegration) {
+  KMeansBucketing km{Rng(2), 2};
+  for (double v : {10.0, 10.5, 11.0, 90.0, 91.0, 92.0}) km.observe(v, 1.0);
+  const auto& set = km.buckets();
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_DOUBLE_EQ(set.buckets()[0].rep, 11.0);
+  EXPECT_DOUBLE_EQ(set.buckets()[1].rep, 92.0);
+  EXPECT_DOUBLE_EQ(km.retry(92.0), 184.0);
+  Rng rng(3);
+  EXPECT_DOUBLE_EQ(*set.sample_above(11.0, rng), 92.0);
+}
+
+TEST(KMeansBucketing, SignificanceShiftsCentroids) {
+  // Weighted centroids: heavy significance drags the boundary. We only
+  // check the invariants (well-formed, covers everything) since exact
+  // boundary position depends on iteration dynamics.
+  KMeansBucketing km{Rng(4), 2};
+  double sig = 1.0;
+  for (int i = 0; i < 30; ++i) km.observe(100.0 + i, sig++);
+  for (int i = 0; i < 30; ++i) km.observe(500.0 + i, sig++);
+  const auto& set = km.buckets();
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_DOUBLE_EQ(set.buckets()[0].rep, 129.0);
+  EXPECT_DOUBLE_EQ(set.buckets()[1].rep, 529.0);
+  EXPECT_GT(set.buckets()[1].prob, set.buckets()[0].prob);
+}
+
+TEST(KMeansBucketing, RegistryConstruction) {
+  auto a = tora::core::make_allocator(tora::core::kKMeansBucketing, 5);
+  EXPECT_TRUE(tora::core::is_bucketing_family(tora::core::kKMeansBucketing));
+  for (int i = 0; i < 12; ++i) a.record_completion("c", {1.0, 700.0, 70.0});
+  EXPECT_DOUBLE_EQ(a.allocate("c").memory_mb(), 700.0);
+  tora::core::RegistryOptions opts;
+  opts.kmeans_clusters = 5;
+  auto a5 = tora::core::make_allocator(tora::core::kKMeansBucketing, 5,
+                                       {16.0, 65536.0, 65536.0, 0.0}, opts);
+  (void)a5;
+}
+
+}  // namespace

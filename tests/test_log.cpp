@@ -1,0 +1,72 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <iostream>
+#include <sstream>
+
+namespace {
+
+using tora::util::LogLevel;
+
+/// Captures std::clog for the duration of a test.
+class ClogCapture {
+ public:
+  ClogCapture() : old_(std::clog.rdbuf(buffer_.rdbuf())) {}
+  ~ClogCapture() { std::clog.rdbuf(old_); }
+  std::string str() const { return buffer_.str(); }
+
+ private:
+  std::ostringstream buffer_;
+  std::streambuf* old_;
+};
+
+/// Restores the global level after each test.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = tora::util::log_level(); }
+  void TearDown() override { tora::util::set_log_level(saved_); }
+  LogLevel saved_ = LogLevel::Warn;
+};
+
+TEST_F(LogTest, DefaultLevelSuppressesInfo) {
+  tora::util::set_log_level(LogLevel::Warn);
+  ClogCapture cap;
+  tora::util::log_info("hidden");
+  tora::util::log_warn("visible");
+  EXPECT_EQ(cap.str().find("hidden"), std::string::npos);
+  EXPECT_NE(cap.str().find("visible"), std::string::npos);
+}
+
+TEST_F(LogTest, LevelsAreOrdered) {
+  tora::util::set_log_level(LogLevel::Debug);
+  ClogCapture cap;
+  tora::util::log_debug("d");
+  tora::util::log_error("e");
+  EXPECT_NE(cap.str().find("[tora:DEBUG] d"), std::string::npos);
+  EXPECT_NE(cap.str().find("[tora:ERROR] e"), std::string::npos);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  tora::util::set_log_level(LogLevel::Off);
+  ClogCapture cap;
+  tora::util::log_error("nope");
+  EXPECT_TRUE(cap.str().empty());
+}
+
+TEST_F(LogTest, StreamsMultipleArguments) {
+  tora::util::set_log_level(LogLevel::Info);
+  ClogCapture cap;
+  tora::util::log_info("x=", 42, " y=", 1.5);
+  EXPECT_NE(cap.str().find("x=42 y=1.5"), std::string::npos);
+}
+
+TEST_F(LogTest, LevelNames) {
+  EXPECT_STREQ(tora::util::log_level_name(LogLevel::Debug), "DEBUG");
+  EXPECT_STREQ(tora::util::log_level_name(LogLevel::Info), "INFO");
+  EXPECT_STREQ(tora::util::log_level_name(LogLevel::Warn), "WARN");
+  EXPECT_STREQ(tora::util::log_level_name(LogLevel::Error), "ERROR");
+  EXPECT_STREQ(tora::util::log_level_name(LogLevel::Off), "OFF");
+}
+
+}  // namespace

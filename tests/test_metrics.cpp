@@ -1,0 +1,178 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using tora::core::AttemptLog;
+using tora::core::ResourceKind;
+using tora::core::ResourceVector;
+using tora::core::TaskUsage;
+using tora::core::WasteAccounting;
+
+TaskUsage perfect_task() {
+  TaskUsage u;
+  u.category = "c";
+  u.peak = ResourceVector{2.0, 1000.0, 100.0};
+  u.final_alloc = u.peak;
+  u.final_runtime_s = 10.0;
+  return u;
+}
+
+TEST(WasteAccounting, PerfectAllocationIsAweOne) {
+  WasteAccounting acc;
+  acc.add(perfect_task());
+  for (ResourceKind k : tora::core::kManagedResources) {
+    EXPECT_DOUBLE_EQ(acc.awe(k), 1.0);
+    EXPECT_DOUBLE_EQ(acc.breakdown(k).total_waste(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.breakdown(k).internal_fragmentation, 0.0);
+    EXPECT_DOUBLE_EQ(acc.breakdown(k).failed_allocation, 0.0);
+  }
+  EXPECT_EQ(acc.task_count(), 1u);
+  EXPECT_EQ(acc.total_attempts(), 1u);
+}
+
+TEST(WasteAccounting, InternalFragmentationFormula) {
+  // t*(a - c): 10 * (1500 - 1000) = 5000 MB*s of memory fragmentation.
+  TaskUsage u = perfect_task();
+  u.final_alloc = ResourceVector{2.0, 1500.0, 100.0};
+  WasteAccounting acc;
+  acc.add(u);
+  const auto& b = acc.breakdown(ResourceKind::MemoryMB);
+  EXPECT_DOUBLE_EQ(b.internal_fragmentation, 5000.0);
+  EXPECT_DOUBLE_EQ(b.consumption, 10000.0);
+  EXPECT_DOUBLE_EQ(b.allocation, 15000.0);
+  EXPECT_DOUBLE_EQ(acc.awe(ResourceKind::MemoryMB), 10000.0 / 15000.0);
+}
+
+TEST(WasteAccounting, FailedAllocationFormula) {
+  // Two failed attempts: sum(a_i * t_i) per resource.
+  TaskUsage u = perfect_task();
+  u.failed_attempts.push_back(AttemptLog{ResourceVector{1.0, 500.0, 50.0}, 4.0});
+  u.failed_attempts.push_back(AttemptLog{ResourceVector{2.0, 800.0, 80.0}, 6.0});
+  WasteAccounting acc;
+  acc.add(u);
+  const auto& mem = acc.breakdown(ResourceKind::MemoryMB);
+  EXPECT_DOUBLE_EQ(mem.failed_allocation, 500.0 * 4.0 + 800.0 * 6.0);
+  EXPECT_DOUBLE_EQ(mem.allocation, 1000.0 * 10.0 + 500.0 * 4.0 + 800.0 * 6.0);
+  EXPECT_EQ(acc.total_attempts(), 3u);
+  EXPECT_DOUBLE_EQ(acc.mean_attempts(), 3.0);
+}
+
+TEST(WasteAccounting, WasteIdentity) {
+  // allocation - consumption == fragmentation + failed, for every resource.
+  TaskUsage u = perfect_task();
+  u.final_alloc = ResourceVector{3.0, 1600.0, 128.0};
+  u.failed_attempts.push_back(AttemptLog{ResourceVector{1.0, 512.0, 64.0}, 3.5});
+  WasteAccounting acc;
+  acc.add(u);
+  for (ResourceKind k : tora::core::kManagedResources) {
+    const auto& b = acc.breakdown(k);
+    EXPECT_NEAR(b.total_waste(),
+                b.internal_fragmentation + b.failed_allocation, 1e-9);
+  }
+}
+
+TEST(WasteAccounting, AweAggregatesAcrossTasks) {
+  WasteAccounting acc;
+  TaskUsage a = perfect_task();          // AWE 1 component
+  TaskUsage b = perfect_task();
+  b.final_alloc = b.peak * 2.0;          // 50% efficient component
+  acc.add(a);
+  acc.add(b);
+  // Total consumption 2C, total allocation 3C -> AWE 2/3.
+  EXPECT_NEAR(acc.awe(ResourceKind::Cores), 2.0 / 3.0, 1e-12);
+}
+
+TEST(WasteAccounting, RejectsAllocationBelowPeak) {
+  TaskUsage u = perfect_task();
+  u.final_alloc = ResourceVector{1.0, 1000.0, 100.0};  // cores below peak
+  WasteAccounting acc;
+  EXPECT_THROW(acc.add(u), std::invalid_argument);
+}
+
+TEST(WasteAccounting, RejectsNegativeRuntimes) {
+  TaskUsage u = perfect_task();
+  u.final_runtime_s = -1.0;
+  WasteAccounting acc;
+  EXPECT_THROW(acc.add(u), std::invalid_argument);
+  TaskUsage v = perfect_task();
+  v.failed_attempts.push_back(AttemptLog{v.peak, -2.0});
+  EXPECT_THROW(acc.add(v), std::invalid_argument);
+}
+
+TEST(WasteAccounting, PerCategoryCounts) {
+  WasteAccounting acc;
+  TaskUsage u = perfect_task();
+  u.category = "x";
+  acc.add(u);
+  acc.add(u);
+  u.category = "y";
+  acc.add(u);
+  EXPECT_EQ(acc.per_category().at("x"), 2u);
+  EXPECT_EQ(acc.per_category().at("y"), 1u);
+}
+
+TEST(WasteAccounting, MergeMatchesSequential) {
+  TaskUsage u = perfect_task();
+  u.final_alloc = u.peak * 1.5;
+  WasteAccounting all, a, b;
+  all.add(u);
+  all.add(u);
+  all.add(u);
+  a.add(u);
+  b.add(u);
+  b.add(u);
+  a.merge(b);
+  EXPECT_EQ(a.task_count(), all.task_count());
+  for (ResourceKind k : tora::core::kManagedResources) {
+    EXPECT_DOUBLE_EQ(a.awe(k), all.awe(k));
+    EXPECT_DOUBLE_EQ(a.breakdown(k).failed_allocation,
+                     all.breakdown(k).failed_allocation);
+  }
+}
+
+TEST(WasteAccounting, PerCategoryBreakdowns) {
+  WasteAccounting acc;
+  TaskUsage small = perfect_task();
+  small.category = "small";
+  TaskUsage big = perfect_task();
+  big.category = "big";
+  big.final_alloc = big.peak * 2.0;  // 50% efficient
+  acc.add(small);
+  acc.add(big);
+  EXPECT_DOUBLE_EQ(acc.awe("small", ResourceKind::MemoryMB), 1.0);
+  EXPECT_DOUBLE_EQ(acc.awe("big", ResourceKind::MemoryMB), 0.5);
+  // Per-category allocations sum to the global totals.
+  const double total =
+      acc.breakdown("small", ResourceKind::Cores).allocation +
+      acc.breakdown("big", ResourceKind::Cores).allocation;
+  EXPECT_DOUBLE_EQ(total, acc.breakdown(ResourceKind::Cores).allocation);
+}
+
+TEST(WasteAccounting, UnknownCategoryIsZero) {
+  WasteAccounting acc;
+  acc.add(perfect_task());
+  EXPECT_EQ(acc.awe("nope", ResourceKind::Cores), 0.0);
+  EXPECT_EQ(acc.breakdown("nope", ResourceKind::Cores).allocation, 0.0);
+}
+
+TEST(WasteAccounting, PerCategoryMergesCorrectly) {
+  TaskUsage u = perfect_task();
+  u.category = "k";
+  u.final_alloc = u.peak * 1.5;
+  WasteAccounting a, b;
+  a.add(u);
+  b.add(u);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.breakdown("k", ResourceKind::MemoryMB).allocation,
+                   2.0 * u.final_alloc.memory_mb() * u.final_runtime_s);
+}
+
+TEST(WasteAccounting, EmptyAweIsZero) {
+  WasteAccounting acc;
+  EXPECT_EQ(acc.awe(ResourceKind::Cores), 0.0);
+  EXPECT_EQ(acc.mean_attempts(), 0.0);
+}
+
+}  // namespace

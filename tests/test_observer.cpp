@@ -1,0 +1,176 @@
+// Tests for the simulation lifecycle observer and the CSV trace logger.
+
+#include "sim/observer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "sim/simulation.hpp"
+#include "util/csv.hpp"
+
+namespace {
+
+using tora::core::ResourceVector;
+using tora::core::TaskSpec;
+using tora::sim::SimConfig;
+using tora::sim::Simulation;
+using tora::sim::SimTime;
+
+struct CountingObserver final : tora::sim::SimObserver {
+  int submitted = 0, started = 0, failed = 0, completed = 0, fatal = 0,
+      evicted = 0, joined = 0, left = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> sequence;
+
+  void on_task_submitted(SimTime, std::uint64_t t) override {
+    ++submitted;
+    sequence.emplace_back("submit", t);
+  }
+  void on_attempt_started(SimTime, std::uint64_t t, std::uint64_t,
+                          const ResourceVector&) override {
+    ++started;
+    sequence.emplace_back("start", t);
+  }
+  void on_attempt_failed(SimTime, std::uint64_t t, unsigned) override {
+    ++failed;
+    sequence.emplace_back("failed", t);
+  }
+  void on_task_completed(SimTime, std::uint64_t t) override {
+    ++completed;
+    sequence.emplace_back("complete", t);
+  }
+  void on_task_fatal(SimTime, std::uint64_t t) override { ++fatal; }
+  void on_task_evicted(SimTime, std::uint64_t, std::uint64_t) override {
+    ++evicted;
+  }
+  void on_worker_joined(SimTime, std::uint64_t) override { ++joined; }
+  void on_worker_left(SimTime, std::uint64_t) override { ++left; }
+};
+
+std::vector<TaskSpec> tasks_with_memory(std::size_t n, double mem) {
+  std::vector<TaskSpec> tasks;
+  for (std::size_t i = 0; i < n; ++i) {
+    TaskSpec t;
+    t.id = i;
+    t.category = "c";
+    t.demand = ResourceVector{0.5, mem, 10.0};
+    t.duration_s = 10.0;
+    t.peak_fraction = 0.5;
+    tasks.push_back(std::move(t));
+  }
+  return tasks;
+}
+
+SimConfig quiet(std::size_t workers = 2) {
+  SimConfig cfg;
+  cfg.churn.enabled = false;
+  cfg.churn.initial_workers = workers;
+  return cfg;
+}
+
+TEST(Observer, CountsMatchResult) {
+  const auto tasks = tasks_with_memory(20, 500.0);
+  auto alloc = tora::core::make_allocator(tora::core::kWholeMachine, 1);
+  Simulation sim(tasks, alloc, quiet(3));
+  CountingObserver obs;
+  sim.set_observer(&obs);
+  const auto r = sim.run();
+  EXPECT_EQ(obs.submitted, 20);
+  EXPECT_EQ(obs.completed, 20);
+  EXPECT_EQ(obs.started, static_cast<int>(r.accounting.total_attempts()));
+  EXPECT_EQ(obs.failed, 0);
+  EXPECT_EQ(obs.fatal, 0);
+  EXPECT_EQ(obs.joined, 3);
+  EXPECT_EQ(obs.left, 0);
+}
+
+TEST(Observer, FailedAttemptsAreReported) {
+  // Bucketing exploration under-allocates memory (1024 < 2000): every early
+  // task fails at least once.
+  const auto tasks = tasks_with_memory(5, 2000.0);
+  auto alloc = tora::core::make_allocator(tora::core::kGreedyBucketing, 1);
+  Simulation sim(tasks, alloc, quiet());
+  CountingObserver obs;
+  sim.set_observer(&obs);
+  const auto r = sim.run();
+  EXPECT_GT(obs.failed, 0);
+  EXPECT_EQ(obs.started, static_cast<int>(r.accounting.total_attempts()));
+  EXPECT_EQ(obs.completed, 5);
+}
+
+TEST(Observer, PerTaskLifecycleOrdering) {
+  const auto tasks = tasks_with_memory(3, 100.0);
+  auto alloc = tora::core::make_allocator(tora::core::kWholeMachine, 1);
+  Simulation sim(tasks, alloc, quiet(1));
+  CountingObserver obs;
+  sim.set_observer(&obs);
+  (void)sim.run();
+  // For each task: submit before start before complete.
+  for (std::uint64_t t = 0; t < 3; ++t) {
+    int submit_at = -1, start_at = -1, complete_at = -1;
+    for (std::size_t i = 0; i < obs.sequence.size(); ++i) {
+      if (obs.sequence[i].second != t) continue;
+      if (obs.sequence[i].first == "submit") submit_at = static_cast<int>(i);
+      if (obs.sequence[i].first == "start" && start_at < 0) {
+        start_at = static_cast<int>(i);
+      }
+      if (obs.sequence[i].first == "complete") complete_at = static_cast<int>(i);
+    }
+    EXPECT_GE(start_at, 0);
+    EXPECT_LT(submit_at, start_at);
+    EXPECT_LT(start_at, complete_at);
+  }
+}
+
+TEST(Observer, EvictionsReported) {
+  const auto tasks = tasks_with_memory(100, 500.0);
+  auto alloc = tora::core::make_allocator(tora::core::kWholeMachine, 1);
+  SimConfig cfg;
+  cfg.churn.enabled = true;
+  cfg.churn.initial_workers = 8;
+  cfg.churn.min_workers = 2;
+  cfg.churn.max_workers = 10;
+  cfg.churn.mean_interarrival_s = 30.0;
+  cfg.churn.mean_lifetime_s = 60.0;
+  cfg.seed = 11;
+  // Long tasks to guarantee evictions under fast churn.
+  auto long_tasks = tasks;
+  for (auto& t : long_tasks) t.duration_s = 120.0;
+  Simulation sim(long_tasks, alloc, cfg);
+  CountingObserver obs;
+  sim.set_observer(&obs);
+  const auto r = sim.run();
+  EXPECT_EQ(obs.evicted, static_cast<int>(r.evictions));
+  EXPECT_EQ(obs.left, static_cast<int>(r.total_leaves));
+  EXPECT_GT(obs.left, 0);
+}
+
+TEST(CsvTraceObserver, WritesParsableRows) {
+  const auto tasks = tasks_with_memory(4, 100.0);
+  auto alloc = tora::core::make_allocator(tora::core::kWholeMachine, 1);
+  Simulation sim(tasks, alloc, quiet(2));
+  std::ostringstream out;
+  tora::sim::CsvTraceObserver obs(out);
+  sim.set_observer(&obs);
+  (void)sim.run();
+  const auto rows = tora::util::parse_csv(out.str());
+  ASSERT_GT(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "time");
+  // header + every logged row; all rows have 7 fields.
+  EXPECT_EQ(rows.size(), obs.rows_written() + 1);
+  for (const auto& row : rows) EXPECT_EQ(row.size(), 7u);
+  // 4 submits, 4 starts (with allocation fields), 4 completes, 2 joins.
+  int starts = 0;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i][1] == "start") {
+      ++starts;
+      EXPECT_FALSE(rows[i][4].empty());  // cores column populated
+      EXPECT_DOUBLE_EQ(std::stod(rows[i][4]), 16.0);
+    }
+  }
+  EXPECT_EQ(starts, 4);
+}
+
+}  // namespace

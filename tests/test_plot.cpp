@@ -1,0 +1,107 @@
+#include "cli/plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cli/cli.hpp"
+
+namespace {
+
+using tora::cli::Bar;
+using tora::cli::plot_awe_csv;
+using tora::cli::render_bars;
+
+constexpr const char* kCsv =
+    "resource,policy,workflow,awe\n"
+    "memory_mb,max_seen,uniform,0.5\n"
+    "memory_mb,greedy_bucketing,uniform,0.75\n"
+    "cores,max_seen,uniform,0.4\n"
+    "memory_mb,max_seen,topeft,0.47\n";
+
+TEST(RenderBars, ScalesToMax) {
+  std::ostringstream out;
+  render_bars(out, "t", {{"a", 50.0}, {"b", 100.0}}, 10);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("t\n"), std::string::npos);
+  EXPECT_NE(s.find("|#####     |"), std::string::npos);   // 50/100 of 10
+  EXPECT_NE(s.find("|##########|"), std::string::npos);   // full bar
+}
+
+TEST(RenderBars, ExplicitScaleMax) {
+  std::ostringstream out;
+  render_bars(out, "t", {{"a", 25.0}}, 4, 100.0);
+  EXPECT_NE(out.str().find("|#   |"), std::string::npos);
+}
+
+TEST(RenderBars, EmptyIsNoOp) {
+  std::ostringstream out;
+  render_bars(out, "t", {});
+  EXPECT_TRUE(out.str().empty());
+}
+
+TEST(RenderBars, NegativeValuesRenderEmpty) {
+  std::ostringstream out;
+  render_bars(out, "t", {{"a", -5.0}, {"b", 10.0}}, 5);
+  EXPECT_NE(out.str().find("|     | -5.0"), std::string::npos);
+}
+
+TEST(RenderBars, LabelsAligned) {
+  std::ostringstream out;
+  render_bars(out, "t", {{"x", 1.0}, {"longer", 1.0}}, 5);
+  EXPECT_NE(out.str().find("x      |"), std::string::npos);
+}
+
+TEST(PlotAweCsv, GroupsByResourceAndWorkflow) {
+  std::ostringstream out;
+  const std::size_t charts = plot_awe_csv(out, kCsv);
+  EXPECT_EQ(charts, 3u);  // (mem,uniform), (cores,uniform), (mem,topeft)
+  EXPECT_NE(out.str().find("AWE memory_mb / uniform"), std::string::npos);
+  EXPECT_NE(out.str().find("greedy_bucketing"), std::string::npos);
+  EXPECT_NE(out.str().find("75.0%"), std::string::npos);
+}
+
+TEST(PlotAweCsv, FiltersApply) {
+  std::ostringstream out;
+  EXPECT_EQ(plot_awe_csv(out, kCsv, "cores", ""), 1u);
+  EXPECT_EQ(plot_awe_csv(out, kCsv, "", "topeft"), 1u);
+  EXPECT_EQ(plot_awe_csv(out, kCsv, "cores", "topeft"), 0u);
+}
+
+TEST(PlotAweCsv, RejectsMalformed) {
+  std::ostringstream out;
+  EXPECT_THROW(plot_awe_csv(out, "nope\n"), std::invalid_argument);
+  EXPECT_THROW(plot_awe_csv(out,
+                            "resource,policy,workflow,awe\nmem,p,w\n"),
+               std::invalid_argument);
+  EXPECT_THROW(plot_awe_csv(out,
+                            "resource,policy,workflow,awe\nmem,p,w,xx\n"),
+               std::invalid_argument);
+}
+
+TEST(PlotCli, ParseRequiresCsv) {
+  EXPECT_THROW(tora::cli::parse_options({"plot"}), std::invalid_argument);
+  const auto o = tora::cli::parse_options(
+      {"plot", "--csv", "x.csv", "--resource", "cores", "--filter-workflow",
+       "topeft"});
+  EXPECT_EQ(o.csv_path, "x.csv");
+  EXPECT_EQ(o.resource_filter, "cores");
+  EXPECT_EQ(o.workflow_filter, "topeft");
+}
+
+TEST(PlotCli, EndToEnd) {
+  const std::string path = ::testing::TempDir() + "/plot_test.csv";
+  {
+    std::ofstream f(path);
+    f << kCsv;
+  }
+  std::ostringstream out, err;
+  const int rc = tora::cli::run_cli({"plot", "--csv", path}, out, err);
+  EXPECT_EQ(rc, 0) << err.str();
+  EXPECT_NE(out.str().find("AWE memory_mb / uniform"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace

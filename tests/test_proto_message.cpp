@@ -1,0 +1,133 @@
+// Tests for the Work-Queue-style wire protocol codec.
+
+#include "proto/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using tora::core::ResourceVector;
+using tora::proto::decode;
+using tora::proto::encode;
+using tora::proto::Message;
+using tora::proto::MsgType;
+using tora::proto::Outcome;
+
+Message ready_msg() {
+  Message m;
+  m.type = MsgType::WorkerReady;
+  m.worker_id = 3;
+  m.resources = ResourceVector{16.0, 65536.0, 65536.0, 0.0};
+  return m;
+}
+
+Message dispatch_msg() {
+  Message m;
+  m.type = MsgType::TaskDispatch;
+  m.worker_id = 2;
+  m.task_id = 17;
+  m.category = "processing";
+  m.resources = ResourceVector{1.0, 512.0, 306.0, 0.0};
+  return m;
+}
+
+Message result_msg() {
+  Message m;
+  m.type = MsgType::TaskResult;
+  m.worker_id = 2;
+  m.task_id = 17;
+  m.outcome = Outcome::ResourceExhausted;
+  m.resources = ResourceVector{1.0, 512.0, 306.0, 0.0};
+  m.runtime_s = 42.5;
+  m.exceeded_mask = 2;
+  return m;
+}
+
+TEST(ProtoMessage, RoundTripEveryType) {
+  for (const Message& m : {ready_msg(), dispatch_msg(), result_msg()}) {
+    const auto decoded = decode(encode(m));
+    ASSERT_TRUE(decoded.has_value()) << encode(m);
+    EXPECT_EQ(*decoded, m) << encode(m);
+  }
+  Message evict;
+  evict.type = MsgType::Evict;
+  evict.worker_id = 5;
+  evict.task_id = 9;
+  const auto d = decode(encode(evict));
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->type, MsgType::Evict);
+  EXPECT_EQ(d->task_id, 9u);
+
+  Message shutdown;
+  shutdown.type = MsgType::Shutdown;
+  shutdown.worker_id = 1;
+  const auto s = decode(encode(shutdown));
+  ASSERT_TRUE(s);
+  EXPECT_EQ(s->type, MsgType::Shutdown);
+  EXPECT_EQ(s->worker_id, 1u);
+}
+
+TEST(ProtoMessage, EncodeIsHumanReadable) {
+  const std::string line = encode(dispatch_msg());
+  EXPECT_NE(line.find("dispatch"), std::string::npos);
+  EXPECT_NE(line.find("worker=2"), std::string::npos);
+  EXPECT_NE(line.find("task=17"), std::string::npos);
+  EXPECT_NE(line.find("category=processing"), std::string::npos);
+  EXPECT_EQ(line.find('\n'), std::string::npos);  // single line
+}
+
+TEST(ProtoMessage, CategoryEscaping) {
+  Message m = dispatch_msg();
+  m.category = "weird category=x%y";
+  const std::string line = encode(m);
+  EXPECT_EQ(line.find(' ' + std::string("category=weird category")),
+            std::string::npos);  // the raw space must not appear
+  const auto d = decode(line);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->category, "weird category=x%y");
+}
+
+TEST(ProtoMessage, ResourceDoublesRoundTripExactly) {
+  Message m = result_msg();
+  m.resources = ResourceVector{0.1 + 0.2, 1.0 / 3.0, 1e-17, 12345.6789};
+  m.runtime_s = 0.30000000000000004;
+  const auto d = decode(encode(m));
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->resources, m.resources);
+  EXPECT_EQ(d->runtime_s, m.runtime_s);
+}
+
+TEST(ProtoMessage, DecodeRejectsMalformedInput) {
+  EXPECT_FALSE(decode(""));
+  EXPECT_FALSE(decode("frobnicate worker=1"));
+  EXPECT_FALSE(decode("ready"));                       // missing fields
+  EXPECT_FALSE(decode("ready worker=1 cores=1"));      // missing memory...
+  EXPECT_FALSE(decode("ready worker=x cores=1 memory=1 disk=1 time=0"));
+  EXPECT_FALSE(decode("dispatch worker=1 task=2 cores=1 memory=1 disk=1 "
+                      "time=0"));  // no category
+  EXPECT_FALSE(decode("result worker=1 task=2 outcome=maybe runtime=1 "
+                      "exceeded=0 cores=1 memory=1 disk=1 time=0"));
+  EXPECT_FALSE(decode("evict worker=1"));  // no task
+  EXPECT_FALSE(decode("ready worker=-3 cores=1 memory=1 disk=1 time=0"));
+  EXPECT_FALSE(decode("ready worker=1 =bad cores=1 memory=1 disk=1 time=0"));
+  EXPECT_FALSE(decode("dispatch worker=1 task=2 category=%Z cores=1 "
+                      "memory=1 disk=1 time=0"));  // bad escape
+}
+
+TEST(ProtoMessage, DecodeToleratesExtraWhitespaceAndFields) {
+  const auto d = decode(
+      "ready  worker=4   cores=8 memory=1024 disk=2048 time=0 extra=junk");
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->worker_id, 4u);
+  EXPECT_DOUBLE_EQ(d->resources.cores(), 8.0);
+}
+
+TEST(ProtoMessage, TypeNames) {
+  EXPECT_EQ(tora::proto::to_string(MsgType::WorkerReady), "ready");
+  EXPECT_EQ(tora::proto::to_string(MsgType::TaskDispatch), "dispatch");
+  EXPECT_EQ(tora::proto::to_string(MsgType::TaskResult), "result");
+  EXPECT_EQ(tora::proto::to_string(Outcome::Success), "success");
+  EXPECT_EQ(tora::proto::to_string(Outcome::ResourceExhausted), "exhausted");
+}
+
+}  // namespace

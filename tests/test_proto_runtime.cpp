@@ -1,0 +1,283 @@
+// Tests for the protocol channel, worker agent, manager, and the full
+// in-process protocol runtime.
+
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+#include "proto/channel.hpp"
+#include "proto/manager.hpp"
+#include "proto/worker_agent.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using tora::core::ResourceKind;
+using tora::core::ResourceVector;
+using tora::core::TaskSpec;
+using tora::proto::Channel;
+using tora::proto::DuplexLink;
+using tora::proto::ProtocolRuntime;
+using tora::proto::WorkerAgent;
+
+std::vector<TaskSpec> simple_tasks(std::size_t n, double mem = 500.0) {
+  std::vector<TaskSpec> tasks;
+  for (std::size_t i = 0; i < n; ++i) {
+    TaskSpec t;
+    t.id = i;
+    t.category = "c";
+    t.demand = ResourceVector{1.0, mem, 50.0};
+    t.duration_s = 10.0;
+    t.peak_fraction = 0.5;
+    tasks.push_back(std::move(t));
+  }
+  return tasks;
+}
+
+TEST(Channel, FifoWithByteAccounting) {
+  Channel ch;
+  EXPECT_TRUE(ch.empty());
+  ch.send("hello");
+  ch.send("world!");
+  EXPECT_EQ(ch.pending(), 2u);
+  EXPECT_EQ(ch.messages_sent(), 2u);
+  EXPECT_EQ(ch.bytes_sent(), 5u + 1 + 6 + 1);
+  EXPECT_EQ(*ch.poll(), "hello");
+  EXPECT_EQ(*ch.poll(), "world!");
+  EXPECT_FALSE(ch.poll().has_value());
+}
+
+TEST(WorkerAgentTest, AnnouncesCapacity) {
+  const auto tasks = simple_tasks(1);
+  auto link = std::make_shared<DuplexLink>();
+  WorkerAgent agent(0, ResourceVector{16.0, 65536.0, 65536.0, 0.0}, tasks,
+                    link);
+  agent.announce();
+  const auto line = link->to_manager.poll();
+  ASSERT_TRUE(line);
+  const auto msg = tora::proto::decode(*line);
+  ASSERT_TRUE(msg);
+  EXPECT_EQ(msg->type, tora::proto::MsgType::WorkerReady);
+  EXPECT_DOUBLE_EQ(msg->resources.cores(), 16.0);
+}
+
+TEST(WorkerAgentTest, ExecutesWithinAllocation) {
+  const auto tasks = simple_tasks(1);
+  auto link = std::make_shared<DuplexLink>();
+  WorkerAgent agent(0, ResourceVector{16.0, 65536.0, 65536.0, 0.0}, tasks,
+                    link);
+  tora::proto::Message dispatch;
+  dispatch.type = tora::proto::MsgType::TaskDispatch;
+  dispatch.worker_id = 0;
+  dispatch.task_id = 0;
+  dispatch.category = "c";
+  dispatch.resources = ResourceVector{2.0, 1000.0, 100.0, 0.0};
+  link->to_worker.send(encode(dispatch));
+  EXPECT_EQ(agent.pump(), 1u);
+  const auto reply = tora::proto::decode(*link->to_manager.poll());
+  ASSERT_TRUE(reply);
+  EXPECT_EQ(reply->outcome, tora::proto::Outcome::Success);
+  EXPECT_DOUBLE_EQ(reply->resources.memory_mb(), 500.0);  // measured peak
+  EXPECT_DOUBLE_EQ(reply->runtime_s, 10.0);
+  EXPECT_EQ(agent.tasks_executed(), 1u);
+}
+
+TEST(WorkerAgentTest, KillsOverConsumption) {
+  const auto tasks = simple_tasks(1, 2000.0);
+  auto link = std::make_shared<DuplexLink>();
+  WorkerAgent agent(0, ResourceVector{16.0, 65536.0, 65536.0, 0.0}, tasks,
+                    link);
+  tora::proto::Message dispatch;
+  dispatch.type = tora::proto::MsgType::TaskDispatch;
+  dispatch.worker_id = 0;
+  dispatch.task_id = 0;
+  dispatch.category = "c";
+  dispatch.resources = ResourceVector{2.0, 1000.0, 100.0, 0.0};
+  link->to_worker.send(encode(dispatch));
+  agent.pump();
+  const auto reply = tora::proto::decode(*link->to_manager.poll());
+  ASSERT_TRUE(reply);
+  EXPECT_EQ(reply->outcome, tora::proto::Outcome::ResourceExhausted);
+  EXPECT_EQ(reply->exceeded_mask,
+            tora::core::resource_bit(ResourceKind::MemoryMB));
+  EXPECT_DOUBLE_EQ(reply->runtime_s, 5.0);  // killed at peak_fraction
+  EXPECT_EQ(agent.tasks_killed(), 1u);
+}
+
+TEST(WorkerAgentTest, RejectsAboveCapacityDispatch) {
+  const auto tasks = simple_tasks(1);
+  auto link = std::make_shared<DuplexLink>();
+  WorkerAgent agent(0, ResourceVector{4.0, 8192.0, 8192.0, 0.0}, tasks, link);
+  tora::proto::Message dispatch;
+  dispatch.type = tora::proto::MsgType::TaskDispatch;
+  dispatch.worker_id = 0;
+  dispatch.task_id = 0;
+  dispatch.category = "c";
+  dispatch.resources = ResourceVector{8.0, 1000.0, 100.0, 0.0};
+  link->to_worker.send(encode(dispatch));
+  agent.pump();
+  const auto reply = tora::proto::decode(*link->to_manager.poll());
+  ASSERT_TRUE(reply);
+  EXPECT_EQ(reply->outcome, tora::proto::Outcome::ResourceExhausted);
+  EXPECT_EQ(agent.rejected_dispatches(), 1u);
+}
+
+TEST(WorkerAgentTest, IgnoresMisaddressedAndMalformed) {
+  const auto tasks = simple_tasks(1);
+  auto link = std::make_shared<DuplexLink>();
+  WorkerAgent agent(0, ResourceVector{16.0, 65536.0, 65536.0, 0.0}, tasks,
+                    link);
+  link->to_worker.send("garbage!!");
+  tora::proto::Message other;
+  other.type = tora::proto::MsgType::Shutdown;
+  other.worker_id = 99;  // not us
+  link->to_worker.send(encode(other));
+  agent.pump();
+  EXPECT_FALSE(agent.shutdown_received());
+  EXPECT_TRUE(link->to_manager.empty());
+}
+
+TEST(ProtocolRuntimeTest, RunsWorkflowToCompletion) {
+  const auto tasks = simple_tasks(50);
+  auto alloc = tora::core::make_allocator(tora::core::kMaxSeen, 1);
+  ProtocolRuntime runtime(tasks, alloc, 4);
+  const auto result = runtime.run();
+  EXPECT_EQ(result.tasks_completed, 50u);
+  EXPECT_EQ(result.tasks_fatal, 0u);
+  EXPECT_EQ(result.accounting.task_count(), 50u);
+  EXPECT_GT(result.messages, 100u);  // >= 2 per task + announcements
+  EXPECT_GT(result.bytes, 0u);
+}
+
+TEST(ProtocolRuntimeTest, RetriesViaProtocol) {
+  // Bucketing exploration (1 GB) under-allocates 2 GB tasks: every early
+  // task must be killed at least once, entirely over messages.
+  const auto tasks = simple_tasks(15, 2000.0);
+  auto alloc = tora::core::make_allocator(tora::core::kGreedyBucketing, 2);
+  ProtocolRuntime runtime(tasks, alloc, 2);
+  const auto result = runtime.run();
+  EXPECT_EQ(result.tasks_completed, 15u);
+  EXPECT_GT(result.accounting.total_attempts(), 15u);
+  EXPECT_GT(result.accounting.breakdown(ResourceKind::MemoryMB)
+                .failed_allocation,
+            0.0);
+}
+
+TEST(ProtocolRuntimeTest, MatchesSimulatorAccountingIdentities) {
+  // The protocol path and the simulator path must agree on the ground-truth
+  // consumption (same workload, same metric definitions).
+  const auto workload = tora::workloads::make_workload("uniform", 5);
+  auto alloc = tora::core::make_allocator(tora::core::kMaxSeen, 7);
+  ProtocolRuntime runtime(workload.tasks, alloc, 8);
+  const auto result = runtime.run();
+  double expected = 0.0;
+  for (const auto& t : workload.tasks) {
+    expected += t.demand.memory_mb() * t.duration_s;
+  }
+  EXPECT_NEAR(
+      result.accounting.breakdown(ResourceKind::MemoryMB).consumption,
+      expected, 1e-6 * expected);
+}
+
+TEST(ProtocolRuntimeTest, UnrunnableTaskGoesFatalNotHang) {
+  auto tasks = simple_tasks(3);
+  tasks[1].demand[ResourceKind::MemoryMB] = 1e9;
+  auto alloc = tora::core::make_allocator(tora::core::kGreedyBucketing, 3);
+  ProtocolRuntime runtime(tasks, alloc, 2);
+  const auto result = runtime.run();
+  EXPECT_EQ(result.tasks_fatal, 1u);
+  EXPECT_EQ(result.tasks_completed, 2u);
+}
+
+TEST(ProtocolRuntimeTest, DependenciesHonoredOverProtocol) {
+  auto tasks = simple_tasks(4);
+  tasks[1].deps = {0};
+  tasks[2].deps = {1};
+  tasks[3].deps = {0, 2};
+  auto alloc = tora::core::make_allocator(tora::core::kMaxSeen, 1);
+  ProtocolRuntime runtime(tasks, alloc, 4);
+  const auto result = runtime.run();
+  EXPECT_EQ(result.tasks_completed, 4u);
+}
+
+TEST(ProtocolManagerTest, EvictionRequeuesWithSameAllocation) {
+  // Drive the manager by hand over a single link, playing the worker role.
+  const auto tasks = simple_tasks(1);
+  auto alloc = tora::core::make_allocator(tora::core::kMaxSeen, 1);
+  auto link = std::make_shared<DuplexLink>();
+  tora::proto::ProtocolManager manager(tasks, alloc, {link});
+
+  tora::proto::Message ready;
+  ready.type = tora::proto::MsgType::WorkerReady;
+  ready.worker_id = 0;
+  ready.resources = ResourceVector{16.0, 65536.0, 65536.0, 0.0};
+  link->to_manager.send(encode(ready));
+
+  manager.start();
+  manager.pump();
+  const auto dispatch1 = tora::proto::decode(*link->to_worker.poll());
+  ASSERT_TRUE(dispatch1);
+  ASSERT_EQ(dispatch1->type, tora::proto::MsgType::TaskDispatch);
+
+  // Worker is evicted mid-task: the attempt is cancelled, not failed.
+  tora::proto::Message evict;
+  evict.type = tora::proto::MsgType::Evict;
+  evict.worker_id = 0;
+  evict.task_id = dispatch1->task_id;
+  link->to_manager.send(encode(evict));
+  manager.pump();
+
+  const auto dispatch2 = tora::proto::decode(*link->to_worker.poll());
+  ASSERT_TRUE(dispatch2);
+  EXPECT_EQ(dispatch2->type, tora::proto::MsgType::TaskDispatch);
+  EXPECT_EQ(dispatch2->task_id, dispatch1->task_id);
+  // Same allocation — evictions never escalate.
+  EXPECT_EQ(dispatch2->resources, dispatch1->resources);
+
+  tora::proto::Message result;
+  result.type = tora::proto::MsgType::TaskResult;
+  result.worker_id = 0;
+  result.task_id = dispatch2->task_id;
+  result.outcome = tora::proto::Outcome::Success;
+  result.resources = tasks[0].demand;
+  result.runtime_s = tasks[0].duration_s;
+  link->to_manager.send(encode(result));
+  manager.pump();
+  EXPECT_TRUE(manager.done());
+  EXPECT_EQ(manager.tasks_completed(), 1u);
+  // No failed-allocation waste from the eviction.
+  EXPECT_DOUBLE_EQ(manager.accounting()
+                       .breakdown(tora::core::ResourceKind::MemoryMB)
+                       .failed_allocation,
+                   0.0);
+}
+
+TEST(ProtocolManagerTest, StaleResultIgnored) {
+  const auto tasks = simple_tasks(1);
+  auto alloc = tora::core::make_allocator(tora::core::kMaxSeen, 1);
+  auto link = std::make_shared<DuplexLink>();
+  tora::proto::ProtocolManager manager(tasks, alloc, {link});
+  // A result for a task that was never dispatched must be dropped.
+  tora::proto::Message result;
+  result.type = tora::proto::MsgType::TaskResult;
+  result.worker_id = 0;
+  result.task_id = 0;
+  result.outcome = tora::proto::Outcome::Success;
+  result.resources = tasks[0].demand;
+  result.runtime_s = 1.0;
+  link->to_manager.send(encode(result));
+  manager.start();
+  manager.pump();
+  EXPECT_FALSE(manager.done());
+  EXPECT_EQ(manager.tasks_completed(), 0u);
+}
+
+TEST(ProtocolRuntimeTest, ValidatesConstruction) {
+  const auto tasks = simple_tasks(1);
+  auto alloc = tora::core::make_allocator(tora::core::kMaxSeen, 1);
+  EXPECT_THROW(ProtocolRuntime(tasks, alloc, 0), std::invalid_argument);
+  auto bad = tasks;
+  bad[0].deps = {0};
+  EXPECT_THROW(ProtocolRuntime(bad, alloc, 1), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,69 @@
+#include "core/quantized_bucketing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using tora::core::QuantizedBucketing;
+using tora::util::Rng;
+
+TEST(QuantizedBucketing, RejectsBadQuantiles) {
+  EXPECT_THROW(QuantizedBucketing(Rng(1), {0.0}), std::invalid_argument);
+  EXPECT_THROW(QuantizedBucketing(Rng(1), {1.0}), std::invalid_argument);
+  EXPECT_THROW(QuantizedBucketing(Rng(1), {-0.5}), std::invalid_argument);
+}
+
+TEST(QuantizedBucketing, DefaultSplitsAtMedian) {
+  QuantizedBucketing qb{Rng(2)};
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0}) qb.observe(v, 1.0);
+  const auto& set = qb.buckets();
+  ASSERT_EQ(set.size(), 2u);
+  // floor(0.5 * 7) = 3 -> first bucket ends at index 3 (value 4).
+  EXPECT_DOUBLE_EQ(set.buckets()[0].rep, 4.0);
+  EXPECT_DOUBLE_EQ(set.buckets()[1].rep, 8.0);
+  EXPECT_DOUBLE_EQ(set.buckets()[0].prob, 0.5);
+}
+
+TEST(QuantizedBucketing, SingleRecordOneBucket) {
+  QuantizedBucketing qb{Rng(3)};
+  qb.observe(42.0, 1.0);
+  ASSERT_EQ(qb.buckets().size(), 1u);
+  EXPECT_DOUBLE_EQ(qb.predict(), 42.0);
+}
+
+TEST(QuantizedBucketing, CustomQuartiles) {
+  QuantizedBucketing qb{Rng(4), {0.25, 0.5, 0.75}};
+  for (int i = 1; i <= 100; ++i) qb.observe(static_cast<double>(i), 1.0);
+  const auto& set = qb.buckets();
+  ASSERT_EQ(set.size(), 4u);
+  EXPECT_DOUBLE_EQ(set.buckets()[0].rep, 25.0);
+  EXPECT_DOUBLE_EQ(set.buckets()[1].rep, 50.0);
+  EXPECT_DOUBLE_EQ(set.buckets()[2].rep, 75.0);
+  EXPECT_DOUBLE_EQ(set.buckets()[3].rep, 100.0);
+}
+
+TEST(QuantizedBucketing, QuantilesSortedOnConstruction) {
+  QuantizedBucketing qb{Rng(5), {0.75, 0.25}};
+  EXPECT_EQ(qb.quantiles(), (std::vector<double>{0.25, 0.75}));
+}
+
+TEST(QuantizedBucketing, MedianSplitReducesExponentialRetryCost) {
+  // The paper's rationale: splitting at the median halves the first
+  // allocation for the common small tasks of an outlier distribution.
+  QuantizedBucketing qb{Rng(6)};
+  Rng gen(7);
+  for (int i = 0; i < 200; ++i) qb.observe(1.0 + gen.exponential(0.5), i + 1.0);
+  const auto& set = qb.buckets();
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_LT(set.buckets()[0].rep, set.buckets()[1].rep / 1.5);
+}
+
+TEST(QuantizedBucketing, RetryGoesToUpperBucketThenDoubles) {
+  QuantizedBucketing qb{Rng(8)};
+  for (double v : {1.0, 2.0, 3.0, 4.0}) qb.observe(v, 1.0);
+  // Buckets end at values 2 and 4.
+  EXPECT_DOUBLE_EQ(qb.retry(2.0), 4.0);
+  EXPECT_DOUBLE_EQ(qb.retry(4.0), 8.0);
+}
+
+}  // namespace

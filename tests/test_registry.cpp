@@ -1,0 +1,182 @@
+// Tests for the policy registry: name resolution, per-resource parameters,
+// options plumbing, and family-specific exploration configs.
+
+#include "core/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/exhaustive_bucketing.hpp"
+#include "core/hybrid.hpp"
+#include "core/kmeans_bucketing.hpp"
+#include "core/max_seen.hpp"
+#include "core/quantized_bucketing.hpp"
+#include "core/whole_machine.hpp"
+
+namespace {
+
+using tora::core::AllocatorConfig;
+using tora::core::make_policy_factory;
+using tora::core::RegistryOptions;
+using tora::core::ResourceKind;
+
+TEST(Registry, PaperOrderIsStable) {
+  const auto& names = tora::core::all_policy_names();
+  ASSERT_EQ(names.size(), 7u);
+  EXPECT_EQ(names[0], "whole_machine");
+  EXPECT_EQ(names[1], "max_seen");
+  EXPECT_EQ(names[2], "min_waste");
+  EXPECT_EQ(names[3], "max_throughput");
+  EXPECT_EQ(names[4], "quantized_bucketing");
+  EXPECT_EQ(names[5], "greedy_bucketing");
+  EXPECT_EQ(names[6], "exhaustive_bucketing");
+}
+
+TEST(Registry, ExtendedNamesSupersetOfPaper) {
+  const auto& paper = tora::core::all_policy_names();
+  const auto& ext = tora::core::extended_policy_names();
+  EXPECT_GT(ext.size(), paper.size());
+  for (const auto& p : paper) {
+    EXPECT_NE(std::find(ext.begin(), ext.end(), p), ext.end()) << p;
+  }
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(make_policy_factory("nope", 1), std::invalid_argument);
+  EXPECT_THROW(tora::core::make_allocator("nope", 1), std::invalid_argument);
+}
+
+TEST(Registry, MaxSeenWidthDependsOnResource) {
+  auto factory = make_policy_factory("max_seen", 1);
+  AllocatorConfig cfg;
+  auto cores = factory(ResourceKind::Cores, cfg);
+  auto mem = factory(ResourceKind::MemoryMB, cfg);
+  EXPECT_DOUBLE_EQ(dynamic_cast<tora::core::MaxSeenPolicy&>(*cores)
+                       .bucket_width(), 1.0);
+  EXPECT_DOUBLE_EQ(dynamic_cast<tora::core::MaxSeenPolicy&>(*mem)
+                       .bucket_width(), 250.0);
+}
+
+TEST(Registry, MaxSeenWidthOptionPlumbed) {
+  RegistryOptions opts;
+  opts.max_seen_bucket_mb = 100.0;
+  opts.max_seen_bucket_cores = 2.0;
+  auto factory = make_policy_factory("max_seen", 1, opts);
+  AllocatorConfig cfg;
+  EXPECT_DOUBLE_EQ(dynamic_cast<tora::core::MaxSeenPolicy&>(
+                       *factory(ResourceKind::DiskMB, cfg))
+                       .bucket_width(), 100.0);
+  EXPECT_DOUBLE_EQ(dynamic_cast<tora::core::MaxSeenPolicy&>(
+                       *factory(ResourceKind::Cores, cfg))
+                       .bucket_width(), 2.0);
+}
+
+TEST(Registry, WholeMachineCapacityPerResource) {
+  auto factory = make_policy_factory("whole_machine", 1);
+  AllocatorConfig cfg;
+  cfg.worker_capacity = {8.0, 32768.0, 16384.0, 0.0};
+  EXPECT_DOUBLE_EQ(dynamic_cast<tora::core::WholeMachinePolicy&>(
+                       *factory(ResourceKind::Cores, cfg))
+                       .capacity(), 8.0);
+  EXPECT_DOUBLE_EQ(dynamic_cast<tora::core::WholeMachinePolicy&>(
+                       *factory(ResourceKind::MemoryMB, cfg))
+                       .capacity(), 32768.0);
+}
+
+TEST(Registry, ExhaustiveCapOptionPlumbed) {
+  RegistryOptions opts;
+  opts.exhaustive_max_buckets = 4;
+  auto factory = make_policy_factory("exhaustive_bucketing", 1, opts);
+  AllocatorConfig cfg;
+  EXPECT_EQ(dynamic_cast<tora::core::ExhaustiveBucketing&>(
+                *factory(ResourceKind::Cores, cfg))
+                .max_buckets(), 4u);
+}
+
+TEST(Registry, QuantizedQuantilesPlumbed) {
+  RegistryOptions opts;
+  opts.quantized_quantiles = {0.25, 0.75};
+  auto factory = make_policy_factory("quantized_bucketing", 1, opts);
+  AllocatorConfig cfg;
+  EXPECT_EQ(dynamic_cast<tora::core::QuantizedBucketing&>(
+                *factory(ResourceKind::Cores, cfg))
+                .quantiles(), (std::vector<double>{0.25, 0.75}));
+}
+
+TEST(Registry, KMeansClustersPlumbed) {
+  RegistryOptions opts;
+  opts.kmeans_clusters = 5;
+  auto factory = make_policy_factory("kmeans_bucketing", 1, opts);
+  AllocatorConfig cfg;
+  EXPECT_EQ(dynamic_cast<tora::core::KMeansBucketing&>(
+                *factory(ResourceKind::Cores, cfg))
+                .k(), 5u);
+}
+
+TEST(Registry, HybridSwitchPlumbed) {
+  RegistryOptions opts;
+  opts.hybrid_switch_records = 7;
+  auto factory = make_policy_factory("hybrid_bucketing", 1, opts);
+  AllocatorConfig cfg;
+  EXPECT_EQ(dynamic_cast<tora::core::HybridPolicy&>(
+                *factory(ResourceKind::Cores, cfg))
+                .switch_after(), 7u);
+}
+
+TEST(Registry, BucketingFamilyClassification) {
+  EXPECT_TRUE(tora::core::is_bucketing_family("greedy_bucketing"));
+  EXPECT_TRUE(tora::core::is_bucketing_family("exhaustive_bucketing"));
+  EXPECT_TRUE(tora::core::is_bucketing_family("hybrid_bucketing"));
+  EXPECT_TRUE(tora::core::is_bucketing_family("kmeans_bucketing"));
+  EXPECT_TRUE(tora::core::is_bucketing_family("change_aware_bucketing"));
+  EXPECT_FALSE(tora::core::is_bucketing_family("whole_machine"));
+  EXPECT_FALSE(tora::core::is_bucketing_family("max_seen"));
+  EXPECT_FALSE(tora::core::is_bucketing_family("min_waste"));
+  EXPECT_FALSE(tora::core::is_bucketing_family("max_throughput"));
+  EXPECT_FALSE(tora::core::is_bucketing_family("quantized_bucketing"));
+}
+
+TEST(Registry, ExplorationConfigPerFamily) {
+  // Bucketing family: conservative fixed default + 10 records (paper §V-A);
+  // comparison algorithms: whole machine + 1 record (§V-C).
+  auto bucketing = tora::core::make_allocator("exhaustive_bucketing", 1);
+  EXPECT_EQ(bucketing.config().exploration.mode,
+            tora::core::ExplorationConfig::Mode::FixedDefault);
+  EXPECT_EQ(bucketing.config().exploration.min_records, 10u);
+  auto baseline = tora::core::make_allocator("min_waste", 1);
+  EXPECT_EQ(baseline.config().exploration.mode,
+            tora::core::ExplorationConfig::Mode::WholeMachine);
+  EXPECT_EQ(baseline.config().exploration.min_records, 1u);
+}
+
+TEST(Registry, ExplorationOptionsPlumbed) {
+  RegistryOptions opts;
+  opts.exploration_min_records = 25;
+  opts.exploration_default = {2.0, 2048.0, 512.0, 0.0};
+  auto a = tora::core::make_allocator("greedy_bucketing", 1,
+                                      {16.0, 65536.0, 65536.0, 0.0}, opts);
+  EXPECT_EQ(a.config().exploration.min_records, 25u);
+  const auto alloc = a.allocate("c");
+  EXPECT_DOUBLE_EQ(alloc.cores(), 2.0);
+  EXPECT_DOUBLE_EQ(alloc.memory_mb(), 2048.0);
+  EXPECT_DOUBLE_EQ(alloc.disk_mb(), 512.0);
+}
+
+TEST(Registry, PoliciesFromSameSeedAreIndependentStreams) {
+  // Two instances created by the same factory must not mirror each other's
+  // random choices (they get split child streams).
+  auto factory = make_policy_factory("quantized_bucketing", 42);
+  AllocatorConfig cfg;
+  auto a = factory(ResourceKind::Cores, cfg);
+  auto b = factory(ResourceKind::Cores, cfg);
+  for (int i = 0; i < 40; ++i) {
+    a->observe(i < 20 ? 1.0 : 100.0, i + 1.0);
+    b->observe(i < 20 ? 1.0 : 100.0, i + 1.0);
+  }
+  int same = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (a->predict() == b->predict()) ++same;
+  }
+  EXPECT_LT(same, 150);  // identical streams would match all 200
+}
+
+}  // namespace

@@ -1,0 +1,97 @@
+#include "core/resources.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+using tora::core::ResourceKind;
+using tora::core::ResourceVector;
+
+TEST(ResourceVector, DefaultIsZero) {
+  const ResourceVector v;
+  EXPECT_EQ(v.cores(), 0.0);
+  EXPECT_EQ(v.memory_mb(), 0.0);
+  EXPECT_EQ(v.disk_mb(), 0.0);
+  EXPECT_EQ(v.time_s(), 0.0);
+}
+
+TEST(ResourceVector, IndexAccess) {
+  ResourceVector v(1.0, 2.0, 3.0, 4.0);
+  EXPECT_EQ(v[ResourceKind::Cores], 1.0);
+  EXPECT_EQ(v[ResourceKind::MemoryMB], 2.0);
+  EXPECT_EQ(v[ResourceKind::DiskMB], 3.0);
+  EXPECT_EQ(v[ResourceKind::TimeS], 4.0);
+  v[ResourceKind::Cores] = 9.0;
+  EXPECT_EQ(v.cores(), 9.0);
+}
+
+TEST(ResourceVector, FitsWithinAllDims) {
+  const ResourceVector demand(2.0, 1000.0, 500.0);
+  EXPECT_TRUE(demand.fits_within({2.0, 1000.0, 500.0}));
+  EXPECT_TRUE(demand.fits_within({4.0, 2000.0, 600.0}));
+  EXPECT_FALSE(demand.fits_within({1.9, 2000.0, 600.0}));
+  EXPECT_FALSE(demand.fits_within({4.0, 999.0, 600.0}));
+  EXPECT_FALSE(demand.fits_within({4.0, 2000.0, 499.0}));
+}
+
+TEST(ResourceVector, TimeIsNotEnforced) {
+  // The paper's evaluation manages cores/memory/disk only.
+  const ResourceVector demand(1.0, 1.0, 1.0, 100.0);
+  EXPECT_TRUE(demand.fits_within({1.0, 1.0, 1.0, 0.0}));
+}
+
+TEST(ResourceVector, ExceededMaskBits) {
+  const ResourceVector demand(2.0, 1000.0, 500.0);
+  EXPECT_EQ(demand.exceeded_mask({4.0, 2000.0, 600.0}), 0u);
+  EXPECT_EQ(demand.exceeded_mask({1.0, 2000.0, 600.0}), 1u);        // cores
+  EXPECT_EQ(demand.exceeded_mask({4.0, 500.0, 600.0}), 2u);         // memory
+  EXPECT_EQ(demand.exceeded_mask({4.0, 2000.0, 100.0}), 4u);        // disk
+  EXPECT_EQ(demand.exceeded_mask({1.0, 500.0, 100.0}), 7u);         // all
+}
+
+TEST(ResourceVector, Arithmetic) {
+  const ResourceVector a(1.0, 2.0, 3.0, 4.0);
+  const ResourceVector b(0.5, 1.0, 1.5, 2.0);
+  const ResourceVector sum = a + b;
+  EXPECT_EQ(sum.cores(), 1.5);
+  EXPECT_EQ(sum.time_s(), 6.0);
+  const ResourceVector diff = a - b;
+  EXPECT_EQ(diff.memory_mb(), 1.0);
+  const ResourceVector scaled = a * 2.0;
+  EXPECT_EQ(scaled.disk_mb(), 6.0);
+}
+
+TEST(ResourceVector, MaxMinWith) {
+  const ResourceVector a(1.0, 5.0, 2.0);
+  const ResourceVector b(3.0, 1.0, 2.0);
+  const ResourceVector mx = a.max_with(b);
+  EXPECT_EQ(mx.cores(), 3.0);
+  EXPECT_EQ(mx.memory_mb(), 5.0);
+  const ResourceVector mn = a.min_with(b);
+  EXPECT_EQ(mn.cores(), 1.0);
+  EXPECT_EQ(mn.memory_mb(), 1.0);
+}
+
+TEST(ResourceVector, NonNegative) {
+  EXPECT_TRUE(ResourceVector(0.0, 0.0, 0.0).non_negative());
+  EXPECT_FALSE((ResourceVector(1.0, 1.0, 1.0) -
+                ResourceVector(2.0, 0.0, 0.0)).non_negative());
+}
+
+TEST(ResourceVector, StreamOutput) {
+  std::ostringstream oss;
+  oss << ResourceVector(1.0, 2.0, 3.0, 4.0);
+  EXPECT_NE(oss.str().find("cores=1"), std::string::npos);
+  EXPECT_NE(oss.str().find("mem=2"), std::string::npos);
+}
+
+TEST(ResourceKindTest, Names) {
+  EXPECT_EQ(tora::core::to_string(ResourceKind::Cores), "cores");
+  EXPECT_EQ(tora::core::to_string(ResourceKind::MemoryMB), "memory_mb");
+  EXPECT_EQ(tora::core::to_string(ResourceKind::DiskMB), "disk_mb");
+  EXPECT_EQ(tora::core::to_string(ResourceKind::TimeS), "time_s");
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace {
+
+using tora::util::OnlineStats;
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.sum(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(OnlineStats, MatchesNaiveComputation) {
+  const std::vector<double> xs{3.0, 1.5, 8.0, -2.0, 4.25, 4.25, 0.0};
+  OnlineStats s;
+  double sum = 0.0;
+  for (double x : xs) {
+    s.add(x);
+    sum += x;
+  }
+  const double mean = sum / static_cast<double>(xs.size());
+  double ss = 0.0;
+  for (double x : xs) ss += (x - mean) * (x - mean);
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), ss / static_cast<double>(xs.size()), 1e-12);
+  EXPECT_NEAR(s.sample_variance(), ss / static_cast<double>(xs.size() - 1),
+              1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), -2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 8.0);
+  EXPECT_NEAR(s.sum(), sum, 1e-12);
+}
+
+TEST(OnlineStats, MergeEqualsSequential) {
+  OnlineStats all, a, b;
+  for (int i = 0; i < 50; ++i) {
+    const double x = 0.37 * i - 3.0;
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  OnlineStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(WeightedMean, Basic) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  const std::vector<double> w{1.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(tora::util::weighted_mean(v, w), (1.0 + 2.0 + 6.0) / 4.0);
+}
+
+TEST(WeightedMean, ZeroWeightsGiveZero) {
+  const std::vector<double> v{1.0, 2.0};
+  const std::vector<double> w{0.0, 0.0};
+  EXPECT_EQ(tora::util::weighted_mean(v, w), 0.0);
+}
+
+TEST(WeightedMean, EmptyGivesZero) {
+  EXPECT_EQ(tora::util::weighted_mean({}, {}), 0.0);
+}
+
+TEST(Quantile, SortedInterpolation) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(tora::util::quantile_sorted(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(tora::util::quantile_sorted(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(tora::util::quantile_sorted(xs, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(tora::util::quantile_sorted(xs, 1.0 / 3.0), 20.0);
+}
+
+TEST(Quantile, ClampsOutOfRangeQ) {
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(tora::util::quantile_sorted(xs, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(tora::util::quantile_sorted(xs, 1.5), 2.0);
+}
+
+TEST(Quantile, UnsortedConvenience) {
+  EXPECT_DOUBLE_EQ(tora::util::quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
+  EXPECT_EQ(tora::util::quantile({}, 0.5), 0.0);
+}
+
+TEST(Quantile, SingleElement) {
+  const std::vector<double> xs{7.0};
+  EXPECT_DOUBLE_EQ(tora::util::quantile_sorted(xs, 0.25), 7.0);
+}
+
+}  // namespace
