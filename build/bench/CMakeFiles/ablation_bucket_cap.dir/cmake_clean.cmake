@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bucket_cap.dir/ablation_bucket_cap.cc.o"
+  "CMakeFiles/ablation_bucket_cap.dir/ablation_bucket_cap.cc.o.d"
+  "ablation_bucket_cap"
+  "ablation_bucket_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bucket_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_significance.dir/ablation_significance.cc.o"
+  "CMakeFiles/ablation_significance.dir/ablation_significance.cc.o.d"
+  "ablation_significance"
+  "ablation_significance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_significance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_production_traces.dir/fig2_production_traces.cc.o"
+  "CMakeFiles/fig2_production_traces.dir/fig2_production_traces.cc.o.d"
+  "fig2_production_traces"
+  "fig2_production_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_production_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_awe.dir/fig5_awe.cc.o"
+  "CMakeFiles/fig5_awe.dir/fig5_awe.cc.o.d"
+  "fig5_awe"
+  "fig5_awe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_awe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

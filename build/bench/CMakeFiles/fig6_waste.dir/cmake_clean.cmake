@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_waste.dir/fig6_waste.cc.o"
+  "CMakeFiles/fig6_waste.dir/fig6_waste.cc.o.d"
+  "fig6_waste"
+  "fig6_waste.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_waste.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

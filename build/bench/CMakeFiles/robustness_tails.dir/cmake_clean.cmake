@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustness_tails.dir/robustness_tails.cc.o"
+  "CMakeFiles/robustness_tails.dir/robustness_tails.cc.o.d"
+  "robustness_tails"
+  "robustness_tails.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_tails.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_large_workflows.dir/scaling_large_workflows.cc.o"
+  "CMakeFiles/scaling_large_workflows.dir/scaling_large_workflows.cc.o.d"
+  "scaling_large_workflows"
+  "scaling_large_workflows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_large_workflows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

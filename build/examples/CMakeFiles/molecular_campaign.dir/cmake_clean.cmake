@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/molecular_campaign.dir/molecular_campaign.cpp.o"
+  "CMakeFiles/molecular_campaign.dir/molecular_campaign.cpp.o.d"
+  "molecular_campaign"
+  "molecular_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/molecular_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

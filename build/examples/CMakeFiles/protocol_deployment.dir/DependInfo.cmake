@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/protocol_deployment.cpp" "examples/CMakeFiles/protocol_deployment.dir/protocol_deployment.cpp.o" "gcc" "examples/CMakeFiles/protocol_deployment.dir/protocol_deployment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proto/CMakeFiles/tora_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/exp/CMakeFiles/tora_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tora_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/tora_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tora_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tora_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_deployment.dir/protocol_deployment.cpp.o"
+  "CMakeFiles/protocol_deployment.dir/protocol_deployment.cpp.o.d"
+  "protocol_deployment"
+  "protocol_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tora.dir/main.cpp.o"
+  "CMakeFiles/tora.dir/main.cpp.o.d"
+  "tora"
+  "tora.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tora.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tora_cli_lib.dir/cli.cpp.o"
+  "CMakeFiles/tora_cli_lib.dir/cli.cpp.o.d"
+  "CMakeFiles/tora_cli_lib.dir/plot.cpp.o"
+  "CMakeFiles/tora_cli_lib.dir/plot.cpp.o.d"
+  "libtora_cli_lib.a"
+  "libtora_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tora_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

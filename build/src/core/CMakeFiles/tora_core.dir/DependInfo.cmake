@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bucket.cpp" "src/core/CMakeFiles/tora_core.dir/bucket.cpp.o" "gcc" "src/core/CMakeFiles/tora_core.dir/bucket.cpp.o.d"
+  "/root/repo/src/core/bucketing_policy.cpp" "src/core/CMakeFiles/tora_core.dir/bucketing_policy.cpp.o" "gcc" "src/core/CMakeFiles/tora_core.dir/bucketing_policy.cpp.o.d"
+  "/root/repo/src/core/change_detector.cpp" "src/core/CMakeFiles/tora_core.dir/change_detector.cpp.o" "gcc" "src/core/CMakeFiles/tora_core.dir/change_detector.cpp.o.d"
+  "/root/repo/src/core/checkpoint.cpp" "src/core/CMakeFiles/tora_core.dir/checkpoint.cpp.o" "gcc" "src/core/CMakeFiles/tora_core.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/core/exhaustive_bucketing.cpp" "src/core/CMakeFiles/tora_core.dir/exhaustive_bucketing.cpp.o" "gcc" "src/core/CMakeFiles/tora_core.dir/exhaustive_bucketing.cpp.o.d"
+  "/root/repo/src/core/greedy_bucketing.cpp" "src/core/CMakeFiles/tora_core.dir/greedy_bucketing.cpp.o" "gcc" "src/core/CMakeFiles/tora_core.dir/greedy_bucketing.cpp.o.d"
+  "/root/repo/src/core/hybrid.cpp" "src/core/CMakeFiles/tora_core.dir/hybrid.cpp.o" "gcc" "src/core/CMakeFiles/tora_core.dir/hybrid.cpp.o.d"
+  "/root/repo/src/core/kmeans_bucketing.cpp" "src/core/CMakeFiles/tora_core.dir/kmeans_bucketing.cpp.o" "gcc" "src/core/CMakeFiles/tora_core.dir/kmeans_bucketing.cpp.o.d"
+  "/root/repo/src/core/max_seen.cpp" "src/core/CMakeFiles/tora_core.dir/max_seen.cpp.o" "gcc" "src/core/CMakeFiles/tora_core.dir/max_seen.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/tora_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/tora_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/quantized_bucketing.cpp" "src/core/CMakeFiles/tora_core.dir/quantized_bucketing.cpp.o" "gcc" "src/core/CMakeFiles/tora_core.dir/quantized_bucketing.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/core/CMakeFiles/tora_core.dir/registry.cpp.o" "gcc" "src/core/CMakeFiles/tora_core.dir/registry.cpp.o.d"
+  "/root/repo/src/core/resources.cpp" "src/core/CMakeFiles/tora_core.dir/resources.cpp.o" "gcc" "src/core/CMakeFiles/tora_core.dir/resources.cpp.o.d"
+  "/root/repo/src/core/task_allocator.cpp" "src/core/CMakeFiles/tora_core.dir/task_allocator.cpp.o" "gcc" "src/core/CMakeFiles/tora_core.dir/task_allocator.cpp.o.d"
+  "/root/repo/src/core/tovar.cpp" "src/core/CMakeFiles/tora_core.dir/tovar.cpp.o" "gcc" "src/core/CMakeFiles/tora_core.dir/tovar.cpp.o.d"
+  "/root/repo/src/core/whole_machine.cpp" "src/core/CMakeFiles/tora_core.dir/whole_machine.cpp.o" "gcc" "src/core/CMakeFiles/tora_core.dir/whole_machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tora_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

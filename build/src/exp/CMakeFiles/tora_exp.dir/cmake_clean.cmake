@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tora_exp.dir/experiment.cpp.o"
+  "CMakeFiles/tora_exp.dir/experiment.cpp.o.d"
+  "CMakeFiles/tora_exp.dir/report.cpp.o"
+  "CMakeFiles/tora_exp.dir/report.cpp.o.d"
+  "libtora_exp.a"
+  "libtora_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tora_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tora_exp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/channel.cpp" "src/proto/CMakeFiles/tora_proto.dir/channel.cpp.o" "gcc" "src/proto/CMakeFiles/tora_proto.dir/channel.cpp.o.d"
+  "/root/repo/src/proto/manager.cpp" "src/proto/CMakeFiles/tora_proto.dir/manager.cpp.o" "gcc" "src/proto/CMakeFiles/tora_proto.dir/manager.cpp.o.d"
+  "/root/repo/src/proto/message.cpp" "src/proto/CMakeFiles/tora_proto.dir/message.cpp.o" "gcc" "src/proto/CMakeFiles/tora_proto.dir/message.cpp.o.d"
+  "/root/repo/src/proto/worker_agent.cpp" "src/proto/CMakeFiles/tora_proto.dir/worker_agent.cpp.o" "gcc" "src/proto/CMakeFiles/tora_proto.dir/worker_agent.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tora_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tora_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tora_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

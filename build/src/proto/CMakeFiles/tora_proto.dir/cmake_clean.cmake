@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tora_proto.dir/channel.cpp.o"
+  "CMakeFiles/tora_proto.dir/channel.cpp.o.d"
+  "CMakeFiles/tora_proto.dir/manager.cpp.o"
+  "CMakeFiles/tora_proto.dir/manager.cpp.o.d"
+  "CMakeFiles/tora_proto.dir/message.cpp.o"
+  "CMakeFiles/tora_proto.dir/message.cpp.o.d"
+  "CMakeFiles/tora_proto.dir/worker_agent.cpp.o"
+  "CMakeFiles/tora_proto.dir/worker_agent.cpp.o.d"
+  "libtora_proto.a"
+  "libtora_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tora_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tora_proto.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/enforcement.cpp" "src/sim/CMakeFiles/tora_sim.dir/enforcement.cpp.o" "gcc" "src/sim/CMakeFiles/tora_sim.dir/enforcement.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/tora_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/tora_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/observer.cpp" "src/sim/CMakeFiles/tora_sim.dir/observer.cpp.o" "gcc" "src/sim/CMakeFiles/tora_sim.dir/observer.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "src/sim/CMakeFiles/tora_sim.dir/simulation.cpp.o" "gcc" "src/sim/CMakeFiles/tora_sim.dir/simulation.cpp.o.d"
+  "/root/repo/src/sim/worker.cpp" "src/sim/CMakeFiles/tora_sim.dir/worker.cpp.o" "gcc" "src/sim/CMakeFiles/tora_sim.dir/worker.cpp.o.d"
+  "/root/repo/src/sim/worker_pool.cpp" "src/sim/CMakeFiles/tora_sim.dir/worker_pool.cpp.o" "gcc" "src/sim/CMakeFiles/tora_sim.dir/worker_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tora_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tora_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

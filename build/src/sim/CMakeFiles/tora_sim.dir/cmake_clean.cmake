@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tora_sim.dir/enforcement.cpp.o"
+  "CMakeFiles/tora_sim.dir/enforcement.cpp.o.d"
+  "CMakeFiles/tora_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/tora_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/tora_sim.dir/observer.cpp.o"
+  "CMakeFiles/tora_sim.dir/observer.cpp.o.d"
+  "CMakeFiles/tora_sim.dir/simulation.cpp.o"
+  "CMakeFiles/tora_sim.dir/simulation.cpp.o.d"
+  "CMakeFiles/tora_sim.dir/worker.cpp.o"
+  "CMakeFiles/tora_sim.dir/worker.cpp.o.d"
+  "CMakeFiles/tora_sim.dir/worker_pool.cpp.o"
+  "CMakeFiles/tora_sim.dir/worker_pool.cpp.o.d"
+  "libtora_sim.a"
+  "libtora_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tora_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

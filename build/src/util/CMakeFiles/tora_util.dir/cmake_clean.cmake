@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tora_util.dir/csv.cpp.o"
+  "CMakeFiles/tora_util.dir/csv.cpp.o.d"
+  "CMakeFiles/tora_util.dir/histogram.cpp.o"
+  "CMakeFiles/tora_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/tora_util.dir/log.cpp.o"
+  "CMakeFiles/tora_util.dir/log.cpp.o.d"
+  "CMakeFiles/tora_util.dir/rng.cpp.o"
+  "CMakeFiles/tora_util.dir/rng.cpp.o.d"
+  "CMakeFiles/tora_util.dir/stats.cpp.o"
+  "CMakeFiles/tora_util.dir/stats.cpp.o.d"
+  "libtora_util.a"
+  "libtora_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tora_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

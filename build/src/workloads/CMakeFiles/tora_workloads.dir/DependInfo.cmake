@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/colmena.cpp" "src/workloads/CMakeFiles/tora_workloads.dir/colmena.cpp.o" "gcc" "src/workloads/CMakeFiles/tora_workloads.dir/colmena.cpp.o.d"
+  "/root/repo/src/workloads/distributions.cpp" "src/workloads/CMakeFiles/tora_workloads.dir/distributions.cpp.o" "gcc" "src/workloads/CMakeFiles/tora_workloads.dir/distributions.cpp.o.d"
+  "/root/repo/src/workloads/synthetic.cpp" "src/workloads/CMakeFiles/tora_workloads.dir/synthetic.cpp.o" "gcc" "src/workloads/CMakeFiles/tora_workloads.dir/synthetic.cpp.o.d"
+  "/root/repo/src/workloads/topeft.cpp" "src/workloads/CMakeFiles/tora_workloads.dir/topeft.cpp.o" "gcc" "src/workloads/CMakeFiles/tora_workloads.dir/topeft.cpp.o.d"
+  "/root/repo/src/workloads/trace.cpp" "src/workloads/CMakeFiles/tora_workloads.dir/trace.cpp.o" "gcc" "src/workloads/CMakeFiles/tora_workloads.dir/trace.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/workloads/CMakeFiles/tora_workloads.dir/workload.cpp.o" "gcc" "src/workloads/CMakeFiles/tora_workloads.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tora_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tora_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tora_workloads.dir/colmena.cpp.o"
+  "CMakeFiles/tora_workloads.dir/colmena.cpp.o.d"
+  "CMakeFiles/tora_workloads.dir/distributions.cpp.o"
+  "CMakeFiles/tora_workloads.dir/distributions.cpp.o.d"
+  "CMakeFiles/tora_workloads.dir/synthetic.cpp.o"
+  "CMakeFiles/tora_workloads.dir/synthetic.cpp.o.d"
+  "CMakeFiles/tora_workloads.dir/topeft.cpp.o"
+  "CMakeFiles/tora_workloads.dir/topeft.cpp.o.d"
+  "CMakeFiles/tora_workloads.dir/trace.cpp.o"
+  "CMakeFiles/tora_workloads.dir/trace.cpp.o.d"
+  "CMakeFiles/tora_workloads.dir/workload.cpp.o"
+  "CMakeFiles/tora_workloads.dir/workload.cpp.o.d"
+  "libtora_workloads.a"
+  "libtora_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tora_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

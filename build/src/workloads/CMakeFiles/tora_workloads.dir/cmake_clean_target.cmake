@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtora_workloads.a"
+)

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/tora_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/tora_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_bucket.cpp" "tests/CMakeFiles/tora_tests.dir/test_bucket.cpp.o" "gcc" "tests/CMakeFiles/tora_tests.dir/test_bucket.cpp.o.d"
+  "/root/repo/tests/test_bucketing_policy.cpp" "tests/CMakeFiles/tora_tests.dir/test_bucketing_policy.cpp.o" "gcc" "tests/CMakeFiles/tora_tests.dir/test_bucketing_policy.cpp.o.d"
+  "/root/repo/tests/test_change_detector.cpp" "tests/CMakeFiles/tora_tests.dir/test_change_detector.cpp.o" "gcc" "tests/CMakeFiles/tora_tests.dir/test_change_detector.cpp.o.d"
+  "/root/repo/tests/test_checkpoint.cpp" "tests/CMakeFiles/tora_tests.dir/test_checkpoint.cpp.o" "gcc" "tests/CMakeFiles/tora_tests.dir/test_checkpoint.cpp.o.d"
+  "/root/repo/tests/test_cli.cpp" "tests/CMakeFiles/tora_tests.dir/test_cli.cpp.o" "gcc" "tests/CMakeFiles/tora_tests.dir/test_cli.cpp.o.d"
+  "/root/repo/tests/test_csv.cpp" "tests/CMakeFiles/tora_tests.dir/test_csv.cpp.o" "gcc" "tests/CMakeFiles/tora_tests.dir/test_csv.cpp.o.d"
+  "/root/repo/tests/test_dependencies.cpp" "tests/CMakeFiles/tora_tests.dir/test_dependencies.cpp.o" "gcc" "tests/CMakeFiles/tora_tests.dir/test_dependencies.cpp.o.d"
+  "/root/repo/tests/test_distributions.cpp" "tests/CMakeFiles/tora_tests.dir/test_distributions.cpp.o" "gcc" "tests/CMakeFiles/tora_tests.dir/test_distributions.cpp.o.d"
+  "/root/repo/tests/test_enforcement.cpp" "tests/CMakeFiles/tora_tests.dir/test_enforcement.cpp.o" "gcc" "tests/CMakeFiles/tora_tests.dir/test_enforcement.cpp.o.d"
+  "/root/repo/tests/test_event_queue.cpp" "tests/CMakeFiles/tora_tests.dir/test_event_queue.cpp.o" "gcc" "tests/CMakeFiles/tora_tests.dir/test_event_queue.cpp.o.d"
+  "/root/repo/tests/test_exhaustive_bucketing.cpp" "tests/CMakeFiles/tora_tests.dir/test_exhaustive_bucketing.cpp.o" "gcc" "tests/CMakeFiles/tora_tests.dir/test_exhaustive_bucketing.cpp.o.d"
+  "/root/repo/tests/test_expected_waste_montecarlo.cpp" "tests/CMakeFiles/tora_tests.dir/test_expected_waste_montecarlo.cpp.o" "gcc" "tests/CMakeFiles/tora_tests.dir/test_expected_waste_montecarlo.cpp.o.d"
+  "/root/repo/tests/test_experiment.cpp" "tests/CMakeFiles/tora_tests.dir/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/tora_tests.dir/test_experiment.cpp.o.d"
+  "/root/repo/tests/test_fuzz_invariants.cpp" "tests/CMakeFiles/tora_tests.dir/test_fuzz_invariants.cpp.o" "gcc" "tests/CMakeFiles/tora_tests.dir/test_fuzz_invariants.cpp.o.d"
+  "/root/repo/tests/test_greedy_bucketing.cpp" "tests/CMakeFiles/tora_tests.dir/test_greedy_bucketing.cpp.o" "gcc" "tests/CMakeFiles/tora_tests.dir/test_greedy_bucketing.cpp.o.d"
+  "/root/repo/tests/test_histogram.cpp" "tests/CMakeFiles/tora_tests.dir/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/tora_tests.dir/test_histogram.cpp.o.d"
+  "/root/repo/tests/test_hybrid.cpp" "tests/CMakeFiles/tora_tests.dir/test_hybrid.cpp.o" "gcc" "tests/CMakeFiles/tora_tests.dir/test_hybrid.cpp.o.d"
+  "/root/repo/tests/test_kmeans_bucketing.cpp" "tests/CMakeFiles/tora_tests.dir/test_kmeans_bucketing.cpp.o" "gcc" "tests/CMakeFiles/tora_tests.dir/test_kmeans_bucketing.cpp.o.d"
+  "/root/repo/tests/test_log.cpp" "tests/CMakeFiles/tora_tests.dir/test_log.cpp.o" "gcc" "tests/CMakeFiles/tora_tests.dir/test_log.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/tora_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/tora_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_observer.cpp" "tests/CMakeFiles/tora_tests.dir/test_observer.cpp.o" "gcc" "tests/CMakeFiles/tora_tests.dir/test_observer.cpp.o.d"
+  "/root/repo/tests/test_placement_profiles.cpp" "tests/CMakeFiles/tora_tests.dir/test_placement_profiles.cpp.o" "gcc" "tests/CMakeFiles/tora_tests.dir/test_placement_profiles.cpp.o.d"
+  "/root/repo/tests/test_plot.cpp" "tests/CMakeFiles/tora_tests.dir/test_plot.cpp.o" "gcc" "tests/CMakeFiles/tora_tests.dir/test_plot.cpp.o.d"
+  "/root/repo/tests/test_property_sweeps.cpp" "tests/CMakeFiles/tora_tests.dir/test_property_sweeps.cpp.o" "gcc" "tests/CMakeFiles/tora_tests.dir/test_property_sweeps.cpp.o.d"
+  "/root/repo/tests/test_proto_message.cpp" "tests/CMakeFiles/tora_tests.dir/test_proto_message.cpp.o" "gcc" "tests/CMakeFiles/tora_tests.dir/test_proto_message.cpp.o.d"
+  "/root/repo/tests/test_proto_runtime.cpp" "tests/CMakeFiles/tora_tests.dir/test_proto_runtime.cpp.o" "gcc" "tests/CMakeFiles/tora_tests.dir/test_proto_runtime.cpp.o.d"
+  "/root/repo/tests/test_quantized_bucketing.cpp" "tests/CMakeFiles/tora_tests.dir/test_quantized_bucketing.cpp.o" "gcc" "tests/CMakeFiles/tora_tests.dir/test_quantized_bucketing.cpp.o.d"
+  "/root/repo/tests/test_registry.cpp" "tests/CMakeFiles/tora_tests.dir/test_registry.cpp.o" "gcc" "tests/CMakeFiles/tora_tests.dir/test_registry.cpp.o.d"
+  "/root/repo/tests/test_resources.cpp" "tests/CMakeFiles/tora_tests.dir/test_resources.cpp.o" "gcc" "tests/CMakeFiles/tora_tests.dir/test_resources.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/tora_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/tora_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_simulation.cpp" "tests/CMakeFiles/tora_tests.dir/test_simulation.cpp.o" "gcc" "tests/CMakeFiles/tora_tests.dir/test_simulation.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/tora_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/tora_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_task_allocator.cpp" "tests/CMakeFiles/tora_tests.dir/test_task_allocator.cpp.o" "gcc" "tests/CMakeFiles/tora_tests.dir/test_task_allocator.cpp.o.d"
+  "/root/repo/tests/test_time_enforcement.cpp" "tests/CMakeFiles/tora_tests.dir/test_time_enforcement.cpp.o" "gcc" "tests/CMakeFiles/tora_tests.dir/test_time_enforcement.cpp.o.d"
+  "/root/repo/tests/test_worker.cpp" "tests/CMakeFiles/tora_tests.dir/test_worker.cpp.o" "gcc" "tests/CMakeFiles/tora_tests.dir/test_worker.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/tora_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/tora_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cli/CMakeFiles/tora_cli_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/tora_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/exp/CMakeFiles/tora_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tora_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/tora_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tora_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tora_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
