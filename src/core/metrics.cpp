@@ -90,4 +90,23 @@ void WasteAccounting::merge(const WasteAccounting& other) {
   }
 }
 
+void ChaosCounters::merge(const ChaosCounters& other) noexcept {
+  messages_dropped += other.messages_dropped;
+  messages_duplicated += other.messages_duplicated;
+  messages_corrupted += other.messages_corrupted;
+  messages_severed += other.messages_severed;
+  links_severed += other.links_severed;
+  malformed_lines += other.malformed_lines;
+  stale_or_duplicate_results += other.stale_or_duplicate_results;
+  attempt_timeouts += other.attempt_timeouts;
+  redispatches += other.redispatches;
+  workers_declared_dead += other.workers_declared_dead;
+  workers_quarantined += other.workers_quarantined;
+  protocol_evictions += other.protocol_evictions;
+  heartbeats += other.heartbeats;
+  duplicate_dispatches += other.duplicate_dispatches;
+  misaddressed_messages += other.misaddressed_messages;
+  worker_crashes += other.worker_crashes;
+}
+
 }  // namespace tora::core

@@ -88,4 +88,40 @@ class WasteAccounting {
       by_category_resource_;
 };
 
+/// Counters for every anomaly the fault-tolerant protocol runtime injects,
+/// detects, or swallows (proto/fault.hpp): channel-level injected faults,
+/// manager-level detections and recoveries, and worker-level idempotency
+/// hits. Aggregated across channels, manager and agents by
+/// proto::ProtocolRuntime and rendered by exp::chaos_table. Eviction costs
+/// counted here stay OUT of WasteAccounting — the paper's waste metric
+/// charges only allocation-induced failures to the algorithm.
+struct ChaosCounters {
+  // Channel level (injected by FaultyChannel).
+  std::size_t messages_dropped = 0;
+  std::size_t messages_duplicated = 0;
+  std::size_t messages_corrupted = 0;
+  std::size_t messages_severed = 0;  ///< discarded after link severance
+  std::size_t links_severed = 0;
+
+  // Manager level (detected/recovered by ProtocolManager).
+  std::size_t malformed_lines = 0;  ///< undecodable incoming lines
+  std::size_t stale_or_duplicate_results = 0;
+  std::size_t attempt_timeouts = 0;  ///< running attempts abandoned by timeout
+  std::size_t redispatches = 0;      ///< infrastructure requeues, all causes
+  std::size_t workers_declared_dead = 0;  ///< heartbeat silence
+  std::size_t workers_quarantined = 0;    ///< repeated-failure bans
+  std::size_t protocol_evictions = 0;     ///< attempts lost to dying workers
+  std::size_t heartbeats = 0;             ///< received by the manager
+
+  // Worker level (swallowed by WorkerAgent).
+  std::size_t duplicate_dispatches = 0;  ///< idempotently re-answered
+  std::size_t misaddressed_messages = 0;
+  std::size_t worker_crashes = 0;
+
+  /// Field-wise sum, for aggregating the slices of one run.
+  void merge(const ChaosCounters& other) noexcept;
+
+  bool operator==(const ChaosCounters&) const = default;
+};
+
 }  // namespace tora::core

@@ -65,4 +65,28 @@ void TextTable::print(std::ostream& out) const {
   for (const auto& row : rows_) print_row(row);
 }
 
+TextTable chaos_table(const core::ChaosCounters& c) {
+  TextTable table({"counter", "count"});
+  const auto row = [&](const char* name, std::size_t v) {
+    table.add_row({name, std::to_string(v)});
+  };
+  row("messages_dropped", c.messages_dropped);
+  row("messages_duplicated", c.messages_duplicated);
+  row("messages_corrupted", c.messages_corrupted);
+  row("messages_severed", c.messages_severed);
+  row("links_severed", c.links_severed);
+  row("malformed_lines", c.malformed_lines);
+  row("stale_or_duplicate_results", c.stale_or_duplicate_results);
+  row("attempt_timeouts", c.attempt_timeouts);
+  row("redispatches", c.redispatches);
+  row("workers_declared_dead", c.workers_declared_dead);
+  row("workers_quarantined", c.workers_quarantined);
+  row("protocol_evictions", c.protocol_evictions);
+  row("heartbeats", c.heartbeats);
+  row("duplicate_dispatches", c.duplicate_dispatches);
+  row("misaddressed_messages", c.misaddressed_messages);
+  row("worker_crashes", c.worker_crashes);
+  return table;
+}
+
 }  // namespace tora::exp

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "core/metrics.hpp"
+
 namespace tora::exp {
 
 /// Fixed-width plain-text table used by the figure/table harnesses to print
@@ -34,5 +36,10 @@ std::string fmt(double v, int precision = 3);
 
 /// Formats a value as a percentage with one decimal, e.g. 0.873 -> "87.3%".
 std::string fmt_pct(double ratio);
+
+/// Renders chaos/anomaly counters as a two-column table (counter, value),
+/// grouped channel -> manager -> worker, zero rows included so runs are
+/// comparable line-by-line.
+TextTable chaos_table(const core::ChaosCounters& c);
 
 }  // namespace tora::exp

@@ -1,8 +1,12 @@
 #include "proto/channel.hpp"
 
+#include <stdexcept>
+
 namespace tora::proto {
 
-void Channel::send(std::string line) {
+void Channel::send(std::string line) { deliver(std::move(line)); }
+
+void Channel::deliver(std::string line) {
   bytes_ += line.size() + 1;  // + newline framing on a real socket
   ++messages_;
   queue_.push_back(std::move(line));
@@ -14,5 +18,24 @@ std::optional<std::string> Channel::poll() {
   queue_.pop_front();
   return line;
 }
+
+namespace {
+Channel& require(const std::unique_ptr<Channel>& channel) {
+  if (!channel) throw std::invalid_argument("DuplexLink: null channel");
+  return *channel;
+}
+}  // namespace
+
+DuplexLink::DuplexLink()
+    : DuplexLink(std::make_unique<Channel>(), std::make_unique<Channel>()) {}
+
+DuplexLink::DuplexLink(std::unique_ptr<Channel> to_worker_channel,
+                       std::unique_ptr<Channel> to_manager_channel)
+    // The references bind to the pointees, which are stable across the
+    // subsequent moves into the owning members.
+    : to_worker(require(to_worker_channel)),
+      to_manager(require(to_manager_channel)),
+      owned_to_worker_(std::move(to_worker_channel)),
+      owned_to_manager_(std::move(to_manager_channel)) {}
 
 }  // namespace tora::proto

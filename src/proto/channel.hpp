@@ -8,22 +8,35 @@
 
 namespace tora::proto {
 
-/// One direction of a simulated network link: an in-order, lossless queue
-/// of encoded protocol lines with byte accounting. The protocol layer never
-/// shares memory between manager and worker — everything crosses a Channel,
-/// so the in-process runtime exercises exactly the serialization a socket
+/// One direction of a simulated network link: an in-order queue of encoded
+/// protocol lines with byte accounting. The protocol layer never shares
+/// memory between manager and worker — everything crosses a Channel, so the
+/// in-process runtime exercises exactly the serialization a socket
 /// deployment would.
+///
+/// The base class is lossless and in-order. The chaos layer (fault.hpp)
+/// subclasses it to inject seeded faults — drops, duplication, corruption,
+/// severance — at send time, which is why send() is virtual.
 class Channel {
  public:
-  void send(std::string line);
+  virtual ~Channel() = default;
+
+  /// Enqueues one line for the receiver. Subclasses may drop, duplicate or
+  /// corrupt it; the base implementation delivers verbatim.
+  virtual void send(std::string line);
 
   /// Next pending line, or nullopt when drained.
   std::optional<std::string> poll();
 
   bool empty() const noexcept { return queue_.empty(); }
   std::size_t pending() const noexcept { return queue_.size(); }
+  /// Messages/bytes actually delivered into the queue (post-fault).
   std::size_t messages_sent() const noexcept { return messages_; }
   std::size_t bytes_sent() const noexcept { return bytes_; }
+
+ protected:
+  /// Verbatim delivery into the queue, for subclasses overriding send().
+  void deliver(std::string line);
 
  private:
   std::deque<std::string> queue_;
@@ -32,10 +45,22 @@ class Channel {
 };
 
 /// A duplex link: the manager writes to `to_worker` and reads from
-/// `to_manager`; the worker agent does the opposite.
-struct DuplexLink {
-  Channel to_worker;
-  Channel to_manager;
+/// `to_manager`; the worker agent does the opposite. The two channels are
+/// owned polymorphically so either direction can be a FaultyChannel
+/// (fault.hpp); the public references keep call sites value-like.
+class DuplexLink {
+ public:
+  DuplexLink();
+  /// Custom channels (e.g. FaultyChannel); both must be non-null.
+  DuplexLink(std::unique_ptr<Channel> to_worker_channel,
+             std::unique_ptr<Channel> to_manager_channel);
+
+  Channel& to_worker;
+  Channel& to_manager;
+
+ private:
+  std::unique_ptr<Channel> owned_to_worker_;
+  std::unique_ptr<Channel> owned_to_manager_;
 };
 
 using DuplexLinkPtr = std::shared_ptr<DuplexLink>;

@@ -1,0 +1,44 @@
+#include "proto/fault.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace tora::proto {
+
+void FaultyChannel::send(std::string line) {
+  ++attempts_;
+  if (plan_.sever_after_messages > 0 &&
+      attempts_ > plan_.sever_after_messages) {
+    if (chaos_.links_severed == 0) chaos_.links_severed = 1;
+    ++chaos_.messages_severed;
+    return;
+  }
+  if (plan_.drop_prob > 0.0 && rng_.bernoulli(plan_.drop_prob)) {
+    ++chaos_.messages_dropped;
+    return;
+  }
+  if (plan_.corrupt_prob > 0.0 && !line.empty() &&
+      rng_.bernoulli(plan_.corrupt_prob)) {
+    // Exactly one byte, drawn from the printable range (space included, so
+    // token boundaries can shift too).
+    const std::size_t pos = rng_.uniform_int(0, line.size() - 1);
+    line[pos] = static_cast<char>(' ' + rng_.uniform_int(0, '~' - ' '));
+    ++chaos_.messages_corrupted;
+  }
+  const bool dup =
+      plan_.duplicate_prob > 0.0 && rng_.bernoulli(plan_.duplicate_prob);
+  if (dup) {
+    ++chaos_.messages_duplicated;
+    deliver(line);
+  }
+  deliver(std::move(line));
+}
+
+DuplexLinkPtr make_faulty_link(const FaultPlan& to_worker,
+                               const FaultPlan& to_manager, util::Rng& rng) {
+  return std::make_shared<DuplexLink>(
+      std::make_unique<FaultyChannel>(to_worker, rng.split()),
+      std::make_unique<FaultyChannel>(to_manager, rng.split()));
+}
+
+}  // namespace tora::proto

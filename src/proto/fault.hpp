@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "proto/channel.hpp"
+#include "util/rng.hpp"
+
+namespace tora::proto {
+
+/// Per-channel fault parameters. All probabilities are per message and every
+/// decision is drawn from the channel's own seeded Rng stream, so a chaos
+/// run is exactly replayable from its seed.
+struct FaultPlan {
+  double drop_prob = 0.0;       ///< message silently discarded
+  double duplicate_prob = 0.0;  ///< message delivered twice
+  double corrupt_prob = 0.0;    ///< one byte mutated before delivery
+  /// After this many send() calls the link is hard-severed: every further
+  /// message is discarded, forever. 0 disables severance.
+  std::size_t sever_after_messages = 0;
+
+  bool enabled() const noexcept {
+    return drop_prob > 0.0 || duplicate_prob > 0.0 || corrupt_prob > 0.0 ||
+           sever_after_messages > 0;
+  }
+};
+
+/// Channel decorator injecting deterministic faults at send time: drops,
+/// duplication, single-byte corruption, and hard severance at a message
+/// count. Corruption mutates exactly one byte, so either the line's crc
+/// breaks (the receiver discards it as malformed) or the mutation hit the
+/// checksum token itself and the payload is untouched — a corrupted message
+/// can never smuggle different-but-valid semantics past the codec.
+class FaultyChannel final : public Channel {
+ public:
+  FaultyChannel(FaultPlan plan, util::Rng rng)
+      : plan_(plan), rng_(rng) {}
+
+  void send(std::string line) override;
+
+  /// Injected-fault counters (the channel-level ChaosCounters fields).
+  const core::ChaosCounters& chaos() const noexcept { return chaos_; }
+  bool severed() const noexcept {
+    return plan_.sever_after_messages > 0 &&
+           attempts_ >= plan_.sever_after_messages;
+  }
+
+ private:
+  FaultPlan plan_;
+  util::Rng rng_;
+  core::ChaosCounters chaos_;
+  std::size_t attempts_ = 0;  ///< logical send() calls, pre-fault
+};
+
+/// Builds a duplex link whose two directions apply the given fault plans,
+/// with independent child streams split off `rng`. A disabled plan still
+/// yields a FaultyChannel (zero-probability faults) so counters exist.
+DuplexLinkPtr make_faulty_link(const FaultPlan& to_worker,
+                               const FaultPlan& to_manager, util::Rng& rng);
+
+/// Injectable WorkerAgent crash points — the functional runtime's analogue
+/// of a worker process dying: from the crash on, the agent drains nothing,
+/// sends nothing, and heartbeats never again.
+enum class CrashPoint : std::uint8_t {
+  None,
+  AfterAnnounce,  ///< announces capacity, then dies before any dispatch
+  MidTask,        ///< dies on receiving the Nth dispatch, before executing
+  BeforeResult,   ///< executes the Nth dispatch but dies before replying
+};
+
+struct WorkerFaultConfig {
+  CrashPoint crash_point = CrashPoint::None;
+  /// Which fresh (non-duplicate) dispatch triggers MidTask / BeforeResult
+  /// (1-based).
+  std::size_t crash_on_dispatch = 1;
+};
+
+/// ProtocolManager failure-detection and retry-pacing knobs. The functional
+/// runtime has no clock, so every window is measured in pump ticks (one
+/// tick = one ProtocolManager::pump call).
+struct LivenessConfig {
+  /// Allocation-induced failures (ResourceExhausted results) before a task
+  /// is fatal. Infrastructure failures never count against this budget.
+  std::size_t max_allocation_failures = 64;
+  /// A known worker silent for more than this many ticks is declared dead:
+  /// its in-flight tasks are requeued and charged as evictions.
+  std::size_t silence_ticks = 8;
+  /// A Running attempt with no result for more than this many ticks is
+  /// abandoned and the task re-dispatched (lost dispatch or lost result).
+  std::size_t attempt_timeout_ticks = 12;
+  /// Consecutive attempt timeouts attributed to one worker before it is
+  /// quarantined (covers a one-way severed manager->worker link, which
+  /// heartbeats cannot detect). Quarantined workers are never re-admitted.
+  std::size_t worker_failure_limit = 6;
+  /// Capped exponential backoff applied before re-dispatching a task whose
+  /// attempts keep dying to infrastructure faults: the k-th consecutive
+  /// infrastructure failure delays the next dispatch by
+  /// min(cap, base << (k-1)) ticks.
+  std::size_t backoff_base_ticks = 1;
+  std::size_t backoff_cap_ticks = 16;
+};
+
+/// Full chaos specification for a ProtocolRuntime run. Every random choice
+/// (per-channel fault streams, which workers get severed) derives from
+/// `seed`, so two runs with equal configs produce identical counters.
+struct ChaosConfig {
+  std::uint64_t seed = 0;
+  FaultPlan to_worker;   ///< applied to every manager -> worker channel
+  FaultPlan to_manager;  ///< applied to every worker -> manager channel
+  /// This many randomly chosen workers additionally get BOTH directions
+  /// hard-severed after `sever_after_messages` sends. Capped at
+  /// num_workers - 1 so the system stays completable.
+  std::size_t sever_workers = 0;
+  std::size_t sever_after_messages = 40;
+  /// Optional per-worker crash injection, indexed by worker id; workers
+  /// beyond the vector's size run fault-free.
+  std::vector<WorkerFaultConfig> worker_faults;
+  LivenessConfig liveness;
+
+  bool enabled() const noexcept {
+    return to_worker.enabled() || to_manager.enabled() || sever_workers > 0 ||
+           !worker_faults.empty();
+  }
+};
+
+}  // namespace tora::proto

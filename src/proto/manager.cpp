@@ -1,9 +1,13 @@
 #include "proto/manager.hpp"
 
+#include <algorithm>
+#include <memory>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
-#include "proto/worker_agent.hpp"
 #include "util/log.hpp"
+#include "util/rng.hpp"
 
 namespace tora::proto {
 
@@ -12,12 +16,16 @@ using core::ResourceVector;
 
 ProtocolManager::ProtocolManager(std::span<const core::TaskSpec> tasks,
                                  core::TaskAllocator& allocator,
-                                 std::vector<DuplexLinkPtr> links)
+                                 std::vector<DuplexLinkPtr> links,
+                                 LivenessConfig cfg)
     : tasks_(tasks),
       allocator_(allocator),
       links_(std::move(links)),
+      cfg_(cfg),
       states_(tasks.size()),
-      dependents_(tasks.size()) {
+      dependents_(tasks.size()),
+      quarantined_(links_.size(), 0),
+      malformed_logged_(links_.size(), 0) {
   for (const auto& link : links_) {
     if (!link) throw std::invalid_argument("ProtocolManager: null link");
   }
@@ -51,20 +59,66 @@ void ProtocolManager::maybe_ready(std::uint64_t task_id) {
 }
 
 std::size_t ProtocolManager::pump() {
+  ++tick_;
   std::size_t handled = 0;
-  for (const auto& link : links_) {
-    while (auto line = link->to_manager.poll()) {
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    while (auto line = links_[i]->to_manager.poll()) {
       const auto msg = decode(*line);
       if (!msg) {
-        util::log_warn("manager: dropping malformed message: ", *line);
+        note_malformed(i, *line);
         continue;
       }
+      if (msg->type == MsgType::Heartbeat) {
+        // Liveness traffic, not workflow progress: callers use pump()'s
+        // return value to detect stalls, so heartbeats stay uncounted.
+        ++chaos_.heartbeats;
+        on_heartbeat(*msg);
+        continue;
+      }
+      touch(msg->worker_id);
       handle(*msg);
       ++handled;
     }
   }
+  check_liveness();
   dispatch_queued();
   return handled;
+}
+
+void ProtocolManager::note_malformed(std::size_t link_index,
+                                     const std::string& line) {
+  ++chaos_.malformed_lines;
+  if (!malformed_logged_[link_index]) {
+    malformed_logged_[link_index] = 1;
+    util::log_warn("manager: malformed line from worker ", link_index,
+                   " (logged once per worker, counting continues): ", line);
+  }
+}
+
+void ProtocolManager::touch(std::uint64_t worker_id) {
+  auto it = workers_.find(worker_id);
+  if (it != workers_.end()) it->second.last_seen_tick = tick_;
+}
+
+void ProtocolManager::on_heartbeat(const Message& msg) {
+  if (msg.worker_id >= links_.size()) {
+    util::log_warn("manager: heartbeat from unknown worker ", msg.worker_id);
+    return;
+  }
+  if (quarantined_[msg.worker_id]) return;
+  auto it = workers_.find(msg.worker_id);
+  if (it != workers_.end()) {
+    it->second.last_seen_tick = tick_;
+    return;
+  }
+  // The heartbeat carries capacity exactly for this case: a worker whose
+  // announcement was lost, or one spuriously declared dead, re-registers
+  // without a round-trip.
+  WorkerState ws;
+  ws.capacity = msg.resources;
+  ws.link = links_[msg.worker_id];
+  ws.last_seen_tick = tick_;
+  workers_[msg.worker_id] = std::move(ws);
 }
 
 void ProtocolManager::handle(const Message& msg) {
@@ -76,9 +130,18 @@ void ProtocolManager::handle(const Message& msg) {
         util::log_warn("manager: ready from unknown worker ", msg.worker_id);
         break;
       }
+      if (quarantined_[msg.worker_id]) break;
+      if (auto it = workers_.find(msg.worker_id); it != workers_.end()) {
+        // A duplicated announcement must not reset `committed`, or the
+        // manager would over-admit against the phantom free capacity.
+        it->second.capacity = msg.resources;
+        it->second.last_seen_tick = tick_;
+        break;
+      }
       WorkerState ws;
       ws.capacity = msg.resources;
       ws.link = links_[msg.worker_id];
+      ws.last_seen_tick = tick_;
       workers_[msg.worker_id] = std::move(ws);
       break;
     }
@@ -92,6 +155,9 @@ void ProtocolManager::handle(const Message& msg) {
         TaskState& st = states_[msg.task_id];
         auto it = workers_.find(st.running_on);
         if (it != workers_.end()) it->second.committed -= st.alloc;
+        ++chaos_.protocol_evictions;
+        ++chaos_.redispatches;
+        evicted_alloc_ += st.alloc;
         st.status = TStatus::Queued;
         ready_.push_front(msg.task_id);
       }
@@ -109,12 +175,21 @@ void ProtocolManager::on_result(const Message& msg) {
     return;
   }
   TaskState& st = states_[msg.task_id];
-  if (st.status != TStatus::Running || st.running_on != msg.worker_id) {
-    util::log_warn("manager: stale result for task ", msg.task_id);
+  // Idempotency gate: accept a result only for the attempt currently in
+  // flight, from the worker it was dispatched to. Anything else is a
+  // duplicate delivery or a report for an attempt already abandoned —
+  // crediting it would double-charge WasteAccounting.
+  if (st.status != TStatus::Running || st.running_on != msg.worker_id ||
+      msg.attempt != st.attempts) {
+    ++chaos_.stale_or_duplicate_results;
     return;
   }
   auto wit = workers_.find(msg.worker_id);
-  if (wit != workers_.end()) wit->second.committed -= st.alloc;
+  if (wit != workers_.end()) {
+    wit->second.committed -= st.alloc;
+    wit->second.consecutive_failures = 0;
+  }
+  st.infra_failures = 0;
 
   const core::TaskSpec& spec = tasks_[msg.task_id];
   if (msg.outcome == Outcome::Success) {
@@ -140,9 +215,11 @@ void ProtocolManager::on_result(const Message& msg) {
     return;
   }
 
-  // Resource exhaustion: log the failed attempt and escalate.
+  // Resource exhaustion: log the failed attempt and escalate. Only these
+  // allocation-induced failures spend the fatal budget — infrastructure
+  // retries (timeouts, dead workers) never do.
   st.failed_attempts.push_back({st.alloc, msg.runtime_s});
-  if (st.attempts >= max_attempts_) {
+  if (st.failed_attempts.size() >= cfg_.max_allocation_failures) {
     make_fatal(msg.task_id);
     return;
   }
@@ -171,6 +248,74 @@ void ProtocolManager::on_result(const Message& msg) {
   ready_.push_back(msg.task_id);
 }
 
+void ProtocolManager::check_liveness() {
+  // Silence deaths first: a worker whose heartbeats stopped takes all its
+  // in-flight tasks with it, and those are evictions, not timeouts.
+  std::vector<std::uint64_t> dead;
+  for (const auto& [wid, ws] : workers_) {
+    if (tick_ - ws.last_seen_tick > cfg_.silence_ticks) dead.push_back(wid);
+  }
+  for (std::uint64_t wid : dead) {
+    ++chaos_.workers_declared_dead;
+    util::log_info("manager: worker ", wid, " silent beyond ",
+                   cfg_.silence_ticks, " ticks, declaring dead");
+    remove_worker(wid, false);
+  }
+
+  // Attempt timeouts: the worker still heartbeats but this attempt's
+  // dispatch or result went missing. Abandon the attempt (its id is now
+  // stale, so a late result is rejected) and redispatch under backoff. A
+  // worker that keeps timing out is quarantined — that is the only way to
+  // detect a one-way severed manager->worker link.
+  for (std::size_t t = 0; t < states_.size(); ++t) {
+    TaskState& st = states_[t];
+    if (st.status != TStatus::Running) continue;
+    if (tick_ - st.dispatch_tick <= cfg_.attempt_timeout_ticks) continue;
+    ++chaos_.attempt_timeouts;
+    const std::uint64_t wid = st.running_on;
+    auto it = workers_.find(wid);
+    if (it != workers_.end()) it->second.committed -= st.alloc;
+    requeue_infra(t);
+    if (it != workers_.end() &&
+        ++it->second.consecutive_failures >= cfg_.worker_failure_limit) {
+      util::log_info("manager: worker ", wid, " hit ",
+                     cfg_.worker_failure_limit,
+                     " consecutive attempt timeouts, quarantining");
+      remove_worker(wid, true);
+    }
+  }
+}
+
+void ProtocolManager::requeue_infra(std::uint64_t task_id) {
+  TaskState& st = states_[task_id];
+  if (st.status != TStatus::Running) return;
+  st.status = TStatus::Queued;
+  ++chaos_.redispatches;
+  ++st.infra_failures;
+  const std::size_t shift =
+      std::min<std::size_t>(st.infra_failures - 1, std::size_t{16});
+  st.backoff_until =
+      tick_ + std::min(cfg_.backoff_cap_ticks, cfg_.backoff_base_ticks << shift);
+  ready_.push_front(task_id);
+}
+
+void ProtocolManager::remove_worker(std::uint64_t worker_id, bool quarantine) {
+  for (std::size_t t = 0; t < states_.size(); ++t) {
+    TaskState& st = states_[t];
+    if (st.status != TStatus::Running || st.running_on != worker_id) continue;
+    // The attempt died with the worker: charge it as an eviction (the
+    // allocation was fine, the infrastructure was not) and requeue.
+    ++chaos_.protocol_evictions;
+    evicted_alloc_ += st.alloc;
+    requeue_infra(t);
+  }
+  workers_.erase(worker_id);
+  if (quarantine && worker_id < quarantined_.size()) {
+    quarantined_[worker_id] = 1;
+    ++chaos_.workers_quarantined;
+  }
+}
+
 void ProtocolManager::make_fatal(std::uint64_t task_id) {
   TaskState& st = states_[task_id];
   if (st.status == TStatus::Fatal) return;
@@ -186,6 +331,10 @@ void ProtocolManager::dispatch_queued() {
     const std::uint64_t task_id = ready_.front();
     ready_.pop_front();
     TaskState& st = states_[task_id];
+    if (st.backoff_until > tick_) {
+      waiting.push_back(task_id);
+      continue;
+    }
     if (!st.has_alloc ||
         (!st.is_retry && st.alloc_revision != allocator_.revision())) {
       st.alloc = allocator_.allocate(tasks_[task_id].category);
@@ -199,11 +348,13 @@ void ProtocolManager::dispatch_queued() {
         ws.committed += st.alloc;
         st.status = TStatus::Running;
         st.running_on = wid;
+        st.dispatch_tick = tick_;
         ++st.attempts;
         Message m;
         m.type = MsgType::TaskDispatch;
         m.worker_id = wid;
         m.task_id = task_id;
+        m.attempt = st.attempts;
         m.category = tasks_[task_id].category;
         m.resources = st.alloc;
         ws.link->to_worker.send(encode(m));
@@ -228,27 +379,89 @@ void ProtocolManager::shutdown_workers() {
 
 // ---------------------------------------------------------------- runtime
 
+namespace {
+
+std::vector<DuplexLinkPtr> build_links(std::size_t num_workers,
+                                       const ChaosConfig& chaos) {
+  std::vector<DuplexLinkPtr> links;
+  links.reserve(num_workers);
+  util::Rng rng(chaos.seed);
+  std::vector<char> severed(num_workers, 0);
+  if (chaos.sever_workers > 0 && num_workers > 1) {
+    // Cap at n-1 so at least one worker keeps both directions; the run
+    // stays completable no matter how unlucky the draw.
+    util::Rng pick = rng.split("sever");
+    const std::size_t want = std::min(chaos.sever_workers, num_workers - 1);
+    std::size_t chosen = 0;
+    while (chosen < want) {
+      const auto w = pick.uniform_int(0, num_workers - 1);
+      if (!severed[w]) {
+        severed[w] = 1;
+        ++chosen;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < num_workers; ++i) {
+    FaultPlan to_worker = chaos.to_worker;
+    FaultPlan to_manager = chaos.to_manager;
+    if (severed[i]) {
+      to_worker.sever_after_messages = chaos.sever_after_messages;
+      to_manager.sever_after_messages = chaos.sever_after_messages;
+    }
+    if (to_worker.enabled() || to_manager.enabled()) {
+      // Labeled splits: each channel gets a stream derived from (seed,
+      // direction, worker), independent of construction order.
+      const std::string tag = std::to_string(i);
+      links.push_back(std::make_shared<DuplexLink>(
+          std::make_unique<FaultyChannel>(to_worker,
+                                          rng.split("to_worker/" + tag)),
+          std::make_unique<FaultyChannel>(to_manager,
+                                          rng.split("to_manager/" + tag))));
+    } else {
+      links.push_back(std::make_shared<DuplexLink>());
+    }
+  }
+  return links;
+}
+
+std::size_t stall_limit_for(const ChaosConfig& chaos) {
+  if (!chaos.enabled()) return 0;  // fault-free runs fail fast, as before
+  // Under chaos, quiet rounds are legitimate: backoff windows, timeout
+  // windows and silence windows all pass without countable progress. Allow
+  // a generous multiple of the longest detection chain before giving up.
+  const LivenessConfig& lv = chaos.liveness;
+  return 64 * (lv.silence_ticks + lv.attempt_timeout_ticks +
+               lv.backoff_cap_ticks + 4);
+}
+
+}  // namespace
+
 ProtocolRuntime::ProtocolRuntime(std::span<const core::TaskSpec> tasks,
                                  core::TaskAllocator& allocator,
                                  std::size_t num_workers,
                                  core::ResourceVector worker_capacity)
+    : ProtocolRuntime(tasks, allocator, num_workers, worker_capacity,
+                      ChaosConfig{}) {}
+
+ProtocolRuntime::ProtocolRuntime(std::span<const core::TaskSpec> tasks,
+                                 core::TaskAllocator& allocator,
+                                 std::size_t num_workers,
+                                 core::ResourceVector worker_capacity,
+                                 const ChaosConfig& chaos)
     : tasks_(tasks),
       allocator_(allocator),
-      links_([num_workers] {
-        std::vector<DuplexLinkPtr> links;
-        links.reserve(num_workers);
-        for (std::size_t i = 0; i < num_workers; ++i) {
-          links.push_back(std::make_shared<DuplexLink>());
-        }
-        return links;
-      }()),
-      manager_(tasks, allocator, links_) {
+      links_(build_links(num_workers, chaos)),
+      manager_(tasks, allocator, links_, chaos.liveness),
+      stall_limit_(stall_limit_for(chaos)) {
   if (num_workers == 0) {
     throw std::invalid_argument("ProtocolRuntime: need at least one worker");
   }
   agents_.reserve(num_workers);
   for (std::size_t i = 0; i < num_workers; ++i) {
-    agents_.emplace_back(i, worker_capacity, tasks_, links_[i]);
+    const WorkerFaultConfig faults = i < chaos.worker_faults.size()
+                                         ? chaos.worker_faults[i]
+                                         : WorkerFaultConfig{};
+    agents_.emplace_back(i, worker_capacity, tasks_, links_[i], faults);
   }
 }
 
@@ -256,14 +469,19 @@ ProtocolRunResult ProtocolRuntime::run(std::size_t max_rounds) {
   for (auto& agent : agents_) agent.announce();
   manager_.start();
   ProtocolRunResult result;
+  std::size_t stalled = 0;
   for (result.rounds = 0; result.rounds < max_rounds; ++result.rounds) {
     std::size_t progress = manager_.pump();
     for (auto& agent : agents_) progress += agent.pump();
     if (manager_.done()) break;
     if (progress == 0) {
-      throw std::runtime_error(
-          "ProtocolRuntime: no progress with unfinished tasks (allocation "
-          "larger than every worker?)");
+      if (++stalled > stall_limit_) {
+        throw std::runtime_error(
+            "ProtocolRuntime: no progress with unfinished tasks (allocation "
+            "larger than every worker, or all workers lost?)");
+      }
+    } else {
+      stalled = 0;
     }
   }
   if (!manager_.done()) {
@@ -275,10 +493,20 @@ ProtocolRunResult ProtocolRuntime::run(std::size_t max_rounds) {
   result.accounting = manager_.accounting();
   result.tasks_completed = manager_.tasks_completed();
   result.tasks_fatal = manager_.tasks_fatal();
+  result.chaos.merge(manager_.chaos());
+  result.evicted_alloc = manager_.evicted_alloc();
+  for (const auto& agent : agents_) result.chaos.merge(agent.chaos());
   for (const auto& link : links_) {
     result.messages +=
         link->to_worker.messages_sent() + link->to_manager.messages_sent();
     result.bytes += link->to_worker.bytes_sent() + link->to_manager.bytes_sent();
+    if (const auto* fc = dynamic_cast<const FaultyChannel*>(&link->to_worker)) {
+      result.chaos.merge(fc->chaos());
+    }
+    if (const auto* fc =
+            dynamic_cast<const FaultyChannel*>(&link->to_manager)) {
+      result.chaos.merge(fc->chaos());
+    }
   }
   return result;
 }

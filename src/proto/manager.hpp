@@ -10,6 +10,7 @@
 #include "core/task.hpp"
 #include "core/task_allocator.hpp"
 #include "proto/channel.hpp"
+#include "proto/fault.hpp"
 #include "proto/message.hpp"
 #include "proto/worker_agent.hpp"
 
@@ -25,17 +26,30 @@ namespace tora::proto {
 /// This runtime is functional rather than timed — it validates the protocol
 /// and the allocation logic end-to-end; the discrete-event simulator
 /// (sim::Simulation) owns timing questions.
+///
+/// Fault tolerance (see LivenessConfig in fault.hpp): every pump is one
+/// tick of the failure-detection clock. Workers heartbeat each pump; a
+/// worker silent beyond the window is declared dead and its in-flight tasks
+/// are requeued AND charged as evictions — never as allocator waste,
+/// matching the simulator's accounting split. Running attempts that produce
+/// no result within the attempt timeout are abandoned and re-dispatched
+/// under capped exponential backoff; a worker that keeps eating dispatches
+/// (one-way severed link) is quarantined. Results are deduplicated by
+/// (worker, task, attempt), so duplicated or stale messages can never
+/// double-charge an attempt.
 class ProtocolManager {
  public:
   ProtocolManager(std::span<const core::TaskSpec> tasks,
                   core::TaskAllocator& allocator,
-                  std::vector<DuplexLinkPtr> links);
+                  std::vector<DuplexLinkPtr> links, LivenessConfig cfg = {});
 
   /// Enqueues every dependency-free task. Call once before pumping.
   void start();
 
-  /// Reads all pending worker messages and dispatches queued tasks onto
-  /// free workers. Returns the number of messages processed.
+  /// Advances one tick: reads all pending worker messages, runs the
+  /// failure detectors, and dispatches queued tasks onto free workers.
+  /// Returns the number of messages processed, heartbeats excluded (so a
+  /// caller can use the return value as a completion-progress signal).
   std::size_t pump();
 
   /// True once every task is completed or fatal.
@@ -53,6 +67,16 @@ class ProtocolManager {
   std::size_t tasks_fatal() const noexcept { return fatal_; }
   std::size_t dispatches_sent() const noexcept { return dispatches_; }
   std::size_t workers_known() const noexcept { return workers_.size(); }
+  std::size_t ticks() const noexcept { return tick_; }
+  /// Anomaly counters: malformed lines, stale/duplicate results, timeouts,
+  /// deaths, quarantines, evictions.
+  const core::ChaosCounters& chaos() const noexcept { return chaos_; }
+  /// Summed allocations of attempts lost to dead/quarantined workers — the
+  /// protocol-level sibling of SimResult::evicted_alloc_seconds. Kept OUT
+  /// of the WasteAccounting: the algorithm did not cause those failures.
+  const core::ResourceVector& evicted_alloc() const noexcept {
+    return evicted_alloc_;
+  }
 
  private:
   enum class TStatus : std::uint8_t { Waiting, Queued, Running, Done, Fatal };
@@ -65,18 +89,34 @@ class ProtocolManager {
     std::uint64_t alloc_revision = 0;
     std::vector<core::AttemptLog> failed_attempts;
     std::size_t deps_remaining = 0;
-    std::size_t attempts = 0;
+    std::size_t attempts = 0;  ///< doubles as the current wire attempt id
     std::uint64_t running_on = 0;
+    std::size_t dispatch_tick = 0;
+    std::size_t backoff_until = 0;  ///< not dispatchable before this tick
+    std::size_t infra_failures = 0;  ///< consecutive, for backoff growth
   };
 
   struct WorkerState {
     core::ResourceVector capacity;
     core::ResourceVector committed;
     DuplexLinkPtr link;
+    std::size_t last_seen_tick = 0;
+    std::size_t consecutive_failures = 0;
   };
 
   void handle(const Message& msg);
+  void on_heartbeat(const Message& msg);
   void on_result(const Message& msg);
+  void note_malformed(std::size_t link_index, const std::string& line);
+  void touch(std::uint64_t worker_id);
+  void check_liveness();
+  /// Requeues a Running task after an infrastructure failure, applying
+  /// capped exponential backoff. No-op unless the task is Running.
+  void requeue_infra(std::uint64_t task_id);
+  /// Forgets a worker; its Running tasks are requeued and charged as
+  /// evictions. Quarantined workers are never re-admitted (heartbeats and
+  /// announcements from them are ignored from then on).
+  void remove_worker(std::uint64_t worker_id, bool quarantine);
   void dispatch_queued();
   void maybe_ready(std::uint64_t task_id);
   void make_fatal(std::uint64_t task_id);
@@ -84,16 +124,21 @@ class ProtocolManager {
   std::span<const core::TaskSpec> tasks_;
   core::TaskAllocator& allocator_;
   std::vector<DuplexLinkPtr> links_;
+  LivenessConfig cfg_;
   std::map<std::uint64_t, WorkerState> workers_;
   std::vector<TaskState> states_;
   std::vector<std::vector<std::uint64_t>> dependents_;
   std::deque<std::uint64_t> ready_;
   core::WasteAccounting accounting_;
+  core::ChaosCounters chaos_;
+  core::ResourceVector evicted_alloc_;
+  std::vector<char> quarantined_;
+  std::vector<char> malformed_logged_;
+  std::size_t tick_ = 0;
   std::size_t completed_ = 0;
   std::size_t fatal_ = 0;
   std::size_t finished_ = 0;
   std::size_t dispatches_ = 0;
-  std::size_t max_attempts_ = 64;
   bool started_ = false;
 };
 
@@ -105,11 +150,16 @@ struct ProtocolRunResult {
   std::size_t messages = 0;
   std::size_t bytes = 0;
   std::size_t rounds = 0;
+  /// Aggregated anomaly counters from channels, manager and agents.
+  core::ChaosCounters chaos;
+  /// Protocol-level eviction cost (see ProtocolManager::evicted_alloc).
+  core::ResourceVector evicted_alloc;
 };
 
 /// Convenience harness: builds `num_workers` WorkerAgents of the given
 /// capacity wired to a ProtocolManager over in-process links and pumps the
-/// whole system to completion.
+/// whole system to completion. The chaos overload wraps every link in
+/// seeded FaultyChannels and injects the configured worker crashes.
 class ProtocolRuntime {
  public:
   ProtocolRuntime(std::span<const core::TaskSpec> tasks,
@@ -117,8 +167,15 @@ class ProtocolRuntime {
                   core::ResourceVector worker_capacity = {
                       16.0, 64.0 * 1024.0, 64.0 * 1024.0, 0.0});
 
+  ProtocolRuntime(std::span<const core::TaskSpec> tasks,
+                  core::TaskAllocator& allocator, std::size_t num_workers,
+                  core::ResourceVector worker_capacity,
+                  const ChaosConfig& chaos);
+
   /// Runs to completion; throws std::runtime_error if the system stops
-  /// making progress before every task finishes.
+  /// making progress before every task finishes. Under chaos, "no
+  /// progress" tolerates the failure-detection windows (timeouts and
+  /// backoff legitimately produce quiet rounds) before giving up.
   ProtocolRunResult run(std::size_t max_rounds = 1000000);
 
  private:
@@ -127,6 +184,7 @@ class ProtocolRuntime {
   std::vector<DuplexLinkPtr> links_;
   std::vector<WorkerAgent> agents_;
   ProtocolManager manager_;
+  std::size_t stall_limit_;
 };
 
 }  // namespace tora::proto

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <vector>
 
+#include "util/rng.hpp"
+
 namespace tora::proto {
 
 namespace {
@@ -120,6 +122,36 @@ void put_resources(std::ostringstream& oss, const core::ResourceVector& r) {
   put(oss, "time", r.time_s());
 }
 
+constexpr std::string_view kCrcToken = " crc=";
+constexpr std::size_t kCrcHexDigits = 16;
+
+/// Verifies the mandatory integrity checksum. The canonical wire position
+/// is directly after the verb, but any position is accepted as long as the
+/// FNV-1a hash of the line with the `crc` token spliced out matches — which
+/// is exactly what encode() produced. A line without the token is rejected
+/// outright: if absence were tolerated, a mutation hitting the token's key
+/// (e.g. `crc=` -> `Xrc=`) would disable verification while other
+/// mutations alter the payload, smuggling a different-but-valid message
+/// through as an "unchecksummed" line.
+bool crc_ok(std::string_view line) {
+  const std::size_t pos = line.find(kCrcToken);
+  if (pos == std::string_view::npos) return false;
+  const std::size_t value_at = pos + kCrcToken.size();
+  std::string_view hex = line.substr(value_at);
+  const std::size_t sp = hex.find(' ');
+  if (sp != std::string_view::npos) hex = hex.substr(0, sp);
+  if (hex.size() != kCrcHexDigits) return false;
+  std::uint64_t want = 0;
+  const auto [end, ec] =
+      std::from_chars(hex.data(), hex.data() + hex.size(), want, 16);
+  if (ec != std::errc{} || end != hex.data() + hex.size()) return false;
+  std::string content;
+  content.reserve(line.size());
+  content.append(line.substr(0, pos));
+  content.append(line.substr(value_at + hex.size()));
+  return util::hash64(content) == want;
+}
+
 }  // namespace
 
 std::string_view to_string(MsgType type) noexcept {
@@ -129,6 +161,7 @@ std::string_view to_string(MsgType type) noexcept {
     case MsgType::TaskResult: return "result";
     case MsgType::Evict: return "evict";
     case MsgType::Shutdown: return "shutdown";
+    case MsgType::Heartbeat: return "heartbeat";
   }
   return "?";
 }
@@ -142,20 +175,22 @@ std::string_view to_string(Outcome outcome) noexcept {
 }
 
 std::string encode(const Message& msg) {
-  std::ostringstream oss;
-  oss << to_string(msg.type);
+  std::ostringstream oss;  // the key=value fields, each preceded by a space
   put(oss, "worker", msg.worker_id);
   switch (msg.type) {
     case MsgType::WorkerReady:
+    case MsgType::Heartbeat:
       put_resources(oss, msg.resources);
       break;
     case MsgType::TaskDispatch:
       put(oss, "task", msg.task_id);
+      put(oss, "attempt", msg.attempt);
       oss << " category=" << escape(msg.category);
       put_resources(oss, msg.resources);
       break;
     case MsgType::TaskResult:
       put(oss, "task", msg.task_id);
+      put(oss, "attempt", msg.attempt);
       oss << " outcome=" << to_string(msg.outcome);
       put(oss, "runtime", msg.runtime_s);
       put(oss, "exceeded", static_cast<std::uint64_t>(msg.exceeded_mask));
@@ -167,10 +202,21 @@ std::string encode(const Message& msg) {
     case MsgType::Shutdown:
       break;
   }
-  return oss.str();
+  const std::string fields = oss.str();
+  std::string line(to_string(msg.type));
+  // Checksum over verb + fields, spliced in directly after the verb so any
+  // corruption or truncation of the variable-length tail breaks it.
+  char crc[kCrcHexDigits + 1];
+  std::snprintf(crc, sizeof(crc), "%016llx",
+                static_cast<unsigned long long>(util::hash64(line + fields)));
+  line.append(kCrcToken);
+  line.append(crc);
+  line.append(fields);
+  return line;
 }
 
 std::optional<Message> decode(std::string_view line) {
+  if (!crc_ok(line)) return std::nullopt;
   const std::size_t sp = line.find(' ');
   const std::string_view verb = line.substr(0, sp);
   const std::string_view rest =
@@ -184,6 +230,7 @@ std::optional<Message> decode(std::string_view line) {
   else if (verb == "result") m.type = MsgType::TaskResult;
   else if (verb == "evict") m.type = MsgType::Evict;
   else if (verb == "shutdown") m.type = MsgType::Shutdown;
+  else if (verb == "heartbeat") m.type = MsgType::Heartbeat;
   else return std::nullopt;
 
   const auto worker = fields->uint("worker");
@@ -191,7 +238,8 @@ std::optional<Message> decode(std::string_view line) {
   m.worker_id = *worker;
 
   switch (m.type) {
-    case MsgType::WorkerReady: {
+    case MsgType::WorkerReady:
+    case MsgType::Heartbeat: {
       const auto res = parse_resources(*fields);
       if (!res) return std::nullopt;
       m.resources = *res;
@@ -205,6 +253,7 @@ std::optional<Message> decode(std::string_view line) {
       const auto unescaped = unescape(cat->second);
       if (!unescaped) return std::nullopt;
       m.task_id = *task;
+      m.attempt = fields->uint("attempt").value_or(0);
       m.resources = *res;
       m.category = *unescaped;
       break;
@@ -226,6 +275,7 @@ std::optional<Message> decode(std::string_view line) {
         return std::nullopt;
       }
       m.task_id = *task;
+      m.attempt = fields->uint("attempt").value_or(0);
       m.resources = *res;
       m.runtime_s = *runtime;
       m.exceeded_mask = static_cast<unsigned>(*exceeded);

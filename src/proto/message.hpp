@@ -18,6 +18,7 @@ enum class MsgType : std::uint8_t {
   TaskResult,    ///< worker -> manager: outcome + measured peak + runtime
   Evict,         ///< worker -> manager: attempt cancelled (worker leaving)
   Shutdown,      ///< manager -> worker: drain and disconnect
+  Heartbeat,     ///< worker -> manager: liveness beacon carrying capacity
 };
 
 /// How an attempt ended (TaskResult payload).
@@ -28,15 +29,22 @@ enum class Outcome : std::uint8_t {
 
 /// One protocol message. Field relevance by type:
 ///  WorkerReady:  worker_id, resources (= capacity)
-///  TaskDispatch: worker_id, task_id, category, resources (= allocation)
-///  TaskResult:   worker_id, task_id, outcome, resources (= measured peak),
-///                runtime_s, exceeded_mask
+///  TaskDispatch: worker_id, task_id, attempt, category,
+///                resources (= allocation)
+///  TaskResult:   worker_id, task_id, attempt, outcome,
+///                resources (= measured peak), runtime_s, exceeded_mask
 ///  Evict:        worker_id, task_id
 ///  Shutdown:     worker_id
+///  Heartbeat:    worker_id, resources (= capacity, so a manager that lost
+///                a worker's announcement can still register it)
 struct Message {
   MsgType type = MsgType::WorkerReady;
   std::uint64_t worker_id = 0;
   std::uint64_t task_id = 0;
+  /// Per-task attempt id, assigned by the manager at dispatch and echoed in
+  /// the result. Lets both sides deduplicate replayed or stale messages
+  /// idempotently when the transport duplicates or delays them.
+  std::uint64_t attempt = 0;
   std::string category;
   core::ResourceVector resources;
   double runtime_s = 0.0;
@@ -47,14 +55,20 @@ struct Message {
 };
 
 /// Encodes a message as one line of space-separated `key=value` tokens with
-/// a leading verb, e.g.
-///   `dispatch worker=3 task=17 category=proc cores=1 memory=512 disk=64 time=0`
-/// Category values are URL-%-escaped so spaces/equals survive.
+/// a leading verb and an integrity checksum, e.g.
+///   `dispatch crc=f00..ba1 worker=3 task=17 attempt=1 category=proc
+///    cores=1 memory=512 disk=64 time=0`
+/// Category values are URL-%-escaped so spaces/equals survive. The `crc`
+/// token (FNV-1a over the line with the token spliced out, 16 hex digits)
+/// sits directly after the verb so that corruption OR truncation of the
+/// variable-length tail is always detectable.
 std::string encode(const Message& msg);
 
 /// Parses one encoded line. Returns nullopt on any malformed input
-/// (unknown verb, missing field, bad number) — the protocol never throws on
-/// remote data.
+/// (unknown verb, missing field, bad number, missing or mismatching
+/// checksum) — the protocol never throws on remote data. The `crc` token is
+/// mandatory: tolerating its absence would let a mutation of the token's
+/// key disable verification while other mutations alter the payload.
 std::optional<Message> decode(std::string_view line);
 
 std::string_view to_string(MsgType type) noexcept;

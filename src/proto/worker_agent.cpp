@@ -9,11 +9,12 @@ namespace tora::proto {
 
 WorkerAgent::WorkerAgent(std::uint64_t id, core::ResourceVector capacity,
                          std::span<const core::TaskSpec> ground_truth,
-                         DuplexLinkPtr link)
+                         DuplexLinkPtr link, WorkerFaultConfig faults)
     : id_(id),
       capacity_(capacity),
       ground_truth_(ground_truth),
-      link_(std::move(link)) {
+      link_(std::move(link)),
+      faults_(faults) {
   if (!link_) throw std::invalid_argument("WorkerAgent: null link");
 }
 
@@ -23,17 +24,35 @@ void WorkerAgent::announce() {
   m.worker_id = id_;
   m.resources = capacity_;
   link_->to_manager.send(encode(m));
+  if (faults_.crash_point == CrashPoint::AfterAnnounce) crash();
+}
+
+void WorkerAgent::crash() {
+  crashed_ = true;
+  ++chaos_.worker_crashes;
+  util::log_info("worker ", id_, ": injected crash");
 }
 
 std::size_t WorkerAgent::pump() {
+  if (crashed_) return 0;  // a dead process drains and sends nothing
   std::size_t handled = 0;
-  while (auto line = link_->to_worker.poll()) {
+  while (!crashed_) {
+    auto line = link_->to_worker.poll();
+    if (!line) break;
     const auto msg = decode(*line);
     if (!msg) {
-      util::log_warn("worker ", id_, ": dropping malformed message: ", *line);
+      ++chaos_.malformed_lines;
+      if (!malformed_logged_) {
+        malformed_logged_ = true;
+        util::log_warn("worker ", id_,
+                       ": malformed message (logged once, counting "
+                       "continues): ",
+                       *line);
+      }
       continue;
     }
     if (msg->worker_id != id_) {
+      ++chaos_.misaddressed_messages;
       util::log_warn("worker ", id_, ": message addressed to worker ",
                      msg->worker_id, ", dropping");
       continue;
@@ -51,18 +70,42 @@ std::size_t WorkerAgent::pump() {
     }
     ++handled;
   }
+  if (!crashed_ && !shutdown_) {
+    Message hb;
+    hb.type = MsgType::Heartbeat;
+    hb.worker_id = id_;
+    hb.resources = capacity_;
+    link_->to_manager.send(encode(hb));
+    ++heartbeats_sent_;
+  }
   return handled;
 }
 
 void WorkerAgent::handle_dispatch(const Message& msg) {
+  // Idempotency: a duplicated dispatch is answered from the result cache —
+  // re-sending also gives a lost result a second chance to arrive.
+  const auto key = std::make_pair(msg.task_id, msg.attempt);
+  if (const auto it = results_.find(key); it != results_.end()) {
+    ++chaos_.duplicate_dispatches;
+    link_->to_manager.send(it->second);
+    return;
+  }
+  if (msg.task_id >= ground_truth_.size()) {
+    throw std::logic_error("WorkerAgent: dispatch for unknown task id");
+  }
+  ++fresh_dispatches_;
+  const bool crash_here = fresh_dispatches_ == faults_.crash_on_dispatch;
+  if (faults_.crash_point == CrashPoint::MidTask && crash_here) {
+    crash();  // the task vanishes with the process
+    return;
+  }
+
   Message result;
   result.type = MsgType::TaskResult;
   result.worker_id = id_;
   result.task_id = msg.task_id;
+  result.attempt = msg.attempt;
 
-  if (msg.task_id >= ground_truth_.size()) {
-    throw std::logic_error("WorkerAgent: dispatch for unknown task id");
-  }
   if (!msg.resources.fits_within(capacity_)) {
     // The manager asked for more than this worker has: refuse. Real Work
     // Queue would never match such a task; reporting exhaustion keeps the
@@ -72,31 +115,36 @@ void WorkerAgent::handle_dispatch(const Message& msg) {
     result.exceeded_mask = msg.resources.exceeded_mask(capacity_);
     result.runtime_s = 0.001;
     result.resources = core::ResourceVector{};
-    link_->to_manager.send(encode(result));
-    return;
+  } else {
+    const core::TaskSpec& task = ground_truth_[msg.task_id];
+    // "Execute": the enforcement model decides whether and when the
+    // monitored process crosses its allocation.
+    const unsigned exceeded =
+        task.demand.exceeded_mask(msg.resources, core::kManagedResources);
+    const double runtime = sim::attempt_runtime(task, msg.resources,
+                                                core::kManagedResources);
+    if (exceeded == 0) {
+      ++executed_;
+      result.outcome = Outcome::Success;
+      result.resources = task.demand;  // the measured peak consumption
+    } else {
+      ++killed_;
+      result.outcome = Outcome::ResourceExhausted;
+      // The worker only observed consumption up to the kill: report the
+      // allocation as the measured ceiling plus which dimensions tripped.
+      result.resources = msg.resources;
+      result.exceeded_mask = exceeded;
+    }
+    result.runtime_s = runtime;
   }
 
-  const core::TaskSpec& task = ground_truth_[msg.task_id];
-  // "Execute": the enforcement model decides whether and when the monitored
-  // process crosses its allocation.
-  const unsigned exceeded =
-      task.demand.exceeded_mask(msg.resources, core::kManagedResources);
-  const double runtime = sim::attempt_runtime(task, msg.resources,
-                                              core::kManagedResources);
-  if (exceeded == 0) {
-    ++executed_;
-    result.outcome = Outcome::Success;
-    result.resources = task.demand;  // the measured peak consumption
-  } else {
-    ++killed_;
-    result.outcome = Outcome::ResourceExhausted;
-    // The worker only observed consumption up to the kill: report the
-    // allocation as the measured ceiling plus which dimensions tripped.
-    result.resources = msg.resources;
-    result.exceeded_mask = exceeded;
+  std::string line = encode(result);
+  results_.emplace(key, line);
+  if (faults_.crash_point == CrashPoint::BeforeResult && crash_here) {
+    crash();  // the work happened, but the report never leaves the node
+    return;
   }
-  result.runtime_s = runtime;
-  link_->to_manager.send(encode(result));
+  link_->to_manager.send(std::move(line));
 }
 
 }  // namespace tora::proto

@@ -1,12 +1,17 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <span>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "core/metrics.hpp"
 #include "core/resources.hpp"
 #include "core/task.hpp"
 #include "proto/channel.hpp"
+#include "proto/fault.hpp"
 #include "proto/message.hpp"
 
 namespace tora::proto {
@@ -20,42 +25,65 @@ namespace tora::proto {
 ///
 /// The agent communicates exclusively through its DuplexLink; the manager
 /// never touches its state.
+///
+/// Robustness: each pump emits a Heartbeat (carrying capacity, so a manager
+/// that lost the announcement can still register the worker), duplicate
+/// dispatches are answered idempotently from a result cache instead of
+/// re-executing, and a WorkerFaultConfig can crash the agent at injectable
+/// points — after announcing, mid-task, or just before the result — after
+/// which it goes permanently silent like a dead process.
 class WorkerAgent {
  public:
   /// `ground_truth` is the workload indexed by task id (the "application
   /// code" the worker runs); must outlive the agent.
   WorkerAgent(std::uint64_t id, core::ResourceVector capacity,
-              std::span<const core::TaskSpec> ground_truth, DuplexLinkPtr link);
+              std::span<const core::TaskSpec> ground_truth, DuplexLinkPtr link,
+              WorkerFaultConfig faults = {});
 
   /// Sends the WorkerReady announcement. Call once before pumping.
   void announce();
 
-  /// Processes every pending message; returns the number handled.
-  /// Execution is synchronous: each dispatch produces its result
-  /// immediately (the protocol runtime is functional, not timed — the
-  /// discrete-event simulator covers timing).
+  /// Processes every pending message and emits one Heartbeat; returns the
+  /// number of messages handled (heartbeats excluded). Execution is
+  /// synchronous: each dispatch produces its result immediately (the
+  /// protocol runtime is functional, not timed — the discrete-event
+  /// simulator covers timing). A crashed agent handles nothing.
   std::size_t pump();
 
   std::uint64_t id() const noexcept { return id_; }
   const core::ResourceVector& capacity() const noexcept { return capacity_; }
   bool shutdown_received() const noexcept { return shutdown_; }
+  bool crashed() const noexcept { return crashed_; }
   std::size_t tasks_executed() const noexcept { return executed_; }
   std::size_t tasks_killed() const noexcept { return killed_; }
   /// Dispatches that could not even be admitted (allocation above capacity);
   /// reported back as ResourceExhausted so the manager re-plans.
   std::size_t rejected_dispatches() const noexcept { return rejected_; }
+  std::size_t heartbeats_sent() const noexcept { return heartbeats_sent_; }
+  /// Anomalies this agent swallowed (duplicates, misaddressed lines, its
+  /// own crash).
+  const core::ChaosCounters& chaos() const noexcept { return chaos_; }
 
  private:
   void handle_dispatch(const Message& msg);
+  void crash();
 
   std::uint64_t id_;
   core::ResourceVector capacity_;
   std::span<const core::TaskSpec> ground_truth_;
   DuplexLinkPtr link_;
+  WorkerFaultConfig faults_;
   bool shutdown_ = false;
+  bool crashed_ = false;
+  bool malformed_logged_ = false;
   std::size_t executed_ = 0;
   std::size_t killed_ = 0;
   std::size_t rejected_ = 0;
+  std::size_t heartbeats_sent_ = 0;
+  std::size_t fresh_dispatches_ = 0;
+  /// Encoded results by (task, attempt), for idempotent re-answers.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::string> results_;
+  core::ChaosCounters chaos_;
 };
 
 }  // namespace tora::proto

@@ -1,0 +1,356 @@
+// Chaos tests: the fault-injection layer (proto/fault.hpp) and the
+// hardened protocol runtime. Every fault decision derives from a seed, so
+// each scenario asserts both recovery (the workflow still completes) and
+// determinism (identical counters on replay).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "proto/fault.hpp"
+#include "proto/manager.hpp"
+#include "proto/worker_agent.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using tora::core::ChaosCounters;
+using tora::core::ResourceKind;
+using tora::core::ResourceVector;
+using tora::core::TaskSpec;
+using tora::proto::ChaosConfig;
+using tora::proto::CrashPoint;
+using tora::proto::DuplexLink;
+using tora::proto::FaultPlan;
+using tora::proto::FaultyChannel;
+using tora::proto::LivenessConfig;
+using tora::proto::Message;
+using tora::proto::MsgType;
+using tora::proto::ProtocolManager;
+using tora::proto::ProtocolRuntime;
+
+constexpr ResourceVector kCapacity{16.0, 65536.0, 65536.0, 0.0};
+
+std::vector<TaskSpec> simple_tasks(std::size_t n, double mem = 500.0) {
+  std::vector<TaskSpec> tasks;
+  for (std::size_t i = 0; i < n; ++i) {
+    TaskSpec t;
+    t.id = i;
+    t.category = "c";
+    t.demand = ResourceVector{1.0, mem, 50.0};
+    t.duration_s = 10.0;
+    t.peak_fraction = 0.5;
+    tasks.push_back(std::move(t));
+  }
+  return tasks;
+}
+
+// ------------------------------------------------------------ FaultyChannel
+
+TEST(FaultyChannel, DropsEverythingAtProbabilityOne) {
+  FaultPlan plan;
+  plan.drop_prob = 1.0;
+  FaultyChannel ch(plan, tora::util::Rng(1));
+  for (int i = 0; i < 10; ++i) ch.send("msg");
+  EXPECT_TRUE(ch.empty());
+  EXPECT_EQ(ch.chaos().messages_dropped, 10u);
+}
+
+TEST(FaultyChannel, DuplicatesEverythingAtProbabilityOne) {
+  FaultPlan plan;
+  plan.duplicate_prob = 1.0;
+  FaultyChannel ch(plan, tora::util::Rng(1));
+  ch.send("msg");
+  EXPECT_EQ(ch.pending(), 2u);
+  EXPECT_EQ(ch.chaos().messages_duplicated, 1u);
+  EXPECT_EQ(*ch.poll(), "msg");
+  EXPECT_EQ(*ch.poll(), "msg");
+}
+
+TEST(FaultyChannel, CorruptionBreaksTheChecksumOrNothing) {
+  FaultPlan plan;
+  plan.corrupt_prob = 1.0;
+  FaultyChannel ch(plan, tora::util::Rng(7));
+  Message m;
+  m.type = MsgType::Evict;
+  m.worker_id = 2;
+  m.task_id = 4;
+  std::size_t rejected = 0;
+  for (int i = 0; i < 200; ++i) {
+    ch.send(encode(m));
+    const auto line = ch.poll();
+    ASSERT_TRUE(line);
+    const auto decoded = tora::proto::decode(*line);
+    // A single mutated byte either breaks the crc (rejected) or only hit
+    // the crc token itself — it can never yield a different valid message.
+    if (decoded) {
+      EXPECT_EQ(*decoded, m) << *line;
+    } else {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(ch.chaos().messages_corrupted, 200u);
+  EXPECT_GT(rejected, 150u);  // the vast majority of mutations must reject
+}
+
+TEST(FaultyChannel, SeversAfterConfiguredMessageCount) {
+  FaultPlan plan;
+  plan.sever_after_messages = 3;
+  FaultyChannel ch(plan, tora::util::Rng(1));
+  for (int i = 0; i < 5; ++i) ch.send("msg");
+  EXPECT_EQ(ch.pending(), 3u);
+  EXPECT_EQ(ch.chaos().messages_severed, 2u);
+  EXPECT_EQ(ch.chaos().links_severed, 1u);
+  EXPECT_TRUE(ch.severed());
+}
+
+TEST(FaultyChannel, SameSeedSameFaultSequence) {
+  FaultPlan plan;
+  plan.drop_prob = 0.3;
+  plan.duplicate_prob = 0.2;
+  plan.corrupt_prob = 0.2;
+  const auto run = [&plan] {
+    FaultyChannel ch(plan, tora::util::Rng(99));
+    for (int i = 0; i < 300; ++i) ch.send(std::string(1 + i % 40, 'x'));
+    std::vector<std::string> delivered;
+    while (auto line = ch.poll()) delivered.push_back(*line);
+    return std::make_pair(delivered, ch.chaos());
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_TRUE(a.second == b.second);
+}
+
+// -------------------------------------------------------- runtime recovery
+
+ChaosConfig noisy_chaos(std::uint64_t seed) {
+  ChaosConfig c;
+  c.seed = seed;
+  c.to_worker.drop_prob = 0.05;
+  c.to_worker.duplicate_prob = 0.05;
+  c.to_worker.corrupt_prob = 0.05;
+  c.to_manager = c.to_worker;
+  c.sever_workers = 1;
+  c.sever_after_messages = 30;
+  return c;
+}
+
+// Acceptance matrix: three allocation policies x five seeds, each run
+// twice. Every run completes despite drops, duplicates, corruption and a
+// hard-severed worker, with identical counters on replay and no attempt
+// double-charged.
+TEST(ChaosRuntime, EveryPolicyCompletesDeterministicallyUnderFaults) {
+  const auto tasks = simple_tasks(60);
+  const std::string_view policies[] = {tora::core::kGreedyBucketing,
+                                       tora::core::kExhaustiveBucketing,
+                                       tora::core::kWholeMachine};
+  for (const std::string_view policy : policies) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      SCOPED_TRACE(std::string(policy) + " seed " + std::to_string(seed));
+      const ChaosConfig chaos = noisy_chaos(seed);
+      const auto run_once = [&] {
+        auto alloc = tora::core::make_allocator(policy, 7);
+        ProtocolRuntime runtime(tasks, alloc, 4, kCapacity, chaos);
+        return runtime.run();
+      };
+      const auto a = run_once();
+      const auto b = run_once();
+
+      EXPECT_EQ(a.tasks_completed, 60u);
+      EXPECT_EQ(a.tasks_fatal, 0u);
+      EXPECT_GE(a.chaos.links_severed, 1u);  // the severed worker existed
+      // Exact replay: every counter identical, message for message.
+      EXPECT_TRUE(a.chaos == b.chaos);
+      EXPECT_EQ(a.messages, b.messages);
+      EXPECT_EQ(a.rounds, b.rounds);
+
+      // Consistent accounting: exactly one successful record per task, and
+      // only allocation-induced kills in the waste metric.
+      EXPECT_EQ(a.accounting.task_count(), a.tasks_completed);
+      const double consumption =
+          a.accounting.breakdown(ResourceKind::MemoryMB).consumption;
+      EXPECT_DOUBLE_EQ(consumption, 60 * 500.0 * 10.0);
+      if (policy == tora::core::kWholeMachine) {
+        // Whole machine cannot under-allocate: any failed-allocation waste
+        // would mean an infrastructure fault leaked into the paper metric.
+        EXPECT_DOUBLE_EQ(
+            a.accounting.breakdown(ResourceKind::MemoryMB).failed_allocation,
+            0.0);
+        EXPECT_EQ(a.accounting.total_attempts(), 60u);
+      }
+    }
+  }
+}
+
+TEST(ChaosRuntime, CrashedWorkerTasksAreRecoveredAsEvictions) {
+  const auto tasks = simple_tasks(20);
+  auto alloc = tora::core::make_allocator(tora::core::kMaxSeen, 1);
+  ChaosConfig chaos;
+  chaos.worker_faults.resize(2);
+  chaos.worker_faults[1].crash_point = CrashPoint::MidTask;
+  ProtocolRuntime runtime(tasks, alloc, 2, kCapacity, chaos);
+  const auto r = runtime.run();
+  EXPECT_EQ(r.tasks_completed, 20u);
+  EXPECT_EQ(r.chaos.worker_crashes, 1u);
+  EXPECT_GE(r.chaos.workers_declared_dead, 1u);
+  EXPECT_GE(r.chaos.protocol_evictions, 1u);
+  EXPECT_GE(r.chaos.redispatches, 1u);
+}
+
+TEST(ChaosRuntime, CrashAfterAnnounceOnSoleOtherWorkerStillCompletes) {
+  const auto tasks = simple_tasks(8);
+  auto alloc = tora::core::make_allocator(tora::core::kMaxSeen, 1);
+  ChaosConfig chaos;
+  chaos.worker_faults.resize(2);
+  chaos.worker_faults[0].crash_point = CrashPoint::AfterAnnounce;
+  ProtocolRuntime runtime(tasks, alloc, 2, kCapacity, chaos);
+  const auto r = runtime.run();
+  EXPECT_EQ(r.tasks_completed, 8u);
+  EXPECT_EQ(r.chaos.worker_crashes, 1u);
+  EXPECT_EQ(r.chaos.workers_declared_dead, 1u);
+}
+
+// ---------------------------------------------------- targeted hardening
+
+TEST(WorkerAgentChaos, DuplicateDispatchAnsweredFromResultCache) {
+  const auto tasks = simple_tasks(1);
+  auto link = std::make_shared<DuplexLink>();
+  tora::proto::WorkerAgent agent(0, kCapacity, tasks, link);
+  Message dispatch;
+  dispatch.type = MsgType::TaskDispatch;
+  dispatch.worker_id = 0;
+  dispatch.task_id = 0;
+  dispatch.attempt = 1;
+  dispatch.category = "c";
+  dispatch.resources = ResourceVector{2.0, 1000.0, 100.0, 0.0};
+  link->to_worker.send(encode(dispatch));
+  link->to_worker.send(encode(dispatch));  // duplicated delivery
+  agent.pump();
+  const auto first = tora::proto::decode(*link->to_manager.poll());
+  const auto second = tora::proto::decode(*link->to_manager.poll());
+  ASSERT_TRUE(first);
+  ASSERT_TRUE(second);
+  EXPECT_EQ(*first, *second);  // cached, not re-executed
+  EXPECT_EQ(agent.tasks_executed(), 1u);
+  EXPECT_EQ(agent.chaos().duplicate_dispatches, 1u);
+}
+
+TEST(ProtocolManagerChaos, DuplicateResultAcceptedOnce) {
+  const auto tasks = simple_tasks(1);
+  auto alloc = tora::core::make_allocator(tora::core::kMaxSeen, 1);
+  auto link = std::make_shared<DuplexLink>();
+  ProtocolManager manager(tasks, alloc, {link});
+
+  Message ready;
+  ready.type = MsgType::WorkerReady;
+  ready.worker_id = 0;
+  ready.resources = kCapacity;
+  link->to_manager.send(encode(ready));
+  manager.start();
+  manager.pump();
+  const auto dispatch = tora::proto::decode(*link->to_worker.poll());
+  ASSERT_TRUE(dispatch);
+
+  Message result;
+  result.type = MsgType::TaskResult;
+  result.worker_id = 0;
+  result.task_id = dispatch->task_id;
+  result.attempt = dispatch->attempt;
+  result.outcome = tora::proto::Outcome::Success;
+  result.resources = tasks[0].demand;
+  result.runtime_s = tasks[0].duration_s;
+  const std::string line = encode(result);
+  link->to_manager.send(line);
+  link->to_manager.send(line);  // duplicated delivery
+  manager.pump();
+  EXPECT_EQ(manager.tasks_completed(), 1u);
+  EXPECT_EQ(manager.accounting().task_count(), 1u);
+  EXPECT_EQ(manager.chaos().stale_or_duplicate_results, 1u);
+}
+
+TEST(ProtocolManagerChaos, HeartbeatReRegistersWorkerWithLostAnnouncement) {
+  const auto tasks = simple_tasks(1);
+  auto alloc = tora::core::make_allocator(tora::core::kMaxSeen, 1);
+  auto link = std::make_shared<DuplexLink>();
+  ProtocolManager manager(tasks, alloc, {link});
+  // The WorkerReady never arrives; the first heartbeat carries capacity and
+  // must register the worker well enough to receive dispatches.
+  Message hb;
+  hb.type = MsgType::Heartbeat;
+  hb.worker_id = 0;
+  hb.resources = kCapacity;
+  link->to_manager.send(encode(hb));
+  manager.start();
+  manager.pump();
+  EXPECT_EQ(manager.workers_known(), 1u);
+  const auto dispatch = tora::proto::decode(*link->to_worker.poll());
+  ASSERT_TRUE(dispatch);
+  EXPECT_EQ(dispatch->type, MsgType::TaskDispatch);
+  EXPECT_EQ(manager.chaos().heartbeats, 1u);
+}
+
+TEST(ProtocolManagerChaos, OneWaySeveredLinkQuarantinesWorker) {
+  const auto tasks = simple_tasks(1);
+  auto alloc = tora::core::make_allocator(tora::core::kMaxSeen, 1);
+  // The manager->worker direction silently eats every dispatch while the
+  // worker keeps heartbeating: only repeated attempt timeouts can expose it.
+  tora::util::Rng rng(42);
+  FaultPlan blackhole;
+  blackhole.drop_prob = 1.0;
+  auto link = tora::proto::make_faulty_link(blackhole, FaultPlan{}, rng);
+  LivenessConfig liveness;
+  liveness.attempt_timeout_ticks = 2;
+  liveness.worker_failure_limit = 2;
+  liveness.backoff_base_ticks = 1;
+  liveness.backoff_cap_ticks = 2;
+  ProtocolManager manager(tasks, alloc, {link}, liveness);
+
+  Message ready;
+  ready.type = MsgType::WorkerReady;
+  ready.worker_id = 0;
+  ready.resources = kCapacity;
+  link->to_manager.send(encode(ready));
+  manager.start();
+  Message hb;
+  hb.type = MsgType::Heartbeat;
+  hb.worker_id = 0;
+  hb.resources = kCapacity;
+  for (int i = 0; i < 40 && manager.chaos().workers_quarantined == 0; ++i) {
+    link->to_manager.send(encode(hb));
+    manager.pump();
+  }
+  EXPECT_EQ(manager.chaos().workers_quarantined, 1u);
+  EXPECT_GE(manager.chaos().attempt_timeouts, 2u);
+  EXPECT_EQ(manager.workers_known(), 0u);
+  // Quarantine is permanent: further heartbeats must not re-admit it.
+  link->to_manager.send(encode(hb));
+  manager.pump();
+  EXPECT_EQ(manager.workers_known(), 0u);
+}
+
+TEST(ProtocolManagerChaos, DuplicateAnnouncementKeepsCommittedCapacity) {
+  // Two one-task-wide tasks on one worker: a duplicated WorkerReady between
+  // them must not wipe `committed` and over-admit.
+  const auto tasks = simple_tasks(2, 40000.0);  // each over half the memory
+  auto alloc = tora::core::make_allocator(tora::core::kWholeMachine, 1);
+  auto link = std::make_shared<DuplexLink>();
+  ProtocolManager manager(tasks, alloc, {link});
+  Message ready;
+  ready.type = MsgType::WorkerReady;
+  ready.worker_id = 0;
+  ready.resources = kCapacity;
+  link->to_manager.send(encode(ready));
+  manager.start();
+  manager.pump();
+  ASSERT_TRUE(link->to_worker.poll());  // first dispatch in flight
+  link->to_manager.send(encode(ready));  // duplicated announcement
+  manager.pump();
+  // The second task must still be waiting: capacity is fully committed.
+  EXPECT_TRUE(link->to_worker.empty());
+}
+
+}  // namespace

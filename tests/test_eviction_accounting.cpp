@@ -1,0 +1,128 @@
+// Eviction accounting invariants across both runtimes: the paper's waste
+// metric (WasteAccounting) charges only allocation-induced failures to the
+// algorithm. Infrastructure losses — churned workers in the simulator,
+// dead/evicted workers in the protocol runtime — are tracked separately
+// (SimResult::evicted_alloc_seconds, ProtocolManager::evicted_alloc) and
+// must never leak into failed-allocation waste.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/registry.hpp"
+#include "proto/fault.hpp"
+#include "proto/manager.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using tora::core::ResourceKind;
+using tora::core::ResourceVector;
+using tora::core::TaskSpec;
+using tora::proto::ChaosConfig;
+using tora::proto::CrashPoint;
+using tora::proto::ProtocolRuntime;
+using tora::sim::SimConfig;
+using tora::sim::SimResult;
+using tora::sim::Simulation;
+
+std::vector<TaskSpec> simple_tasks(std::size_t n, double mem = 500.0) {
+  std::vector<TaskSpec> tasks;
+  for (std::size_t i = 0; i < n; ++i) {
+    TaskSpec t;
+    t.id = i;
+    t.category = "c";
+    t.demand = ResourceVector{1.0, mem, 50.0};
+    t.duration_s = 10.0;
+    t.peak_fraction = 0.5;
+    tasks.push_back(std::move(t));
+  }
+  return tasks;
+}
+
+TEST(EvictionAccounting, SimulatorChurnCostStaysOutOfPolicyWaste) {
+  const auto tasks = simple_tasks(150);
+  // Whole machine can never under-allocate, so the only possible source of
+  // failed-allocation waste would be evictions leaking into the metric.
+  auto alloc = tora::core::make_allocator(tora::core::kWholeMachine, 1);
+  SimConfig cfg;
+  cfg.churn.enabled = true;
+  cfg.churn.initial_workers = 8;
+  cfg.churn.min_workers = 3;
+  cfg.churn.max_workers = 10;
+  cfg.churn.mean_interarrival_s = 40.0;
+  cfg.churn.mean_lifetime_s = 100.0;  // aggressive churn
+  cfg.seed = 29;
+  Simulation sim(tasks, alloc, cfg);
+  const SimResult r = sim.run();
+  EXPECT_EQ(r.tasks_completed, 150u);
+  ASSERT_GT(r.evictions, 0u);  // the scenario must actually evict
+  // The eviction cost is visible — in its own ledger...
+  EXPECT_GT(r.evicted_alloc_seconds.cores(), 0.0);
+  EXPECT_GT(r.evicted_alloc_seconds.memory_mb(), 0.0);
+  // ...and only there: zero failed-allocation waste in every dimension.
+  EXPECT_DOUBLE_EQ(
+      r.accounting.breakdown(ResourceKind::Cores).failed_allocation, 0.0);
+  EXPECT_DOUBLE_EQ(
+      r.accounting.breakdown(ResourceKind::MemoryMB).failed_allocation, 0.0);
+  // One accounted attempt per task: evicted attempts are cancelled, not
+  // logged as failures.
+  EXPECT_EQ(r.accounting.total_attempts(), 150u);
+}
+
+TEST(EvictionAccounting, ProtocolWorkerDeathCostStaysOutOfPolicyWaste) {
+  const auto tasks = simple_tasks(12);
+  auto alloc = tora::core::make_allocator(tora::core::kWholeMachine, 1);
+  ChaosConfig chaos;
+  chaos.worker_faults.resize(3);
+  // The crashed worker executes its task but dies before reporting: the
+  // attempt's cost is an eviction, not the allocator's fault.
+  chaos.worker_faults[1].crash_point = CrashPoint::BeforeResult;
+  ProtocolRuntime runtime(
+      tasks, alloc, 3, ResourceVector{16.0, 65536.0, 65536.0, 0.0}, chaos);
+  const auto r = runtime.run();
+  EXPECT_EQ(r.tasks_completed, 12u);
+  EXPECT_EQ(r.tasks_fatal, 0u);
+  EXPECT_EQ(r.chaos.worker_crashes, 1u);
+  ASSERT_GE(r.chaos.protocol_evictions, 1u);
+  // The lost attempt's allocation shows up in the eviction ledger...
+  EXPECT_GT(r.evicted_alloc.memory_mb(), 0.0);
+  EXPECT_GT(r.evicted_alloc.cores(), 0.0);
+  // ...and never in the paper metric: whole machine cannot under-allocate.
+  EXPECT_DOUBLE_EQ(
+      r.accounting.breakdown(ResourceKind::MemoryMB).failed_allocation, 0.0);
+  // Exactly one accounted (successful) attempt per task — the requeued
+  // attempt was not double-charged.
+  EXPECT_EQ(r.accounting.task_count(), 12u);
+  EXPECT_EQ(r.accounting.total_attempts(), 12u);
+}
+
+TEST(EvictionAccounting, EvictMessageChargesEvictionLedgerOnly) {
+  const auto tasks = simple_tasks(1);
+  auto alloc = tora::core::make_allocator(tora::core::kMaxSeen, 1);
+  auto link = std::make_shared<tora::proto::DuplexLink>();
+  tora::proto::ProtocolManager manager(tasks, alloc, {link});
+
+  tora::proto::Message ready;
+  ready.type = tora::proto::MsgType::WorkerReady;
+  ready.worker_id = 0;
+  ready.resources = ResourceVector{16.0, 65536.0, 65536.0, 0.0};
+  link->to_manager.send(encode(ready));
+  manager.start();
+  manager.pump();
+  const auto dispatch = tora::proto::decode(*link->to_worker.poll());
+  ASSERT_TRUE(dispatch);
+
+  tora::proto::Message evict;
+  evict.type = tora::proto::MsgType::Evict;
+  evict.worker_id = 0;
+  evict.task_id = dispatch->task_id;
+  link->to_manager.send(encode(evict));
+  manager.pump();
+  EXPECT_EQ(manager.chaos().protocol_evictions, 1u);
+  EXPECT_EQ(manager.evicted_alloc(), dispatch->resources);
+  // Nothing reached the waste metric: no task finished, nothing accounted.
+  EXPECT_EQ(manager.accounting().task_count(), 0u);
+}
+
+}  // namespace

@@ -133,7 +133,13 @@ TEST(WorkerAgentTest, IgnoresMisaddressedAndMalformed) {
   link->to_worker.send(encode(other));
   agent.pump();
   EXPECT_FALSE(agent.shutdown_received());
+  // Neither junk line produced a reply — only the liveness heartbeat.
+  const auto hb = tora::proto::decode(*link->to_manager.poll());
+  ASSERT_TRUE(hb);
+  EXPECT_EQ(hb->type, tora::proto::MsgType::Heartbeat);
   EXPECT_TRUE(link->to_manager.empty());
+  EXPECT_EQ(agent.chaos().malformed_lines, 1u);
+  EXPECT_EQ(agent.chaos().misaddressed_messages, 1u);
 }
 
 TEST(ProtocolRuntimeTest, RunsWorkflowToCompletion) {
@@ -237,6 +243,7 @@ TEST(ProtocolManagerTest, EvictionRequeuesWithSameAllocation) {
   result.type = tora::proto::MsgType::TaskResult;
   result.worker_id = 0;
   result.task_id = dispatch2->task_id;
+  result.attempt = dispatch2->attempt;  // echo the in-flight attempt id
   result.outcome = tora::proto::Outcome::Success;
   result.resources = tasks[0].demand;
   result.runtime_s = tasks[0].duration_s;
