@@ -1,0 +1,226 @@
+// Hot-path microbenchmark for the interned-category allocator: the
+// allocate + record_completion cycle every task pays once (paper Fig. 3a's
+// dispatch-time protocol), at production scale (1M tasks, 1k categories).
+//
+// The baseline is a faithful replica of the pre-interning TaskAllocator:
+// std::map<std::string, CategoryState> keyed by the category string on
+// every call, std::map<ResourceKind, policy> inside each category, and a
+// history that copies the category string into every record. The current
+// allocator replaces all of that with dense CategoryId vector indexing and
+// a 4-byte id per history record; both run the same policy objects, so the
+// measured gap is purely the keying + storage change. A shared checksum
+// over the returned allocations asserts the two paths compute identical
+// results before any number is reported.
+//
+// Emits BENCH_hot_path.json (CI uploads it as the perf-smoke artifact).
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "core/task_allocator.hpp"
+
+namespace {
+
+using tora::core::AllocatorConfig;
+using tora::core::CategoryId;
+using tora::core::PolicyFactory;
+using tora::core::ResourceKind;
+using tora::core::ResourcePolicyPtr;
+using tora::core::ResourceVector;
+
+/// Replica of the string-keyed allocator this PR retired (see git history
+/// of core/task_allocator.cpp): category lookup by string on every
+/// allocate/record, policies behind a per-category std::map, history
+/// records owning a copy of the category string.
+class StringKeyedAllocator {
+ public:
+  StringKeyedAllocator(PolicyFactory factory, AllocatorConfig config)
+      : factory_(std::move(factory)), config_(std::move(config)) {}
+
+  ResourceVector allocate(const std::string& category) {
+    auto& st = state_for(category);
+    if (st.completed < config_.exploration.min_records) {
+      return clamp(config_.exploration.default_alloc);
+    }
+    ResourceVector alloc;
+    for (ResourceKind k : config_.managed) {
+      alloc[k] = st.policies.at(k)->predict();
+    }
+    return clamp(alloc);
+  }
+
+  void record_completion(const std::string& category,
+                         const ResourceVector& peak, double significance) {
+    auto& st = state_for(category);
+    for (ResourceKind k : config_.managed) {
+      st.policies.at(k)->observe(peak[k], significance);
+    }
+    ++st.completed;
+    history_.push_back({category, peak, significance});
+  }
+
+  std::size_t history_size() const { return history_.size(); }
+
+ private:
+  struct CategoryState {
+    std::map<ResourceKind, ResourcePolicyPtr> policies;
+    std::size_t completed = 0;
+  };
+  struct Record {
+    std::string category;
+    ResourceVector peak;
+    double significance;
+  };
+
+  CategoryState& state_for(const std::string& category) {
+    auto [it, inserted] = categories_.try_emplace(category);
+    if (inserted) {
+      for (ResourceKind k : config_.managed) {
+        it->second.policies.emplace(k, factory_(k, config_));
+      }
+    }
+    return it->second;
+  }
+
+  ResourceVector clamp(ResourceVector v) const {
+    for (ResourceKind k : config_.managed) {
+      if (v[k] > config_.worker_capacity[k]) v[k] = config_.worker_capacity[k];
+    }
+    return v;
+  }
+
+  PolicyFactory factory_;
+  AllocatorConfig config_;
+  std::map<std::string, CategoryState> categories_;
+  std::vector<Record> history_;
+};
+
+struct Workload {
+  std::vector<std::string> names;      // category name per task
+  std::vector<std::uint32_t> cat_of;   // category index per task
+  std::vector<ResourceVector> peaks;   // measured peak per task
+};
+
+Workload make_workload(std::size_t tasks, std::size_t categories) {
+  Workload w;
+  w.names.reserve(categories);
+  for (std::size_t c = 0; c < categories; ++c) {
+    w.names.push_back("workflow_stage_" + std::to_string(c));
+  }
+  w.cat_of.reserve(tasks);
+  w.peaks.reserve(tasks);
+  for (std::size_t i = 0; i < tasks; ++i) {
+    const auto c = static_cast<std::uint32_t>(i % categories);
+    w.cat_of.push_back(c);
+    // Deterministic per-category spread so the policies see real variance.
+    const double jitter = static_cast<double>((i * 2654435761u) % 997) / 997.0;
+    w.peaks.push_back({1.0 + 3.0 * jitter, 256.0 + 2048.0 * jitter,
+                       128.0 + 1024.0 * jitter, 0.0});
+  }
+  return w;
+}
+
+double checksum_of(const ResourceVector& v) {
+  return v[ResourceKind::Cores] + v[ResourceKind::MemoryMB] +
+         v[ResourceKind::DiskMB];
+}
+
+AllocatorConfig bench_config(std::size_t expected_tasks) {
+  AllocatorConfig cfg;
+  cfg.expected_tasks = expected_tasks;
+  return cfg;
+}
+
+double run_baseline(const Workload& w, std::uint64_t seed, double& checksum) {
+  StringKeyedAllocator a(tora::core::make_policy_factory("max_seen", seed),
+                         bench_config(0));
+  checksum = 0.0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < w.cat_of.size(); ++i) {
+    const std::string& cat = w.names[w.cat_of[i]];
+    checksum += checksum_of(a.allocate(cat));
+    a.record_completion(cat, w.peaks[i], static_cast<double>(i) + 1.0);
+  }
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  if (a.history_size() != w.cat_of.size()) std::abort();
+  return std::chrono::duration<double>(dt).count();
+}
+
+double run_interned(const Workload& w, std::uint64_t seed, double& checksum) {
+  tora::core::TaskAllocator a(
+      "max_seen", tora::core::make_policy_factory("max_seen", seed),
+      bench_config(w.cat_of.size()));
+  checksum = 0.0;
+  const auto t0 = std::chrono::steady_clock::now();
+  // Mirror DispatchCore: one intern per task up front, ids everywhere after.
+  std::vector<CategoryId> ids;
+  ids.reserve(w.names.size());
+  for (const std::string& name : w.names) ids.push_back(a.intern(name));
+  for (std::size_t i = 0; i < w.cat_of.size(); ++i) {
+    const CategoryId cat = ids[w.cat_of[i]];
+    checksum += checksum_of(a.allocate(cat));
+    a.record_completion(cat, w.peaks[i], static_cast<double>(i) + 1.0);
+  }
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  if (a.history().size() != w.cat_of.size()) std::abort();
+  return std::chrono::duration<double>(dt).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t tasks = 1000000;
+  std::size_t categories = 1000;
+  if (argc > 1) tasks = static_cast<std::size_t>(std::stoull(argv[1]));
+  if (argc > 2) categories = static_cast<std::size_t>(std::stoull(argv[2]));
+  const std::size_t reps = 3;
+  const std::uint64_t seed = 42;
+
+  const Workload w = make_workload(tasks, categories);
+
+  double best_base = 1e300, best_fast = 1e300;
+  double sum_base = 0.0, sum_fast = 0.0;
+  for (std::size_t r = 0; r < reps; ++r) {
+    best_base = std::min(best_base, run_baseline(w, seed, sum_base));
+    best_fast = std::min(best_fast, run_interned(w, seed, sum_fast));
+  }
+  const bool match = sum_base == sum_fast;  // deterministic policy: exact
+  const double n = static_cast<double>(tasks);
+  const double speedup = best_base / best_fast;
+
+  std::cout << "allocator hot path: " << tasks << " tasks x " << categories
+            << " categories (max_seen, best of " << reps << ")\n"
+            << "  string-keyed baseline: " << best_base * 1e9 / n
+            << " ns/task (" << n / best_base / 1e6 << " M tasks/s)\n"
+            << "  interned CategoryId:   " << best_fast * 1e9 / n
+            << " ns/task (" << n / best_fast / 1e6 << " M tasks/s)\n"
+            << "  speedup: " << speedup << "x, checksums "
+            << (match ? "match" : "MISMATCH") << "\n";
+
+  std::ofstream out("BENCH_hot_path.json");
+  out << "{\n"
+      << "  \"benchmark\": \"allocator_hot_path\",\n"
+      << "  \"policy\": \"max_seen\",\n"
+      << "  \"tasks\": " << tasks << ",\n"
+      << "  \"categories\": " << categories << ",\n"
+      << "  \"reps\": " << reps << ",\n"
+      << "  \"baseline_ns_per_task\": " << best_base * 1e9 / n << ",\n"
+      << "  \"interned_ns_per_task\": " << best_fast * 1e9 / n << ",\n"
+      << "  \"baseline_tasks_per_s\": " << n / best_base << ",\n"
+      << "  \"interned_tasks_per_s\": " << n / best_fast << ",\n"
+      << "  \"speedup\": " << speedup << ",\n"
+      << "  \"checksums_match\": " << (match ? "true" : "false") << "\n"
+      << "}\n";
+  if (!match) {
+    std::cerr << "checksum mismatch: interned path diverged from baseline\n";
+    return 1;
+  }
+  return 0;
+}

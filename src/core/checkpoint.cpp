@@ -31,7 +31,7 @@ void save_allocator_state(const TaskAllocator& allocator, std::ostream& out) {
   out << kHeader << '\n';
   util::CsvWriter csv(out);
   for (const auto& rec : allocator.history()) {
-    csv.field(rec.category)
+    csv.field(allocator.category_name(rec.category))
         .field(rec.peak.cores())
         .field(rec.peak.memory_mb())
         .field(rec.peak.disk_mb())

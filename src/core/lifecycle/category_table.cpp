@@ -1,0 +1,35 @@
+#include "core/lifecycle/category_table.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace tora::core {
+
+CategoryId CategoryTable::intern(std::string_view name) {
+  if (const auto it = index_.find(name); it != index_.end()) {
+    return it->second;
+  }
+  if (names_.size() >=
+      static_cast<std::size_t>(std::numeric_limits<CategoryId>::max())) {
+    throw std::length_error("CategoryTable: category id space exhausted");
+  }
+  const auto id = static_cast<CategoryId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+std::optional<CategoryId> CategoryTable::find(std::string_view name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& CategoryTable::name(CategoryId id) const {
+  if (id >= names_.size()) {
+    throw std::out_of_range("CategoryTable: unknown category id");
+  }
+  return names_[id];
+}
+
+}  // namespace tora::core

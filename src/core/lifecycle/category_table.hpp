@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace tora::core {
+
+/// Dense integer handle for an interned task-category name. Ids are assigned
+/// in first-seen order starting at 0, so they index plain vectors — the hot
+/// paths of TaskAllocator and WasteAccounting never touch a string after
+/// interning a task's category once at admission.
+using CategoryId = std::uint32_t;
+
+/// Sentinel for "no category" (never returned by intern()).
+inline constexpr CategoryId kInvalidCategory = 0xFFFFFFFFu;
+
+/// Interns category strings to dense CategoryIds. Mirrors Work Queue's move
+/// from per-task string categories to shared category structs: strings exist
+/// only at the system's edges (workload specs, wire messages, reports);
+/// everything between is an array index.
+class CategoryTable {
+ public:
+  /// Id for `name`, inserting it if unseen. Amortized O(1); the only string
+  /// hash on the allocator hot path, paid once per task (or once per
+  /// category when callers cache the id).
+  CategoryId intern(std::string_view name);
+
+  /// Id for `name` if already interned. Never inserts.
+  std::optional<CategoryId> find(std::string_view name) const;
+
+  /// The interned name for a valid id. Throws std::out_of_range otherwise.
+  const std::string& name(CategoryId id) const;
+
+  std::size_t size() const noexcept { return names_.size(); }
+  bool empty() const noexcept { return names_.empty(); }
+
+  /// All interned names, indexed by id (the reporting edge iterates this).
+  const std::vector<std::string>& names() const noexcept { return names_; }
+
+ private:
+  // Heterogeneous lookup: find() on a string_view key without constructing
+  // a std::string.
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  std::unordered_map<std::string, CategoryId, Hash, std::equal_to<>> index_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace tora::core

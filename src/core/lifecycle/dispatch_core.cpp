@@ -1,0 +1,197 @@
+#include "core/lifecycle/dispatch_core.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/log.hpp"
+
+namespace tora::core::lifecycle {
+
+DispatchCore::DispatchCore(std::span<const TaskSpec> tasks,
+                           TaskAllocator& allocator, DispatchConfig config,
+                           RuntimeHooks* hooks)
+    : tasks_(tasks),
+      allocator_(allocator),
+      config_(config),
+      hooks_(hooks),
+      entries_(tasks.size()),
+      dependents_(tasks.size()) {
+  alloc_category_.reserve(tasks.size());
+  acct_category_.reserve(tasks.size());
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (tasks_[i].id != i) {
+      throw std::invalid_argument(
+          "DispatchCore: task ids must be dense and in submission order");
+    }
+    entries_[i].deps_remaining = tasks_[i].deps.size();
+    for (std::uint64_t dep : tasks_[i].deps) {
+      if (dep >= i) {
+        throw std::invalid_argument(
+            "DispatchCore: dependency ids must be smaller than the task id");
+      }
+      dependents_[dep].push_back(i);
+    }
+    // The only per-task string work in the whole lifecycle: one intern into
+    // each table. Everything downstream is a dense index.
+    alloc_category_.push_back(allocator_.intern(tasks_[i].category));
+    acct_category_.push_back(accounting_.intern(tasks_[i].category));
+  }
+  allocator_.reserve_history(tasks_.size());
+}
+
+void DispatchCore::start() {
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    entries_[i].submitted = true;
+    maybe_ready(i);
+  }
+}
+
+void DispatchCore::mark_submitted(std::uint64_t task_id) {
+  entries_[task_id].submitted = true;
+  maybe_ready(task_id);
+}
+
+void DispatchCore::maybe_ready(std::uint64_t task_id) {
+  TaskEntry& e = entries_[task_id];
+  if (!e.submitted || e.deps_remaining > 0 || e.phase != TaskPhase::Pending) {
+    return;
+  }
+  e.phase = TaskPhase::Queued;
+  ready_.push_back(task_id);
+}
+
+void DispatchCore::ensure_allocation(std::uint64_t task_id) {
+  TaskEntry& e = entries_[task_id];
+  if (!e.has_alloc || (!e.is_retry && e.alloc_revision != allocator_.revision())) {
+    e.alloc = allocator_.allocate(alloc_category_[task_id]);
+    e.has_alloc = true;
+    e.alloc_revision = allocator_.revision();
+  }
+}
+
+void DispatchCore::dispatch_pass(const PlaceFn& place, const CommitFn& commit,
+                                 const DeferFn& defer) {
+  // One pass suffices: placements only shrink the free space, so a task
+  // that did not fit now will not fit later in the same pass.
+  std::deque<std::uint64_t> waiting;
+  while (!ready_.empty()) {
+    const std::uint64_t task_id = ready_.front();
+    ready_.pop_front();
+    if (defer && defer(task_id)) {
+      waiting.push_back(task_id);
+      continue;
+    }
+    ensure_allocation(task_id);
+    TaskEntry& e = entries_[task_id];
+    if (const auto worker = place(task_id, e.alloc)) {
+      if (config_.max_attempts > 0 && e.attempts >= config_.max_attempts) {
+        make_fatal(task_id);
+        continue;
+      }
+      ++e.attempts;
+      e.phase = TaskPhase::Running;
+      e.running_on = *worker;
+      commit(task_id, *worker, e.alloc);
+    } else {
+      waiting.push_back(task_id);
+    }
+  }
+  ready_ = std::move(waiting);
+}
+
+double DispatchCore::significance_for(const TaskSpec& spec) const {
+  // The paper's rule (§V-A): significance = task id (1-based), so recent
+  // submissions dominate the bucketing state. Constant is the no-recency
+  // ablation.
+  return config_.significance == DispatchConfig::Significance::TaskId
+             ? static_cast<double>(spec.id) + 1.0
+             : 1.0;
+}
+
+void DispatchCore::complete(std::uint64_t task_id,
+                            const ResourceVector& measured_peak,
+                            double runtime_s) {
+  TaskEntry& e = entries_[task_id];
+  const TaskSpec& spec = tasks_[task_id];
+  e.phase = TaskPhase::Done;
+  ++completed_;
+  ++finished_;
+
+  accounting_.add(acct_category_[task_id], measured_peak, e.alloc, runtime_s,
+                  e.failed_attempts);
+  allocator_.record_completion(alloc_category_[task_id], measured_peak,
+                               significance_for(spec));
+
+  // Release dependents whose last dependency this was.
+  for (std::uint64_t dep : dependents_[task_id]) {
+    TaskEntry& d = entries_[dep];
+    if (d.deps_remaining > 0) {
+      --d.deps_remaining;
+      maybe_ready(dep);
+    }
+  }
+}
+
+DispatchCore::RetryVerdict DispatchCore::fail_attempt(std::uint64_t task_id,
+                                                      double runtime_s,
+                                                      unsigned exceeded_mask) {
+  TaskEntry& e = entries_[task_id];
+  e.failed_attempts.push_back({e.alloc, runtime_s});
+  if (config_.max_allocation_failures > 0 &&
+      e.failed_attempts.size() >= config_.max_allocation_failures) {
+    make_fatal(task_id);
+    return RetryVerdict::Fatal;
+  }
+  if (exceeded_mask == 0) {
+    util::log_warn("lifecycle: exhausted attempt without exceeded mask");
+    make_fatal(task_id);
+    return RetryVerdict::Fatal;
+  }
+  const ResourceVector next = allocator_.allocate_retry(
+      alloc_category_[task_id], e.alloc, exceeded_mask);
+  // If every exceeded dimension is pinned at worker capacity the task can
+  // never run in this pool.
+  bool grew = false;
+  for (ResourceKind k : allocator_.config().managed) {
+    if ((exceeded_mask & resource_bit(k)) && next[k] > e.alloc[k]) {
+      grew = true;
+      break;
+    }
+  }
+  if (!grew) {
+    make_fatal(task_id);
+    return RetryVerdict::Fatal;
+  }
+  e.alloc = next;
+  e.is_retry = true;
+  e.phase = TaskPhase::Queued;
+  ready_.push_back(task_id);
+  return RetryVerdict::Requeued;
+}
+
+void DispatchCore::requeue_front(std::uint64_t task_id) {
+  TaskEntry& e = entries_[task_id];
+  if (e.phase != TaskPhase::Running) return;
+  e.phase = TaskPhase::Queued;
+  ready_.push_front(task_id);
+}
+
+void DispatchCore::charge_eviction(std::uint64_t task_id, double scale) {
+  evicted_alloc_ += entries_[task_id].alloc * scale;
+  ++evictions_;
+}
+
+void DispatchCore::make_fatal(std::uint64_t task_id) {
+  TaskEntry& e = entries_[task_id];
+  if (e.phase == TaskPhase::Fatal) return;
+  e.phase = TaskPhase::Fatal;
+  ++fatal_;
+  ++finished_;
+  if (hooks_) hooks_->task_fatal(task_id);
+  // Dependents can never run: cascade the failure so the run terminates.
+  for (std::uint64_t dep : dependents_[task_id]) {
+    make_fatal(dep);
+  }
+}
+
+}  // namespace tora::core::lifecycle

@@ -1,0 +1,217 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/lifecycle/category_table.hpp"
+#include "core/metrics.hpp"
+#include "core/resources.hpp"
+#include "core/task.hpp"
+#include "core/task_allocator.hpp"
+
+namespace tora::core::lifecycle {
+
+/// Lifecycle phase of a task in the shared dispatch state machine
+/// (paper Fig. 3a). Both runtimes expose this directly.
+enum class TaskPhase : std::uint8_t {
+  Pending,  ///< not yet submitted or waiting on dependencies
+  Queued,   ///< ready, waiting for a worker
+  Running,  ///< attempt in flight
+  Done,     ///< completed successfully
+  Fatal,    ///< cannot run (demand above capacity or attempt limit)
+};
+
+/// Per-task state of the shared machine. Runtime-specific bookkeeping
+/// (event epochs and attempt start times in the simulator; dispatch ticks,
+/// backoff windows and infrastructure-failure streaks in the protocol
+/// manager) lives in the drivers, parallel to this.
+struct TaskEntry {
+  TaskPhase phase = TaskPhase::Pending;
+  bool submitted = false;
+  bool has_alloc = false;
+  /// True once the allocation came from a retry (failure escalation);
+  /// retry allocations are never invalidated by allocator revisions.
+  bool is_retry = false;
+  /// Execution attempts dispatched so far; doubles as the protocol's wire
+  /// attempt id (the manager stamps it into each dispatch message).
+  std::uint32_t attempts = 0;
+  /// Allocator revision at which a first-attempt allocation was computed;
+  /// a stale revision means newer records exist and the allocation is
+  /// re-requested at the next dispatch (Fig. 3a dispatch-time protocol).
+  std::uint64_t alloc_revision = 0;
+  std::uint64_t running_on = 0;  ///< worker id while Running
+  ResourceVector alloc;
+  std::size_t deps_remaining = 0;
+  std::vector<AttemptLog> failed_attempts;
+};
+
+/// Knobs that differ between the runtimes driving the shared machine.
+struct DispatchConfig {
+  /// Fatal once a task would start this many execution attempts (0 = no
+  /// limit). The simulator's safety valve; checked at placement time, so a
+  /// task that merely waits in the queue never trips it.
+  std::size_t max_attempts = 0;
+
+  /// Fatal once a task has logged this many allocation-induced failures
+  /// (0 = no limit). The protocol manager's fatal budget; infrastructure
+  /// failures never count against it.
+  std::size_t max_allocation_failures = 0;
+
+  /// Significance passed to record_completion. TaskId follows the paper
+  /// (§V-A: significance = task id + 1, so recent submissions dominate);
+  /// Constant disables recency weighting (the ablation baseline).
+  enum class Significance { TaskId, Constant };
+  Significance significance = Significance::TaskId;
+};
+
+/// Driver callbacks invoked from inside the machine. Kept to the one edge
+/// the drivers genuinely observe differently (the simulator logs and
+/// notifies its SimObserver per fatal task, including cascaded ones).
+class RuntimeHooks {
+ public:
+  virtual ~RuntimeHooks() = default;
+  virtual void task_fatal(std::uint64_t /*task_id*/) {}
+};
+
+/// The single implementation of the task-lifecycle state machine both
+/// runtimes drive (sim::Simulation event-timed, proto::ProtocolManager
+/// pump-ticked): dependency countdown, FIFO ready queue, dispatch-time
+/// allocation caching with revision()-based invalidation, retry escalation
+/// via exceeded masks, attempt counting, fatality cascades, and the
+/// eviction-vs-allocator-waste accounting split (infrastructure losses go
+/// to the eviction ledger, never into WasteAccounting).
+///
+/// Categories are interned once per task at construction — into the
+/// allocator's table for the allocate/record hot path and into the
+/// accounting's table for the completion path — so steady-state operation
+/// is entirely CategoryId-indexed.
+class DispatchCore {
+ public:
+  /// Returns the chosen worker for (task, alloc), or nullopt if nothing
+  /// fits right now. Must not commit resources (commit does).
+  using PlaceFn = std::function<std::optional<std::uint64_t>(
+      std::uint64_t task, const ResourceVector& alloc)>;
+  /// Commits a placement the machine has admitted: bind resources, send
+  /// the dispatch message / schedule the finish event. The entry is
+  /// already Running with `attempts` incremented when this runs.
+  using CommitFn = std::function<void(std::uint64_t task, std::uint64_t worker,
+                                      const ResourceVector& alloc)>;
+  /// Optional: return true to hold a task back this pass without touching
+  /// its cached allocation (the protocol manager's backoff windows).
+  using DeferFn = std::function<bool(std::uint64_t task)>;
+
+  /// Validates the workload (dense 0-based ids; every dependency id smaller
+  /// than its task's id, which guarantees acyclicity), builds the reverse
+  /// dependency adjacency, interns every category, and pre-reserves the
+  /// allocator's completion history for tasks.size() completions.
+  /// `tasks` must outlive the core; `hooks` may be null.
+  DispatchCore(std::span<const TaskSpec> tasks, TaskAllocator& allocator,
+               DispatchConfig config, RuntimeHooks* hooks = nullptr);
+
+  /// Marks every task submitted and queues the dependency-free ones (the
+  /// protocol manager's start; the simulator instead feeds submission
+  /// events through mark_submitted).
+  void start();
+
+  /// Marks one task's submission time reached; queues it if its
+  /// dependencies are already complete.
+  void mark_submitted(std::uint64_t task_id);
+
+  /// One scheduling sweep over the ready queue (FIFO): each task is popped
+  /// once, optionally deferred, its allocation refreshed (first-attempt
+  /// allocations are re-requested when the allocator revision moved; retry
+  /// allocations never), and offered to `place`. Placed tasks transition to
+  /// Running and `commit` runs; unplaced and deferred tasks keep their
+  /// relative order. A placeable task that already spent max_attempts is
+  /// made fatal instead of dispatched.
+  void dispatch_pass(const PlaceFn& place, const CommitFn& commit,
+                     const DeferFn& defer = {});
+
+  /// Successful completion of the in-flight attempt: feeds WasteAccounting
+  /// and the allocator (significance per config), releases dependents whose
+  /// last dependency this was.
+  void complete(std::uint64_t task_id, const ResourceVector& measured_peak,
+                double runtime_s);
+
+  enum class RetryVerdict { Requeued, Fatal };
+
+  /// Allocation-induced failure of the in-flight attempt: logs the failed
+  /// attempt (the Failed Allocation waste term), spends the fatal budget,
+  /// asks the allocator to escalate the exceeded dimensions, and requeues
+  /// at the back — or declares the task fatal when the escalation cannot
+  /// grow (clamped at worker capacity), the budget is spent, or the mask
+  /// is empty.
+  RetryVerdict fail_attempt(std::uint64_t task_id, double runtime_s,
+                            unsigned exceeded_mask);
+
+  /// Infrastructure requeue: a Running task goes back to the FRONT of the
+  /// queue with its allocation unchanged (evictions and protocol timeouts).
+  /// No-op unless the task is Running.
+  void requeue_front(std::uint64_t task_id);
+
+  /// Charges a Running task's allocation × `scale` to the eviction ledger
+  /// (scale = elapsed seconds in the timed simulator, 1 per attempt in the
+  /// functional protocol). Kept OUT of WasteAccounting: the algorithm did
+  /// not cause these failures, which is what keeps AWE comparable across
+  /// policies on a churning pool.
+  void charge_eviction(std::uint64_t task_id, double scale);
+
+  /// Declares a task unrunnable; fatality cascades to every dependent.
+  /// Idempotent. Invokes hooks->task_fatal once per newly-fatal task.
+  void make_fatal(std::uint64_t task_id);
+
+  // --- observers ----------------------------------------------------------
+
+  const TaskEntry& entry(std::uint64_t task_id) const {
+    return entries_[task_id];
+  }
+  std::size_t task_count() const noexcept { return tasks_.size(); }
+  std::size_t ready_size() const noexcept { return ready_.size(); }
+  std::size_t completed() const noexcept { return completed_; }
+  std::size_t fatal() const noexcept { return fatal_; }
+  /// Done + Fatal.
+  std::size_t finished() const noexcept { return finished_; }
+  bool done() const noexcept { return finished_ == tasks_.size(); }
+
+  const WasteAccounting& accounting() const noexcept { return accounting_; }
+  /// Σ alloc · scale over charge_eviction calls (the eviction ledger).
+  const ResourceVector& evicted_alloc() const noexcept {
+    return evicted_alloc_;
+  }
+  std::size_t evictions() const noexcept { return evictions_; }
+
+  /// The task's category id in the ALLOCATOR's table.
+  CategoryId category_of(std::uint64_t task_id) const {
+    return alloc_category_[task_id];
+  }
+
+  TaskAllocator& allocator() noexcept { return allocator_; }
+
+ private:
+  void maybe_ready(std::uint64_t task_id);
+  void ensure_allocation(std::uint64_t task_id);
+  double significance_for(const TaskSpec& spec) const;
+
+  std::span<const TaskSpec> tasks_;
+  TaskAllocator& allocator_;
+  DispatchConfig config_;
+  RuntimeHooks* hooks_;
+  std::vector<TaskEntry> entries_;
+  std::vector<CategoryId> alloc_category_;  ///< allocator-table ids
+  std::vector<CategoryId> acct_category_;   ///< accounting-table ids
+  std::vector<std::vector<std::uint64_t>> dependents_;
+  std::deque<std::uint64_t> ready_;  ///< FIFO; evictions requeue at the front
+  WasteAccounting accounting_;
+  ResourceVector evicted_alloc_;
+  std::size_t evictions_ = 0;
+  std::size_t completed_ = 0;
+  std::size_t fatal_ = 0;
+  std::size_t finished_ = 0;
+};
+
+}  // namespace tora::core::lifecycle

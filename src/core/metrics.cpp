@@ -4,28 +4,42 @@
 
 namespace tora::core {
 
-void WasteAccounting::add(const TaskUsage& usage) {
-  if (usage.final_runtime_s < 0.0) {
+CategoryId WasteAccounting::intern(std::string_view category) {
+  const CategoryId id = table_.intern(category);
+  if (id >= counts_.size()) {
+    counts_.resize(id + 1, 0);
+    by_category_.resize(id + 1);
+  }
+  return id;
+}
+
+void WasteAccounting::add(CategoryId id, const ResourceVector& peak,
+                          const ResourceVector& final_alloc,
+                          double final_runtime_s,
+                          std::span<const AttemptLog> failed_attempts) {
+  if (final_runtime_s < 0.0) {
     throw std::invalid_argument("WasteAccounting: negative runtime");
   }
-  auto& cat = by_category_resource_[usage.category];
+  if (id >= by_category_.size()) {
+    throw std::out_of_range("WasteAccounting: unknown category id");
+  }
+  BreakdownArray& cat = by_category_[id];
   for (ResourceKind k : kManagedResources) {
-    if (usage.peak[k] > usage.final_alloc[k]) {
+    if (peak[k] > final_alloc[k]) {
       throw std::invalid_argument(
           "WasteAccounting: successful attempt's allocation below the peak "
           "(the execution model would have killed this task)");
     }
-    const double c = usage.peak[k] * usage.final_runtime_s;
-    const double frag =
-        (usage.final_alloc[k] - usage.peak[k]) * usage.final_runtime_s;
+    const double c = peak[k] * final_runtime_s;
+    const double frag = (final_alloc[k] - peak[k]) * final_runtime_s;
     double failed = 0.0;
-    for (const AttemptLog& a : usage.failed_attempts) {
+    for (const AttemptLog& a : failed_attempts) {
       if (a.runtime_s < 0.0) {
         throw std::invalid_argument("WasteAccounting: negative attempt runtime");
       }
       failed += a.alloc[k] * a.runtime_s;
     }
-    const double alloc = usage.final_alloc[k] * usage.final_runtime_s + failed;
+    const double alloc = final_alloc[k] * final_runtime_s + failed;
     for (WasteBreakdown* b : {&by_resource_[static_cast<std::size_t>(k)],
                               &cat[static_cast<std::size_t>(k)]}) {
       b->consumption += c;
@@ -35,24 +49,41 @@ void WasteAccounting::add(const TaskUsage& usage) {
     }
   }
   ++tasks_;
-  attempts_ += 1 + usage.failed_attempts.size();
-  ++per_category_[usage.category];
+  attempts_ += 1 + failed_attempts.size();
+  ++counts_[id];
+}
+
+void WasteAccounting::add(const TaskUsage& usage) {
+  add(intern(usage.category), usage.peak, usage.final_alloc,
+      usage.final_runtime_s, usage.failed_attempts);
 }
 
 const WasteBreakdown& WasteAccounting::breakdown(ResourceKind kind) const {
   return by_resource_[static_cast<std::size_t>(kind)];
 }
 
+const WasteBreakdown& WasteAccounting::breakdown(CategoryId id,
+                                                 ResourceKind kind) const {
+  static const WasteBreakdown kZero{};
+  if (id >= by_category_.size()) return kZero;
+  return by_category_[id][static_cast<std::size_t>(kind)];
+}
+
 const WasteBreakdown& WasteAccounting::breakdown(const std::string& category,
                                                  ResourceKind kind) const {
   static const WasteBreakdown kZero{};
-  const auto it = by_category_resource_.find(category);
-  if (it == by_category_resource_.end()) return kZero;
-  return it->second[static_cast<std::size_t>(kind)];
+  const auto id = table_.find(category);
+  if (!id) return kZero;
+  return breakdown(*id, kind);
 }
 
 double WasteAccounting::awe(ResourceKind kind) const {
   const auto& b = breakdown(kind);
+  return b.allocation > 0.0 ? b.consumption / b.allocation : 0.0;
+}
+
+double WasteAccounting::awe(CategoryId id, ResourceKind kind) const {
+  const auto& b = breakdown(id, kind);
   return b.allocation > 0.0 ? b.consumption / b.allocation : 0.0;
 }
 
@@ -67,6 +98,18 @@ double WasteAccounting::mean_attempts() const noexcept {
                     : 0.0;
 }
 
+std::size_t WasteAccounting::count_for(CategoryId id) const noexcept {
+  return id < counts_.size() ? counts_[id] : 0;
+}
+
+std::map<std::string, std::size_t> WasteAccounting::per_category() const {
+  std::map<std::string, std::size_t> out;
+  for (CategoryId id = 0; id < counts_.size(); ++id) {
+    out[table_.name(id)] = counts_[id];
+  }
+  return out;
+}
+
 void WasteAccounting::merge(const WasteAccounting& other) {
   for (std::size_t i = 0; i < kResourceCount; ++i) {
     by_resource_[i].consumption += other.by_resource_[i].consumption;
@@ -78,14 +121,16 @@ void WasteAccounting::merge(const WasteAccounting& other) {
   }
   tasks_ += other.tasks_;
   attempts_ += other.attempts_;
-  for (const auto& [cat, n] : other.per_category_) per_category_[cat] += n;
-  for (const auto& [cat, arr] : other.by_category_resource_) {
-    auto& mine = by_category_resource_[cat];
+  for (CategoryId theirs = 0; theirs < other.counts_.size(); ++theirs) {
+    const CategoryId mine = intern(other.table_.name(theirs));
+    counts_[mine] += other.counts_[theirs];
     for (std::size_t i = 0; i < kResourceCount; ++i) {
-      mine[i].consumption += arr[i].consumption;
-      mine[i].allocation += arr[i].allocation;
-      mine[i].internal_fragmentation += arr[i].internal_fragmentation;
-      mine[i].failed_allocation += arr[i].failed_allocation;
+      WasteBreakdown& dst = by_category_[mine][i];
+      const WasteBreakdown& src = other.by_category_[theirs][i];
+      dst.consumption += src.consumption;
+      dst.allocation += src.allocation;
+      dst.internal_fragmentation += src.internal_fragmentation;
+      dst.failed_allocation += src.failed_allocation;
     }
   }
 }

@@ -3,9 +3,12 @@
 #include <array>
 #include <cstddef>
 #include <map>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "core/lifecycle/category_table.hpp"
 #include "core/resources.hpp"
 
 namespace tora::core {
@@ -16,6 +19,8 @@ namespace tora::core {
 struct AttemptLog {
   ResourceVector alloc;
   double runtime_s = 0.0;
+
+  bool operator==(const AttemptLog&) const = default;
 };
 
 /// Complete accounting record for one finished task, in the paper's §II-C
@@ -45,25 +50,42 @@ struct WasteBreakdown {
   double total_waste() const noexcept { return allocation - consumption; }
 };
 
-/// Aggregates TaskUsage records into the paper's evaluation metrics:
+/// Aggregates task completions into the paper's evaluation metrics:
 /// per-resource waste breakdowns (Fig. 6) and Absolute Workflow Efficiency
 /// (Fig. 5), the worker-count-independent ratio ΣC / ΣA.
+///
+/// Categories are interned (intern()); the per-category record path is
+/// vector-indexed by CategoryId — the runtimes intern each task's category
+/// once at admission and add completions by id, so a million-task run never
+/// hashes a category string per completion. The string-keyed overloads are
+/// the reporting edge.
 class WasteAccounting {
  public:
+  /// Interns a category name into this accounting's table. Idempotent.
+  CategoryId intern(std::string_view category);
+
+  /// Hot-path record: `id` must come from this accounting's intern().
+  void add(CategoryId id, const ResourceVector& peak,
+           const ResourceVector& final_alloc, double final_runtime_s,
+           std::span<const AttemptLog> failed_attempts);
+
+  /// Reporting-edge record: interns usage.category, then delegates.
   void add(const TaskUsage& usage);
 
   const WasteBreakdown& breakdown(ResourceKind kind) const;
 
   /// Per-category breakdown (the paper's §III-B discusses categories
   /// separately; examples/reports surface this). Returns a zero breakdown
-  /// for unknown categories.
+  /// for unknown categories/ids.
+  const WasteBreakdown& breakdown(CategoryId id, ResourceKind kind) const;
   const WasteBreakdown& breakdown(const std::string& category,
                                   ResourceKind kind) const;
 
   /// AWE for one resource: ΣC(Tᵢ) / ΣA(Tᵢ). 0 when nothing allocated.
   double awe(ResourceKind kind) const;
 
-  /// Per-category AWE. 0 for unknown categories.
+  /// Per-category AWE. 0 for unknown categories/ids.
+  double awe(CategoryId id, ResourceKind kind) const;
   double awe(const std::string& category, ResourceKind kind) const;
 
   std::size_t task_count() const noexcept { return tasks_; }
@@ -71,21 +93,29 @@ class WasteAccounting {
   /// Mean number of execution attempts per task (>= 1 once tasks exist).
   double mean_attempts() const noexcept;
 
-  /// Per-category task counts (diagnostics / reports).
-  const std::map<std::string, std::size_t>& per_category() const noexcept {
-    return per_category_;
-  }
+  /// Completed-task count for one category (0 for unknown ids).
+  std::size_t count_for(CategoryId id) const noexcept;
 
-  /// Merge another accounting (e.g. from parallel shards).
+  /// The interned categories (id -> name; reporting edge).
+  const CategoryTable& categories() const noexcept { return table_; }
+
+  /// Per-category task counts keyed by name, built on demand for reports
+  /// and diagnostics (the internal storage is id-indexed).
+  std::map<std::string, std::size_t> per_category() const;
+
+  /// Merge another accounting (e.g. from parallel shards). Categories are
+  /// matched by name, so the two tables need not agree on ids.
   void merge(const WasteAccounting& other);
 
  private:
-  std::array<WasteBreakdown, kResourceCount> by_resource_{};
+  using BreakdownArray = std::array<WasteBreakdown, kResourceCount>;
+
+  BreakdownArray by_resource_{};
   std::size_t tasks_ = 0;
   std::size_t attempts_ = 0;
-  std::map<std::string, std::size_t> per_category_;
-  std::map<std::string, std::array<WasteBreakdown, kResourceCount>>
-      by_category_resource_;
+  CategoryTable table_;
+  std::vector<std::size_t> counts_;             ///< indexed by CategoryId
+  std::vector<BreakdownArray> by_category_;     ///< indexed by CategoryId
 };
 
 /// Counters for every anomaly the fault-tolerant protocol runtime injects,

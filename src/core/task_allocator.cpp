@@ -1,8 +1,46 @@
 #include "core/task_allocator.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace tora::core {
+
+namespace {
+
+/// Construction-time validation: every config error is reported here, next
+/// to its cause, instead of surfacing later as a clamp-to-zero allocation or
+/// an unrunnable task deep inside a run.
+void validate_config(const AllocatorConfig& config) {
+  if (config.managed.empty()) {
+    throw std::invalid_argument("TaskAllocator: managed set must be non-empty");
+  }
+  for (ResourceKind k : config.managed) {
+    if (!(config.worker_capacity[k] > 0.0)) {
+      throw std::invalid_argument(
+          std::string("TaskAllocator: worker_capacity must be positive in "
+                      "every managed dimension; ") +
+          std::string(to_string(k)) +
+          " is not (managing ResourceKind::TimeS additionally requires a "
+          "positive time capacity)");
+    }
+    if (config.exploration.mode == ExplorationConfig::Mode::FixedDefault &&
+        !(config.exploration.default_alloc[k] > 0.0)) {
+      throw std::invalid_argument(
+          std::string("TaskAllocator: exploration.default_alloc must be "
+                      "positive in every managed dimension; ") +
+          std::string(to_string(k)) +
+          " is not (managing ResourceKind::TimeS additionally requires a "
+          "positive exploration time default)");
+    }
+  }
+  if (config.exploration.min_records == 0) {
+    throw std::invalid_argument(
+        "TaskAllocator: exploration.min_records must be >= 1 (a policy "
+        "cannot predict from zero records)");
+  }
+}
+
+}  // namespace
 
 TaskAllocator::TaskAllocator(std::string policy_name, PolicyFactory factory,
                              AllocatorConfig config)
@@ -12,27 +50,30 @@ TaskAllocator::TaskAllocator(std::string policy_name, PolicyFactory factory,
   if (!factory_) {
     throw std::invalid_argument("TaskAllocator: null policy factory");
   }
-  if (config_.managed.empty()) {
-    throw std::invalid_argument("TaskAllocator: managed set must be non-empty");
-  }
-  for (ResourceKind k : config_.managed) {
-    if (!(config_.worker_capacity[k] > 0.0)) {
-      throw std::invalid_argument(
-          "TaskAllocator: worker capacity must be positive in every managed "
-          "dimension");
-    }
-  }
+  validate_config(config_);
+  reserve_history(config_.expected_tasks);
 }
 
-TaskAllocator::CategoryState& TaskAllocator::state_for(
-    const std::string& category) {
-  auto [it, inserted] = categories_.try_emplace(category);
-  if (inserted) {
+CategoryId TaskAllocator::intern(std::string_view category) {
+  const CategoryId id = table_.intern(category);
+  if (id >= categories_.size()) {
+    categories_.resize(id + 1);
+  }
+  return id;
+}
+
+TaskAllocator::CategoryState& TaskAllocator::state_for(CategoryId category) {
+  if (category >= categories_.size()) {
+    throw std::out_of_range("TaskAllocator: unknown category id");
+  }
+  CategoryState& st = categories_[category];
+  if (st.policies.empty()) {
+    st.policies.reserve(config_.managed.size());
     for (ResourceKind k : config_.managed) {
-      it->second.policies.emplace(k, factory_(k, config_));
+      st.policies.push_back(factory_(k, config_));
     }
   }
-  return it->second;
+  return st;
 }
 
 ResourceVector TaskAllocator::clamp(ResourceVector v) const {
@@ -52,40 +93,47 @@ ResourceVector TaskAllocator::exploration_alloc() const {
   return config_.worker_capacity;
 }
 
-bool TaskAllocator::exploring(const std::string& category) const {
-  const auto it = categories_.find(category);
-  const std::size_t done = it == categories_.end() ? 0 : it->second.completed;
+bool TaskAllocator::exploring(CategoryId category) const {
+  const std::size_t done =
+      category < categories_.size() ? categories_[category].completed : 0;
   return done < config_.exploration.min_records;
 }
 
+bool TaskAllocator::exploring(const std::string& category) const {
+  const auto id = table_.find(category);
+  return !id || exploring(*id);
+}
+
+std::size_t TaskAllocator::records_for(CategoryId category) const {
+  return category < categories_.size() ? categories_[category].completed : 0;
+}
+
 std::size_t TaskAllocator::records_for(const std::string& category) const {
-  const auto it = categories_.find(category);
-  return it == categories_.end() ? 0 : it->second.completed;
+  const auto id = table_.find(category);
+  return id ? records_for(*id) : 0;
 }
 
-ResourcePolicy& TaskAllocator::policy(const std::string& category,
-                                      ResourceKind kind) {
+ResourcePolicy& TaskAllocator::policy(CategoryId category, ResourceKind kind) {
   auto& st = state_for(category);
-  const auto it = st.policies.find(kind);
-  if (it == st.policies.end()) {
-    throw std::logic_error("TaskAllocator: unmanaged resource kind");
+  for (std::size_t i = 0; i < config_.managed.size(); ++i) {
+    if (config_.managed[i] == kind) return *st.policies[i];
   }
-  return *it->second;
+  throw std::logic_error("TaskAllocator: unmanaged resource kind");
 }
 
-ResourceVector TaskAllocator::allocate(const std::string& category) {
+ResourceVector TaskAllocator::allocate(CategoryId category) {
   auto& st = state_for(category);
   if (st.completed < config_.exploration.min_records) {
     return exploration_alloc();
   }
   ResourceVector alloc;
-  for (ResourceKind k : config_.managed) {
-    alloc[k] = st.policies.at(k)->predict();
+  for (std::size_t i = 0; i < config_.managed.size(); ++i) {
+    alloc[config_.managed[i]] = st.policies[i]->predict();
   }
   return clamp(alloc);
 }
 
-ResourceVector TaskAllocator::allocate_retry(const std::string& category,
+ResourceVector TaskAllocator::allocate_retry(CategoryId category,
                                              const ResourceVector& failed_alloc,
                                              unsigned exceeded_mask) {
   if (exceeded_mask == 0) {
@@ -95,31 +143,38 @@ ResourceVector TaskAllocator::allocate_retry(const std::string& category,
   auto& st = state_for(category);
   const bool explore = st.completed < config_.exploration.min_records;
   ResourceVector next = failed_alloc;
-  for (ResourceKind k : config_.managed) {
+  for (std::size_t i = 0; i < config_.managed.size(); ++i) {
+    const ResourceKind k = config_.managed[i];
     if (!(exceeded_mask & resource_bit(k))) continue;
     if (explore) {
       // Exploratory failures double the exhausted dimension (§V-A).
       next[k] = failed_alloc[k] > 0.0 ? failed_alloc[k] * 2.0 : 1.0;
     } else {
-      next[k] = st.policies.at(k)->retry(failed_alloc[k]);
+      next[k] = st.policies[i]->retry(failed_alloc[k]);
     }
   }
   return clamp(next);
 }
 
-void TaskAllocator::record_completion(const std::string& category,
+void TaskAllocator::record_completion(CategoryId category,
                                       const ResourceVector& peak,
                                       std::optional<double> significance) {
   auto& st = state_for(category);
   const double sig = significance.value_or(next_significance_);
   if (!significance.has_value()) next_significance_ += 1.0;
-  for (ResourceKind k : config_.managed) {
-    st.policies.at(k)->observe(peak[k], sig);
+  for (std::size_t i = 0; i < config_.managed.size(); ++i) {
+    st.policies[i]->observe(peak[config_.managed[i]], sig);
   }
   ++st.completed;
   ++revision_;
   if (config_.record_history) history_.push_back({category, peak, sig});
   if (sig >= next_significance_) next_significance_ = sig + 1.0;
+}
+
+void TaskAllocator::reserve_history(std::size_t expected_tasks) {
+  if (config_.record_history && expected_tasks > 0) {
+    history_.reserve(history_.size() + expected_tasks);
+  }
 }
 
 }  // namespace tora::core

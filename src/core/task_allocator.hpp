@@ -3,11 +3,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "core/lifecycle/category_table.hpp"
 #include "core/policy.hpp"
 #include "core/resources.hpp"
 
@@ -48,6 +49,11 @@ struct AllocatorConfig {
   /// checkpoint/restore (core/checkpoint.hpp) at ~40 bytes per completed
   /// task; disable for extremely long-running allocators.
   bool record_history = true;
+  /// Expected completed-task count, used to pre-reserve the history buffer
+  /// (see reserve_history). 0 = grow on demand. Runtimes that know their
+  /// workflow size (sim/proto drive this through DispatchCore) set it so a
+  /// million-task run does one allocation instead of ~20 doublings.
+  std::size_t expected_tasks = 0;
 };
 
 /// Creates the per-(category × resource) policy instance. Invoked lazily the
@@ -64,6 +70,12 @@ using PolicyFactory =
 ///  2. on an over-consumption kill:  allocate_retry(...) -> bigger allocation;
 ///  3. on success: record_completion(category, peak [, significance]).
 ///
+/// Categories are interned to dense CategoryIds (intern()); the id overloads
+/// are the hot path — a CategoryId is a vector index, so allocate /
+/// allocate_retry / record_completion never hash or compare a string. The
+/// string overloads intern (or look up) per call and exist for the edges:
+/// tests, examples, checkpoint restore, ad-hoc callers.
+///
 /// Significance defaults to a per-allocator monotone counter; callers that
 /// track submission order (the paper uses the task ID) can pass it
 /// explicitly.
@@ -72,8 +84,22 @@ class TaskAllocator {
   TaskAllocator(std::string policy_name, PolicyFactory factory,
                 AllocatorConfig config);
 
+  /// Interns a category name, returning its dense id. Idempotent.
+  CategoryId intern(std::string_view category);
+
+  /// The interning table (reporting edge: id -> name).
+  const CategoryTable& categories() const noexcept { return table_; }
+
+  /// Name of an interned category (throws std::out_of_range on bad ids).
+  const std::string& category_name(CategoryId id) const {
+    return table_.name(id);
+  }
+
   /// First allocation for a fresh task of `category`.
-  ResourceVector allocate(const std::string& category);
+  ResourceVector allocate(CategoryId category);
+  ResourceVector allocate(const std::string& category) {
+    return allocate(intern(category));
+  }
 
   /// Next allocation after an execution was killed having exhausted
   /// `failed_alloc` in the dimensions of `exceeded_mask` (bits per
@@ -82,33 +108,49 @@ class TaskAllocator {
   /// worker capacity; when every exceeded dimension is already at capacity
   /// the same vector comes back and the caller must declare the task
   /// unrunnable.
-  ResourceVector allocate_retry(const std::string& category,
+  ResourceVector allocate_retry(CategoryId category,
                                 const ResourceVector& failed_alloc,
                                 unsigned exceeded_mask);
+  ResourceVector allocate_retry(const std::string& category,
+                                const ResourceVector& failed_alloc,
+                                unsigned exceeded_mask) {
+    return allocate_retry(intern(category), failed_alloc, exceeded_mask);
+  }
 
   /// Feed back a successful execution's peak consumption.
+  void record_completion(CategoryId category, const ResourceVector& peak,
+                         std::optional<double> significance = std::nullopt);
   void record_completion(const std::string& category,
                          const ResourceVector& peak,
-                         std::optional<double> significance = std::nullopt);
+                         std::optional<double> significance = std::nullopt) {
+    record_completion(intern(category), peak, significance);
+  }
 
   /// True while `category` is still in the exploratory mode.
+  bool exploring(CategoryId category) const;
   bool exploring(const std::string& category) const;
 
   /// Completed-record count for a category (0 if never seen).
+  std::size_t records_for(CategoryId category) const;
   std::size_t records_for(const std::string& category) const;
 
   /// Access to the underlying per-resource policy (creates it if needed).
-  ResourcePolicy& policy(const std::string& category, ResourceKind kind);
+  ResourcePolicy& policy(CategoryId category, ResourceKind kind);
+  ResourcePolicy& policy(const std::string& category, ResourceKind kind) {
+    return policy(intern(category), kind);
+  }
 
   const AllocatorConfig& config() const noexcept { return config_; }
   const std::string& policy_name() const noexcept { return policy_name_; }
 
-  /// Categories seen so far (via any of the three entry points).
-  std::size_t category_count() const noexcept { return categories_.size(); }
+  /// Categories seen so far (via any of the entry points).
+  std::size_t category_count() const noexcept { return table_.size(); }
 
-  /// One completed-task observation, as retained for checkpointing.
+  /// One completed-task observation, as retained for checkpointing. The
+  /// category is stored interned; category_name() recovers the string at
+  /// the serialization edge.
   struct CompletionRecord {
-    std::string category;
+    CategoryId category = kInvalidCategory;
     ResourceVector peak;
     double significance = 0.0;
   };
@@ -119,6 +161,14 @@ class TaskAllocator {
     return history_;
   }
 
+  /// Pre-reserves the history buffer for `expected_tasks` more completions
+  /// (no-op when history is disabled). Each retained record costs ~40 bytes
+  /// (a 4-byte CategoryId, a 4-double ResourceVector, a double); without the
+  /// reservation a large run pays log2(n) vector doublings instead. Called
+  /// by lifecycle::DispatchCore with the workload size; harmless to call
+  /// more than once.
+  void reserve_history(std::size_t expected_tasks);
+
   /// Monotone counter bumped on every record_completion. Schedulers that
   /// cache a first-attempt allocation for a queued task can invalidate the
   /// cache when the revision changes (the bucketing state evolved), which
@@ -128,18 +178,21 @@ class TaskAllocator {
 
  private:
   struct CategoryState {
-    std::map<ResourceKind, ResourcePolicyPtr> policies;
+    /// One policy per managed resource, parallel to config().managed (a
+    /// dense array walk, not a map lookup, on every allocate/record).
+    std::vector<ResourcePolicyPtr> policies;
     std::size_t completed = 0;
   };
 
-  CategoryState& state_for(const std::string& category);
+  CategoryState& state_for(CategoryId category);
   ResourceVector clamp(ResourceVector v) const;
   ResourceVector exploration_alloc() const;
 
   std::string policy_name_;
   PolicyFactory factory_;
   AllocatorConfig config_;
-  std::map<std::string, CategoryState> categories_;
+  CategoryTable table_;
+  std::vector<CategoryState> categories_;  ///< indexed by CategoryId
   std::vector<CompletionRecord> history_;
   double next_significance_ = 1.0;
   std::uint64_t revision_ = 0;

@@ -14,6 +14,17 @@ namespace tora::proto {
 using core::ResourceKind;
 using core::ResourceVector;
 
+namespace {
+
+core::lifecycle::DispatchConfig dispatch_config(const LivenessConfig& cfg) {
+  core::lifecycle::DispatchConfig dc;
+  dc.max_allocation_failures = cfg.max_allocation_failures;
+  // Significance stays the paper's default (task id + 1).
+  return dc;
+}
+
+}  // namespace
+
 ProtocolManager::ProtocolManager(std::span<const core::TaskSpec> tasks,
                                  core::TaskAllocator& allocator,
                                  std::vector<DuplexLinkPtr> links,
@@ -22,40 +33,19 @@ ProtocolManager::ProtocolManager(std::span<const core::TaskSpec> tasks,
       allocator_(allocator),
       links_(std::move(links)),
       cfg_(cfg),
-      states_(tasks.size()),
-      dependents_(tasks.size()),
+      core_(tasks, allocator, dispatch_config(cfg)),
+      proto_states_(tasks.size()),
       quarantined_(links_.size(), 0),
       malformed_logged_(links_.size(), 0) {
   for (const auto& link : links_) {
     if (!link) throw std::invalid_argument("ProtocolManager: null link");
-  }
-  for (std::size_t i = 0; i < tasks_.size(); ++i) {
-    if (tasks_[i].id != i) {
-      throw std::invalid_argument(
-          "ProtocolManager: task ids must be dense and ordered");
-    }
-    states_[i].deps_remaining = tasks_[i].deps.size();
-    for (std::uint64_t dep : tasks_[i].deps) {
-      if (dep >= i) {
-        throw std::invalid_argument(
-            "ProtocolManager: dependency ids must precede the task");
-      }
-      dependents_[dep].push_back(i);
-    }
   }
 }
 
 void ProtocolManager::start() {
   if (started_) throw std::logic_error("ProtocolManager: started twice");
   started_ = true;
-  for (std::size_t i = 0; i < tasks_.size(); ++i) maybe_ready(i);
-}
-
-void ProtocolManager::maybe_ready(std::uint64_t task_id) {
-  TaskState& st = states_[task_id];
-  if (st.status != TStatus::Waiting || st.deps_remaining > 0) return;
-  st.status = TStatus::Queued;
-  ready_.push_back(task_id);
+  core_.start();
 }
 
 std::size_t ProtocolManager::pump() {
@@ -149,17 +139,18 @@ void ProtocolManager::handle(const Message& msg) {
       on_result(msg);
       break;
     case MsgType::Evict: {
-      // Requeue with the same allocation; not charged to the algorithm.
-      if (msg.task_id < states_.size() &&
-          states_[msg.task_id].status == TStatus::Running) {
-        TaskState& st = states_[msg.task_id];
-        auto it = workers_.find(st.running_on);
-        if (it != workers_.end()) it->second.committed -= st.alloc;
+      // Requeue with the same allocation; not charged to the algorithm
+      // (the eviction ledger, scale 1 per lost attempt).
+      if (msg.task_id < core_.task_count() &&
+          core_.entry(msg.task_id).phase ==
+              core::lifecycle::TaskPhase::Running) {
+        const auto& entry = core_.entry(msg.task_id);
+        auto it = workers_.find(entry.running_on);
+        if (it != workers_.end()) it->second.committed -= entry.alloc;
         ++chaos_.protocol_evictions;
         ++chaos_.redispatches;
-        evicted_alloc_ += st.alloc;
-        st.status = TStatus::Queued;
-        ready_.push_front(msg.task_id);
+        core_.charge_eviction(msg.task_id, 1.0);
+        core_.requeue_front(msg.task_id);
       }
       break;
     }
@@ -170,82 +161,38 @@ void ProtocolManager::handle(const Message& msg) {
 }
 
 void ProtocolManager::on_result(const Message& msg) {
-  if (msg.task_id >= states_.size()) {
+  if (msg.task_id >= core_.task_count()) {
     util::log_warn("manager: result for unknown task ", msg.task_id);
     return;
   }
-  TaskState& st = states_[msg.task_id];
+  const auto& entry = core_.entry(msg.task_id);
   // Idempotency gate: accept a result only for the attempt currently in
   // flight, from the worker it was dispatched to. Anything else is a
   // duplicate delivery or a report for an attempt already abandoned —
   // crediting it would double-charge WasteAccounting.
-  if (st.status != TStatus::Running || st.running_on != msg.worker_id ||
-      msg.attempt != st.attempts) {
+  if (entry.phase != core::lifecycle::TaskPhase::Running ||
+      entry.running_on != msg.worker_id || msg.attempt != entry.attempts) {
     ++chaos_.stale_or_duplicate_results;
     return;
   }
   auto wit = workers_.find(msg.worker_id);
   if (wit != workers_.end()) {
-    wit->second.committed -= st.alloc;
+    wit->second.committed -= entry.alloc;
     wit->second.consecutive_failures = 0;
   }
-  st.infra_failures = 0;
+  proto_states_[msg.task_id].infra_failures = 0;
 
-  const core::TaskSpec& spec = tasks_[msg.task_id];
   if (msg.outcome == Outcome::Success) {
-    st.status = TStatus::Done;
-    ++completed_;
-    ++finished_;
-    core::TaskUsage usage;
-    usage.category = spec.category;
-    usage.peak = msg.resources;  // the worker-measured peak
-    usage.final_alloc = st.alloc;
-    usage.final_runtime_s = msg.runtime_s;
-    usage.failed_attempts = st.failed_attempts;
-    accounting_.add(usage);
-    allocator_.record_completion(spec.category, msg.resources,
-                                 static_cast<double>(spec.id) + 1.0);
-    for (std::uint64_t dep : dependents_[msg.task_id]) {
-      TaskState& ds = states_[dep];
-      if (ds.deps_remaining > 0) {
-        --ds.deps_remaining;
-        maybe_ready(dep);
-      }
-    }
+    // The worker-measured peak and runtime feed the shared machine, which
+    // handles accounting, the allocator record, and dependent release.
+    core_.complete(msg.task_id, msg.resources, msg.runtime_s);
     return;
   }
 
-  // Resource exhaustion: log the failed attempt and escalate. Only these
-  // allocation-induced failures spend the fatal budget — infrastructure
-  // retries (timeouts, dead workers) never do.
-  st.failed_attempts.push_back({st.alloc, msg.runtime_s});
-  if (st.failed_attempts.size() >= cfg_.max_allocation_failures) {
-    make_fatal(msg.task_id);
-    return;
-  }
-  const unsigned mask = msg.exceeded_mask;
-  if (mask == 0) {
-    util::log_warn("manager: exhausted result without exceeded mask");
-    make_fatal(msg.task_id);
-    return;
-  }
-  const ResourceVector next =
-      allocator_.allocate_retry(spec.category, st.alloc, mask);
-  bool grew = false;
-  for (ResourceKind k : allocator_.config().managed) {
-    if ((mask & core::resource_bit(k)) && next[k] > st.alloc[k]) {
-      grew = true;
-      break;
-    }
-  }
-  if (!grew) {
-    make_fatal(msg.task_id);
-    return;
-  }
-  st.alloc = next;
-  st.is_retry = true;
-  st.status = TStatus::Queued;
-  ready_.push_back(msg.task_id);
+  // Resource exhaustion: the shared machine logs the failed attempt,
+  // spends the fatal budget (only allocation-induced failures do —
+  // infrastructure retries never), and escalates the exceeded dimensions.
+  core_.fail_attempt(msg.task_id, msg.runtime_s, msg.exceeded_mask);
 }
 
 void ProtocolManager::check_liveness() {
@@ -267,14 +214,16 @@ void ProtocolManager::check_liveness() {
   // stale, so a late result is rejected) and redispatch under backoff. A
   // worker that keeps timing out is quarantined — that is the only way to
   // detect a one-way severed manager->worker link.
-  for (std::size_t t = 0; t < states_.size(); ++t) {
-    TaskState& st = states_[t];
-    if (st.status != TStatus::Running) continue;
-    if (tick_ - st.dispatch_tick <= cfg_.attempt_timeout_ticks) continue;
+  for (std::size_t t = 0; t < core_.task_count(); ++t) {
+    const auto& entry = core_.entry(t);
+    if (entry.phase != core::lifecycle::TaskPhase::Running) continue;
+    if (tick_ - proto_states_[t].dispatch_tick <= cfg_.attempt_timeout_ticks) {
+      continue;
+    }
     ++chaos_.attempt_timeouts;
-    const std::uint64_t wid = st.running_on;
+    const std::uint64_t wid = entry.running_on;
     auto it = workers_.find(wid);
-    if (it != workers_.end()) it->second.committed -= st.alloc;
+    if (it != workers_.end()) it->second.committed -= entry.alloc;
     requeue_infra(t);
     if (it != workers_.end() &&
         ++it->second.consecutive_failures >= cfg_.worker_failure_limit) {
@@ -287,26 +236,30 @@ void ProtocolManager::check_liveness() {
 }
 
 void ProtocolManager::requeue_infra(std::uint64_t task_id) {
-  TaskState& st = states_[task_id];
-  if (st.status != TStatus::Running) return;
-  st.status = TStatus::Queued;
+  if (core_.entry(task_id).phase != core::lifecycle::TaskPhase::Running) {
+    return;
+  }
+  core_.requeue_front(task_id);
   ++chaos_.redispatches;
+  ProtoTaskState& st = proto_states_[task_id];
   ++st.infra_failures;
   const std::size_t shift =
       std::min<std::size_t>(st.infra_failures - 1, std::size_t{16});
   st.backoff_until =
       tick_ + std::min(cfg_.backoff_cap_ticks, cfg_.backoff_base_ticks << shift);
-  ready_.push_front(task_id);
 }
 
 void ProtocolManager::remove_worker(std::uint64_t worker_id, bool quarantine) {
-  for (std::size_t t = 0; t < states_.size(); ++t) {
-    TaskState& st = states_[t];
-    if (st.status != TStatus::Running || st.running_on != worker_id) continue;
+  for (std::size_t t = 0; t < core_.task_count(); ++t) {
+    const auto& entry = core_.entry(t);
+    if (entry.phase != core::lifecycle::TaskPhase::Running ||
+        entry.running_on != worker_id) {
+      continue;
+    }
     // The attempt died with the worker: charge it as an eviction (the
     // allocation was fine, the infrastructure was not) and requeue.
     ++chaos_.protocol_evictions;
-    evicted_alloc_ += st.alloc;
+    core_.charge_eviction(t, 1.0);
     requeue_infra(t);
   }
   workers_.erase(worker_id);
@@ -316,56 +269,37 @@ void ProtocolManager::remove_worker(std::uint64_t worker_id, bool quarantine) {
   }
 }
 
-void ProtocolManager::make_fatal(std::uint64_t task_id) {
-  TaskState& st = states_[task_id];
-  if (st.status == TStatus::Fatal) return;
-  st.status = TStatus::Fatal;
-  ++fatal_;
-  ++finished_;
-  for (std::uint64_t dep : dependents_[task_id]) make_fatal(dep);
-}
-
 void ProtocolManager::dispatch_queued() {
-  std::deque<std::uint64_t> waiting;
-  while (!ready_.empty()) {
-    const std::uint64_t task_id = ready_.front();
-    ready_.pop_front();
-    TaskState& st = states_[task_id];
-    if (st.backoff_until > tick_) {
-      waiting.push_back(task_id);
-      continue;
-    }
-    if (!st.has_alloc ||
-        (!st.is_retry && st.alloc_revision != allocator_.revision())) {
-      st.alloc = allocator_.allocate(tasks_[task_id].category);
-      st.has_alloc = true;
-      st.alloc_revision = allocator_.revision();
-    }
-    bool placed = false;
-    for (auto& [wid, ws] : workers_) {
-      const ResourceVector free = ws.capacity - ws.committed;
-      if (st.alloc.fits_within(free)) {
-        ws.committed += st.alloc;
-        st.status = TStatus::Running;
-        st.running_on = wid;
-        st.dispatch_tick = tick_;
-        ++st.attempts;
+  core_.dispatch_pass(
+      // First-fit against announced capacities; a pure query, no commit.
+      [this](std::uint64_t, const ResourceVector& alloc)
+          -> std::optional<std::uint64_t> {
+        for (const auto& [wid, ws] : workers_) {
+          if (alloc.fits_within(ws.capacity - ws.committed)) return wid;
+        }
+        return std::nullopt;
+      },
+      // Commit: bind the resources and put the dispatch on the wire. The
+      // machine already stamped the attempt id (entry.attempts).
+      [this](std::uint64_t task_id, std::uint64_t wid,
+             const ResourceVector& alloc) {
+        WorkerState& ws = workers_.at(wid);
+        ws.committed += alloc;
+        proto_states_[task_id].dispatch_tick = tick_;
         Message m;
         m.type = MsgType::TaskDispatch;
         m.worker_id = wid;
         m.task_id = task_id;
-        m.attempt = st.attempts;
+        m.attempt = core_.entry(task_id).attempts;
         m.category = tasks_[task_id].category;
-        m.resources = st.alloc;
+        m.resources = alloc;
         ws.link->to_worker.send(encode(m));
         ++dispatches_;
-        placed = true;
-        break;
-      }
-    }
-    if (!placed) waiting.push_back(task_id);
-  }
-  ready_ = std::move(waiting);
+      },
+      // Defer: capped-exponential-backoff windows after infra failures.
+      [this](std::uint64_t task_id) {
+        return proto_states_[task_id].backoff_until > tick_;
+      });
 }
 
 void ProtocolManager::shutdown_workers() {

@@ -1,11 +1,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <span>
 #include <vector>
 
+#include "core/lifecycle/dispatch_core.hpp"
 #include "core/metrics.hpp"
 #include "core/task.hpp"
 #include "core/task_allocator.hpp"
@@ -25,7 +25,11 @@ namespace tora::proto {
 ///
 /// This runtime is functional rather than timed — it validates the protocol
 /// and the allocation logic end-to-end; the discrete-event simulator
-/// (sim::Simulation) owns timing questions.
+/// (sim::Simulation) owns timing questions. The task state machine itself
+/// (readiness, allocation caching, retry escalation, fatality cascades, the
+/// waste/eviction accounting split) is core::lifecycle::DispatchCore,
+/// shared verbatim with the simulator; this class contributes the wire
+/// protocol, worker registry, and failure detectors.
 ///
 /// Fault tolerance (see LivenessConfig in fault.hpp): every pump is one
 /// tick of the failure-detection clock. Workers heartbeat each pump; a
@@ -53,18 +57,16 @@ class ProtocolManager {
   std::size_t pump();
 
   /// True once every task is completed or fatal.
-  bool done() const noexcept {
-    return finished_ == tasks_.size();
-  }
+  bool done() const noexcept { return core_.done(); }
 
   /// Broadcasts Shutdown to every known worker.
   void shutdown_workers();
 
   const core::WasteAccounting& accounting() const noexcept {
-    return accounting_;
+    return core_.accounting();
   }
-  std::size_t tasks_completed() const noexcept { return completed_; }
-  std::size_t tasks_fatal() const noexcept { return fatal_; }
+  std::size_t tasks_completed() const noexcept { return core_.completed(); }
+  std::size_t tasks_fatal() const noexcept { return core_.fatal(); }
   std::size_t dispatches_sent() const noexcept { return dispatches_; }
   std::size_t workers_known() const noexcept { return workers_.size(); }
   std::size_t ticks() const noexcept { return tick_; }
@@ -72,25 +74,20 @@ class ProtocolManager {
   /// deaths, quarantines, evictions.
   const core::ChaosCounters& chaos() const noexcept { return chaos_; }
   /// Summed allocations of attempts lost to dead/quarantined workers — the
-  /// protocol-level sibling of SimResult::evicted_alloc_seconds. Kept OUT
-  /// of the WasteAccounting: the algorithm did not cause those failures.
+  /// protocol-level sibling of SimResult::evicted_alloc_seconds (the shared
+  /// machine's eviction ledger, charged 1× the allocation per lost
+  /// attempt). Kept OUT of the WasteAccounting: the algorithm did not cause
+  /// those failures.
   const core::ResourceVector& evicted_alloc() const noexcept {
-    return evicted_alloc_;
+    return core_.evicted_alloc();
   }
 
- private:
-  enum class TStatus : std::uint8_t { Waiting, Queued, Running, Done, Fatal };
+  /// The shared lifecycle machine (parity tests and diagnostics).
+  const core::lifecycle::DispatchCore& core() const noexcept { return core_; }
 
-  struct TaskState {
-    TStatus status = TStatus::Waiting;
-    core::ResourceVector alloc;
-    bool has_alloc = false;
-    bool is_retry = false;
-    std::uint64_t alloc_revision = 0;
-    std::vector<core::AttemptLog> failed_attempts;
-    std::size_t deps_remaining = 0;
-    std::size_t attempts = 0;  ///< doubles as the current wire attempt id
-    std::uint64_t running_on = 0;
+ private:
+  /// Protocol-only per-task state, parallel to the core's TaskEntry.
+  struct ProtoTaskState {
     std::size_t dispatch_tick = 0;
     std::size_t backoff_until = 0;  ///< not dispatchable before this tick
     std::size_t infra_failures = 0;  ///< consecutive, for backoff growth
@@ -118,26 +115,18 @@ class ProtocolManager {
   /// announcements from them are ignored from then on).
   void remove_worker(std::uint64_t worker_id, bool quarantine);
   void dispatch_queued();
-  void maybe_ready(std::uint64_t task_id);
-  void make_fatal(std::uint64_t task_id);
 
   std::span<const core::TaskSpec> tasks_;
   core::TaskAllocator& allocator_;
   std::vector<DuplexLinkPtr> links_;
   LivenessConfig cfg_;
+  core::lifecycle::DispatchCore core_;
   std::map<std::uint64_t, WorkerState> workers_;
-  std::vector<TaskState> states_;
-  std::vector<std::vector<std::uint64_t>> dependents_;
-  std::deque<std::uint64_t> ready_;
-  core::WasteAccounting accounting_;
+  std::vector<ProtoTaskState> proto_states_;
   core::ChaosCounters chaos_;
-  core::ResourceVector evicted_alloc_;
   std::vector<char> quarantined_;
   std::vector<char> malformed_logged_;
   std::size_t tick_ = 0;
-  std::size_t completed_ = 0;
-  std::size_t fatal_ = 0;
-  std::size_t finished_ = 0;
   std::size_t dispatches_ = 0;
   bool started_ = false;
 };

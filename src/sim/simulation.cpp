@@ -11,20 +11,33 @@ namespace tora::sim {
 
 using core::ResourceKind;
 using core::ResourceVector;
+using core::lifecycle::DispatchConfig;
+using core::lifecycle::TaskPhase;
+
+namespace {
+
+DispatchConfig dispatch_config(const SimConfig& config) {
+  DispatchConfig dc;
+  dc.max_attempts = config.max_attempts_per_task;
+  dc.significance =
+      config.significance == SimConfig::SignificanceMode::TaskId
+          ? DispatchConfig::Significance::TaskId
+          : DispatchConfig::Significance::Constant;
+  return dc;
+}
+
+}  // namespace
 
 Simulation::Simulation(std::span<const core::TaskSpec> tasks,
                        core::TaskAllocator& allocator, SimConfig config)
     : tasks_(tasks),
       allocator_(allocator),
       config_(config),
+      core_(tasks, allocator, dispatch_config(config), this),
       rng_(config.seed),
       pool_(config.worker_capacity),
-      states_(tasks.size()) {
+      timing_(tasks.size()) {
   for (std::size_t i = 0; i < tasks_.size(); ++i) {
-    if (tasks_[i].id != i) {
-      throw std::invalid_argument(
-          "Simulation: task ids must be dense and in submission order");
-    }
     if (!(tasks_[i].duration_s > 0.0)) {
       throw std::invalid_argument("Simulation: task duration must be > 0");
     }
@@ -33,30 +46,14 @@ Simulation::Simulation(std::span<const core::TaskSpec> tasks,
           "Simulation: peak_fraction must be in (0, 1]");
     }
   }
-  // Dependency graph: validate (dep < id guarantees acyclicity) and build
-  // the reverse adjacency used to release dependents on completion.
-  dependents_.resize(tasks_.size());
-  for (std::size_t i = 0; i < tasks_.size(); ++i) {
-    states_[i].deps_remaining = tasks_[i].deps.size();
-    for (std::uint64_t dep : tasks_[i].deps) {
-      if (dep >= i) {
-        throw std::invalid_argument(
-            "Simulation: dependency ids must be smaller than the task id");
-      }
-      dependents_[dep].push_back(i);
-    }
-  }
   if (config_.churn.initial_workers == 0) {
     throw std::invalid_argument("Simulation: need at least one worker");
   }
-  double profile_weight = 0.0;
   for (const WorkerProfile& p : config_.worker_profiles) {
     if (!(p.weight > 0.0)) {
       throw std::invalid_argument("Simulation: profile weight must be > 0");
     }
-    profile_weight += p.weight;
   }
-  (void)profile_weight;
 }
 
 std::uint64_t Simulation::spawn_worker() {
@@ -101,16 +98,22 @@ SimResult Simulation::run() {
   if (ran_) throw std::logic_error("Simulation: run() called twice");
   ran_ = true;
   bootstrap();
-  while (finished_ < tasks_.size()) {
+  while (!core_.done()) {
     if (events_.empty()) {
       // Churn disabled and every worker idle yet tasks still queued would be
       // a scheduling bug: any clamped allocation fits an empty worker.
-      throw std::logic_error("Simulation: event queue drained with " +
-                             std::to_string(tasks_.size() - finished_) +
-                             " tasks unfinished");
+      throw std::logic_error(
+          "Simulation: event queue drained with " +
+          std::to_string(core_.task_count() - core_.finished()) +
+          " tasks unfinished");
     }
     handle(events_.pop());
   }
+  result_.accounting = core_.accounting();
+  result_.tasks_completed = core_.completed();
+  result_.tasks_fatal = core_.fatal();
+  result_.evictions = core_.evictions();
+  result_.evicted_alloc_seconds = core_.evicted_alloc();
   return result_;
 }
 
@@ -142,20 +145,9 @@ void Simulation::handle(const Event& e) {
 }
 
 void Simulation::on_submit(std::uint64_t task_id) {
-  states_[task_id].submitted = true;
   if (observer_) observer_->on_task_submitted(now_, task_id);
-  maybe_ready(task_id);
+  core_.mark_submitted(task_id);
   dispatch();
-}
-
-void Simulation::maybe_ready(std::uint64_t task_id) {
-  TaskState& st = states_[task_id];
-  if (!st.submitted || st.deps_remaining > 0 ||
-      st.status != TaskStatus::Pending) {
-    return;
-  }
-  st.status = TaskStatus::Queued;
-  ready_.push_back(task_id);
 }
 
 void Simulation::on_worker_join() {
@@ -182,19 +174,17 @@ void Simulation::on_worker_leave(std::uint64_t worker_id) {
     return;
   }
   // Preemptive eviction (HTCondor-style): running attempts are cancelled and
-  // requeued with the same allocation. Their cost is tracked separately from
-  // the paper's waste metric (the algorithm did not cause the failure).
+  // requeued with the same allocation. Their cost goes to the core's
+  // eviction ledger, never into the paper's waste metric (the algorithm did
+  // not cause the failure).
   const Worker& w = pool_.worker(worker_id);
   std::vector<std::uint64_t> victims(w.running_tasks().begin(),
                                      w.running_tasks().end());
   for (std::uint64_t task_id : victims) {
-    TaskState& st = states_[task_id];
-    const double elapsed = now_ - st.attempt_start;
-    result_.evicted_alloc_seconds += st.alloc * elapsed;
-    ++result_.evictions;
-    ++st.epoch;  // invalidates the in-flight AttemptFinish event
-    st.status = TaskStatus::Queued;
-    ready_.push_front(task_id);
+    const double elapsed = now_ - timing_[task_id].attempt_start;
+    core_.charge_eviction(task_id, elapsed);
+    ++timing_[task_id].epoch;  // invalidates the in-flight AttemptFinish
+    core_.requeue_front(task_id);
     if (observer_) observer_->on_task_evicted(now_, task_id, worker_id);
   }
   pool_.remove_worker(worker_id);
@@ -204,152 +194,73 @@ void Simulation::on_worker_leave(std::uint64_t worker_id) {
 }
 
 void Simulation::dispatch() {
-  // First-fit over the FIFO queue; tasks that do not fit anywhere stay
-  // queued in order. One pass suffices because placements only shrink the
-  // free space.
-  std::deque<std::uint64_t> still_waiting;
-  while (!ready_.empty()) {
-    const std::uint64_t task_id = ready_.front();
-    ready_.pop_front();
-    TaskState& st = states_[task_id];
-    if (!st.has_alloc ||
-        (!st.is_retry && st.alloc_revision != allocator_.revision())) {
-      st.alloc = allocator_.allocate(tasks_[task_id].category);
-      st.has_alloc = true;
-      st.alloc_revision = allocator_.revision();
-    }
-    if (auto wid = pool_.find_worker_for(st.alloc, config_.placement)) {
-      start_attempt(task_id, *wid);
-    } else {
-      still_waiting.push_back(task_id);
-    }
-  }
-  ready_ = std::move(still_waiting);
-}
-
-void Simulation::start_attempt(std::uint64_t task_id,
-                               std::uint64_t worker_id) {
-  TaskState& st = states_[task_id];
-  const core::TaskSpec& spec = tasks_[task_id];
-  if (st.attempts >= config_.max_attempts_per_task) {
-    make_fatal(task_id);
-    return;
-  }
-  ++st.attempts;
-  pool_.worker(worker_id).start(task_id, st.alloc);
-  if (observer_) observer_->on_attempt_started(now_, task_id, worker_id, st.alloc);
-  st.status = TaskStatus::Running;
-  st.running_on = worker_id;
-  st.attempt_start = now_;
-  // The enforcement model decides how long this attempt runs: the full
-  // duration when the allocation covers the demand, otherwise until the
-  // consumption ramp crosses the allocation (or the wall-time limit).
-  const double runtime = attempt_runtime(
-      spec, st.alloc, allocator_.config().managed, config_.monitor_interval_s);
-  events_.push(now_ + runtime, EventKind::AttemptFinish, task_id, worker_id,
-               st.epoch);
+  // First-fit over the FIFO queue (the shared machine's dispatch pass);
+  // tasks that do not fit anywhere stay queued in order.
+  core_.dispatch_pass(
+      [this](std::uint64_t, const ResourceVector& alloc) {
+        return pool_.find_worker_for(alloc, config_.placement);
+      },
+      [this](std::uint64_t task_id, std::uint64_t worker_id,
+             const ResourceVector& alloc) {
+        const core::TaskSpec& spec = tasks_[task_id];
+        pool_.worker(worker_id).start(task_id, alloc);
+        if (observer_) {
+          observer_->on_attempt_started(now_, task_id, worker_id, alloc);
+        }
+        timing_[task_id].attempt_start = now_;
+        // The enforcement model decides how long this attempt runs: the
+        // full duration when the allocation covers the demand, otherwise
+        // until the consumption ramp crosses the allocation (or the
+        // wall-time limit).
+        const double runtime =
+            attempt_runtime(spec, alloc, allocator_.config().managed,
+                            config_.monitor_interval_s);
+        timing_[task_id].attempt_runtime = runtime;
+        events_.push(now_ + runtime, EventKind::AttemptFinish, task_id,
+                     worker_id, timing_[task_id].epoch);
+      });
 }
 
 void Simulation::on_attempt_finish(const Event& e) {
   const std::uint64_t task_id = e.a;
-  TaskState& st = states_[task_id];
-  if (e.epoch != st.epoch || st.status != TaskStatus::Running ||
-      st.running_on != e.b) {
+  const auto& entry = core_.entry(task_id);
+  if (e.epoch != timing_[task_id].epoch || entry.phase != TaskPhase::Running ||
+      entry.running_on != e.b) {
     return;  // stale: the attempt was evicted before it finished
   }
-  pool_.worker(e.b).finish(task_id, st.alloc);
+  pool_.worker(e.b).finish(task_id, entry.alloc);
   const core::TaskSpec& spec = tasks_[task_id];
-  if (spec.demand.fits_within(st.alloc, allocator_.config().managed)) {
+  if (spec.demand.fits_within(entry.alloc, allocator_.config().managed)) {
     complete_task(task_id);
   } else {
-    fail_attempt(task_id, now_ - st.attempt_start);
+    fail_attempt(task_id, timing_[task_id].attempt_runtime);
   }
   dispatch();
 }
 
 void Simulation::complete_task(std::uint64_t task_id) {
-  TaskState& st = states_[task_id];
   const core::TaskSpec& spec = tasks_[task_id];
-  st.status = TaskStatus::Done;
-  ++finished_;
-  ++result_.tasks_completed;
   if (observer_) observer_->on_task_completed(now_, task_id);
   result_.makespan_s = std::max(result_.makespan_s, now_);
-
-  core::TaskUsage usage;
-  usage.category = spec.category;
-  usage.peak = spec.demand;
-  usage.final_alloc = st.alloc;
-  usage.final_runtime_s = spec.duration_s;
-  usage.failed_attempts = st.failed_attempts;
-  result_.accounting.add(usage);
-
-  // Significance follows the paper's rule: the task id (1-based). The
-  // Constant mode is the no-recency ablation.
-  const double sig =
-      config_.significance == SimConfig::SignificanceMode::TaskId
-          ? static_cast<double>(spec.id) + 1.0
-          : 1.0;
-  allocator_.record_completion(spec.category, spec.demand, sig);
-
-  // Release dependents whose last dependency this was.
-  for (std::uint64_t dep_task : dependents_[task_id]) {
-    TaskState& ds = states_[dep_task];
-    if (ds.deps_remaining > 0) {
-      --ds.deps_remaining;
-      maybe_ready(dep_task);
-    }
-  }
+  // The simulator reveals the ground truth on success: the measured peak is
+  // the task's true demand and the runtime its full duration.
+  core_.complete(task_id, spec.demand, spec.duration_s);
 }
 
 void Simulation::fail_attempt(std::uint64_t task_id, SimTime runtime) {
-  TaskState& st = states_[task_id];
   const core::TaskSpec& spec = tasks_[task_id];
-  st.failed_attempts.push_back({st.alloc, runtime});
-  ++st.epoch;
-  if (observer_) {
-    observer_->on_attempt_failed(
-        now_, task_id,
-        spec.demand.exceeded_mask(st.alloc, allocator_.config().managed));
-  }
-
-  const auto& managed = allocator_.config().managed;
-  const unsigned mask = spec.demand.exceeded_mask(st.alloc, managed);
-  const ResourceVector next =
-      allocator_.allocate_retry(spec.category, st.alloc, mask);
-  // If every exceeded dimension is pinned at worker capacity the task can
-  // never run in this pool.
-  bool grew = false;
-  for (core::ResourceKind k : managed) {
-    if ((mask & core::resource_bit(k)) && next[k] > st.alloc[k]) {
-      grew = true;
-      break;
-    }
-  }
-  if (!grew) {
-    make_fatal(task_id);
-    return;
-  }
-  st.alloc = next;
-  st.is_retry = true;
-  st.status = TaskStatus::Queued;
-  ready_.push_back(task_id);
+  ++timing_[task_id].epoch;
+  const unsigned mask = spec.demand.exceeded_mask(
+      core_.entry(task_id).alloc, allocator_.config().managed);
+  if (observer_) observer_->on_attempt_failed(now_, task_id, mask);
+  core_.fail_attempt(task_id, runtime, mask);
 }
 
-void Simulation::make_fatal(std::uint64_t task_id) {
-  TaskState& st = states_[task_id];
-  if (st.status == TaskStatus::Fatal) return;
-  st.status = TaskStatus::Fatal;
-  ++finished_;
-  ++result_.tasks_fatal;
+void Simulation::task_fatal(std::uint64_t task_id) {
   if (observer_) observer_->on_task_fatal(now_, task_id);
   util::log_warn("task ", task_id, " (", tasks_[task_id].category,
                  ") is unrunnable: demand exceeds pool capacity or attempt "
                  "limit reached");
-  // Dependents can never run: cascade the failure so the run terminates.
-  for (std::uint64_t dep_task : dependents_[task_id]) {
-    make_fatal(dep_task);
-  }
 }
 
 }  // namespace tora::sim

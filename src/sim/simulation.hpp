@@ -1,10 +1,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <span>
 #include <vector>
 
+#include "core/lifecycle/dispatch_core.hpp"
 #include "core/metrics.hpp"
 #include "core/resources.hpp"
 #include "core/task.hpp"
@@ -58,14 +58,9 @@ struct SimConfig {
   SignificanceMode significance = SignificanceMode::TaskId;
 };
 
-/// Lifecycle of a task inside the simulator.
-enum class TaskStatus : std::uint8_t {
-  Pending,  ///< not yet submitted or waiting on dependencies
-  Queued,   ///< ready, waiting for a worker
-  Running,  ///< attempt in flight
-  Done,     ///< completed successfully
-  Fatal,    ///< cannot run (demand above capacity or attempt limit)
-};
+/// Lifecycle of a task inside the simulator — the shared machine's phase
+/// (the simulator keeps no task state machine of its own).
+using TaskStatus = core::lifecycle::TaskPhase;
 
 /// Aggregate outcome of one simulated workflow run.
 struct SimResult {
@@ -102,7 +97,14 @@ struct SimResult {
 /// time, placed first-fit onto opportunistic workers, killed at the moment
 /// they exceed any allocated dimension, retried with a bigger allocation,
 /// and reported back into the allocator's bucketing state on success.
-class Simulation {
+///
+/// The task state machine itself — readiness, allocation caching, retry
+/// escalation, fatality cascades, the waste/eviction accounting split —
+/// lives in core::lifecycle::DispatchCore, shared verbatim with
+/// proto::ProtocolManager. This class contributes only what is genuinely
+/// simulated: the event clock, worker churn, placement, enforcement timing,
+/// and per-attempt epochs that invalidate stale finish events.
+class Simulation final : private core::lifecycle::RuntimeHooks {
  public:
   /// `tasks` must outlive the simulation; ids must equal the index order
   /// produced by the workload generators (0-based, dense).
@@ -117,26 +119,23 @@ class Simulation {
   /// run(); the observer must outlive the simulation.
   void set_observer(SimObserver* observer) noexcept { observer_ = observer; }
 
+  /// The shared lifecycle machine (parity tests and diagnostics).
+  const core::lifecycle::DispatchCore& core() const noexcept { return core_; }
+
  private:
-  struct TaskState {
-    core::ResourceVector alloc;
-    bool has_alloc = false;
-    /// True once the allocation came from a retry (failure escalation);
-    /// retry allocations are never invalidated by allocator revisions.
-    bool is_retry = false;
-    /// Allocator revision at which a first-attempt allocation was computed;
-    /// a stale revision means newer records exist and the allocation is
-    /// re-requested at the next dispatch (Fig. 3a dispatch-time protocol).
-    std::uint64_t alloc_revision = 0;
-    TaskStatus status = TaskStatus::Pending;
-    std::vector<core::AttemptLog> failed_attempts;
-    std::uint64_t epoch = 0;       ///< bumped when a running attempt dies
-    std::uint64_t running_on = 0;  ///< worker id while Running
+  /// Simulator-only per-task state, parallel to the core's TaskEntry.
+  struct TimingState {
+    std::uint64_t epoch = 0;  ///< bumped when a running attempt dies
     SimTime attempt_start = 0.0;
-    std::size_t attempts = 0;
-    bool submitted = false;        ///< submission time reached
-    std::size_t deps_remaining = 0;
+    /// The enforcement model's runtime for the in-flight attempt, kept so a
+    /// failure reports exactly what the model computed (deriving it back
+    /// from event times would reintroduce floating-point round-trip error
+    /// and break bit-parity with the protocol runtime, whose workers report
+    /// the same model's output).
+    SimTime attempt_runtime = 0.0;
   };
+
+  void task_fatal(std::uint64_t task_id) override;  // RuntimeHooks
 
   void bootstrap();
   void handle(const Event& e);
@@ -145,27 +144,21 @@ class Simulation {
   void on_worker_join();
   void on_worker_leave(std::uint64_t worker_id);
   void dispatch();
-  void start_attempt(std::uint64_t task_id, std::uint64_t worker_id);
   void complete_task(std::uint64_t task_id);
   void fail_attempt(std::uint64_t task_id, SimTime runtime);
-  void make_fatal(std::uint64_t task_id);
   void schedule_worker_lifetime(std::uint64_t worker_id);
   std::uint64_t spawn_worker();
-  /// Queues the task if it is submitted and all dependencies are complete.
-  void maybe_ready(std::uint64_t task_id);
 
   std::span<const core::TaskSpec> tasks_;
-  std::vector<std::vector<std::uint64_t>> dependents_;
   core::TaskAllocator& allocator_;
   SimConfig config_;
+  core::lifecycle::DispatchCore core_;
   util::Rng rng_;
   EventQueue events_;
   WorkerPool pool_;
-  std::vector<TaskState> states_;
-  std::deque<std::uint64_t> ready_;  ///< FIFO; evictions requeue at the front
+  std::vector<TimingState> timing_;
   SimTime now_ = 0.0;
   SimResult result_;
-  std::size_t finished_ = 0;  ///< Done + Fatal
   bool ran_ = false;
   SimObserver* observer_ = nullptr;
 };

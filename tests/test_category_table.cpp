@@ -1,0 +1,83 @@
+#include "core/lifecycle/category_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace {
+
+using tora::core::CategoryId;
+using tora::core::CategoryTable;
+
+TEST(CategoryTable, InternAssignsDenseIdsInFirstSeenOrder) {
+  CategoryTable t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.intern("alpha"), 0u);
+  EXPECT_EQ(t.intern("beta"), 1u);
+  EXPECT_EQ(t.intern("gamma"), 2u);
+  EXPECT_EQ(t.size(), 3u);
+}
+
+TEST(CategoryTable, InternIsIdempotent) {
+  CategoryTable t;
+  const CategoryId a = t.intern("cat");
+  const CategoryId b = t.intern("cat");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(CategoryTable, NameRoundTrips) {
+  CategoryTable t;
+  const CategoryId a = t.intern("analyze");
+  const CategoryId b = t.intern("train");
+  EXPECT_EQ(t.name(a), "analyze");
+  EXPECT_EQ(t.name(b), "train");
+}
+
+TEST(CategoryTable, FindDoesNotIntern) {
+  CategoryTable t;
+  t.intern("known");
+  EXPECT_FALSE(t.find("unknown").has_value());
+  EXPECT_EQ(t.size(), 1u);
+  const auto id = t.find("known");
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(*id, 0u);
+}
+
+TEST(CategoryTable, FindAcceptsStringViewWithoutAllocation) {
+  CategoryTable t;
+  t.intern(std::string("heterogeneous"));
+  const std::string_view sv = "heterogeneous";
+  EXPECT_TRUE(t.find(sv).has_value());
+}
+
+TEST(CategoryTable, NameThrowsOnBadId) {
+  CategoryTable t;
+  t.intern("only");
+  EXPECT_THROW(t.name(1u), std::out_of_range);
+  EXPECT_THROW(t.name(tora::core::kInvalidCategory), std::out_of_range);
+}
+
+TEST(CategoryTable, NamesSpanMatchesInternOrder) {
+  CategoryTable t;
+  t.intern("x");
+  t.intern("y");
+  const auto& names = t.names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "x");
+  EXPECT_EQ(names[1], "y");
+}
+
+TEST(CategoryTable, IdsAndNamesStableAcrossGrowth) {
+  // Ids are append-only: early ids keep resolving to the same name no
+  // matter how many categories are interned afterwards.
+  CategoryTable t;
+  const CategoryId first = t.intern("stable");
+  for (int i = 0; i < 1000; ++i) t.intern("cat_" + std::to_string(i));
+  EXPECT_EQ(first, *t.find("stable"));
+  EXPECT_EQ(t.name(first), "stable");
+  EXPECT_EQ(t.size(), 1001u);
+}
+
+}  // namespace

@@ -19,7 +19,7 @@ TEST(Checkpoint, HistoryIsRecordedByDefault) {
   a.record_completion("x", {1.0, 100.0, 10.0}, 5.0);
   a.record_completion("y", {2.0, 200.0, 20.0});
   ASSERT_EQ(a.history().size(), 2u);
-  EXPECT_EQ(a.history()[0].category, "x");
+  EXPECT_EQ(a.category_name(a.history()[0].category), "x");
   EXPECT_DOUBLE_EQ(a.history()[0].significance, 5.0);
   EXPECT_DOUBLE_EQ(a.history()[1].peak.memory_mb(), 200.0);
   // The default-significance counter continues above explicit values.

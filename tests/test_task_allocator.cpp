@@ -173,6 +173,98 @@ TEST(TaskAllocator, AllPolicyNamesConstructible) {
   }
 }
 
+TEST(TaskAllocator, RejectsTimeManagedWithoutTimeCapacity) {
+  // The paper's future-work extension: managing TimeS requires positive
+  // time capacity — caught at construction, not as a clamp-to-zero later.
+  AllocatorConfig cfg;  // default worker_capacity has time_s = 0
+  cfg.managed.push_back(ResourceKind::TimeS);
+  try {
+    TaskAllocator a("x",
+                    tora::core::make_policy_factory(
+                        tora::core::kGreedyBucketing, 1),
+                    cfg);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("worker_capacity"),
+              std::string::npos);
+  }
+}
+
+TEST(TaskAllocator, RejectsTimeManagedWithoutTimeExplorationDefault) {
+  AllocatorConfig cfg;
+  cfg.managed.push_back(ResourceKind::TimeS);
+  cfg.worker_capacity = ResourceVector{16.0, 65536.0, 65536.0, 3600.0};
+  // FixedDefault exploration still has default_alloc.time_s == 0.
+  ASSERT_EQ(cfg.exploration.mode, ExplorationConfig::Mode::FixedDefault);
+  try {
+    TaskAllocator a("x",
+                    tora::core::make_policy_factory(
+                        tora::core::kGreedyBucketing, 1),
+                    cfg);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("default_alloc"), std::string::npos);
+  }
+  // WholeMachine exploration never hands out the default: accepted.
+  cfg.exploration.mode = ExplorationConfig::Mode::WholeMachine;
+  EXPECT_NO_THROW(TaskAllocator(
+      "x", tora::core::make_policy_factory(tora::core::kMaxSeen, 1), cfg));
+}
+
+TEST(TaskAllocator, RejectsEmptyManagedSetAndZeroMinRecords) {
+  AllocatorConfig cfg;
+  cfg.managed.clear();
+  EXPECT_THROW(
+      TaskAllocator("x",
+                    tora::core::make_policy_factory(
+                        tora::core::kGreedyBucketing, 1),
+                    cfg),
+      std::invalid_argument);
+  AllocatorConfig cfg2;
+  cfg2.exploration.min_records = 0;
+  EXPECT_THROW(
+      TaskAllocator("x",
+                    tora::core::make_policy_factory(
+                        tora::core::kGreedyBucketing, 1),
+                    cfg2),
+      std::invalid_argument);
+}
+
+TEST(TaskAllocator, InternedIdsMatchStringOverloads) {
+  auto a = make_allocator(tora::core::kMaxSeen, 1);
+  const auto id = a.intern("cat");
+  EXPECT_EQ(a.intern("cat"), id);
+  EXPECT_EQ(a.category_name(id), "cat");
+  a.record_completion(id, {2.0, 306.0, 306.0});
+  EXPECT_EQ(a.records_for("cat"), 1u);
+  EXPECT_EQ(a.records_for(id), 1u);
+  EXPECT_FALSE(a.exploring(id));
+  // Id and string entry points hit the same per-category state.
+  const ResourceVector by_id = a.allocate(id);
+  const ResourceVector by_name = a.allocate("cat");
+  EXPECT_DOUBLE_EQ(by_id.memory_mb(), by_name.memory_mb());
+  EXPECT_DOUBLE_EQ(by_id.memory_mb(), 500.0);
+}
+
+TEST(TaskAllocator, HistoryReservedFromExpectedTasks) {
+  AllocatorConfig cfg;
+  cfg.expected_tasks = 4096;
+  TaskAllocator a("max_seen",
+                  tora::core::make_policy_factory(tora::core::kMaxSeen, 1),
+                  cfg);
+  EXPECT_GE(a.history().capacity(), 4096u);
+  a.record_completion("c", {1.0, 100.0, 10.0});
+  EXPECT_EQ(a.history().size(), 1u);
+  // Disabled history makes the reservation a no-op.
+  AllocatorConfig off;
+  off.record_history = false;
+  off.expected_tasks = 4096;
+  TaskAllocator b("max_seen",
+                  tora::core::make_policy_factory(tora::core::kMaxSeen, 1),
+                  off);
+  EXPECT_EQ(b.history().capacity(), 0u);
+}
+
 TEST(TaskAllocator, ExplorationDefaultClampedToCapacity) {
   tora::core::RegistryOptions opts;
   opts.exploration_default = ResourceVector{99.0, 1e9, 1e9, 0.0};
