@@ -30,6 +30,12 @@ class BucketingPolicy : public ResourcePolicy {
 
   std::size_t record_count() const override { return records_.size(); }
 
+  /// The per-instance Rng (bucket sampling draws), serialized for crash
+  /// recovery. Records are rebuilt by history replay; the Rng position is
+  /// the only state that is not.
+  std::string sampler_state() const override;
+  void restore_sampler_state(std::string_view state) override;
+
   /// The current bucket configuration, rebuilding it first if records were
   /// added since the last build. Exposed for tests, benchmarks and the
   /// figure harnesses. Requires at least one record.

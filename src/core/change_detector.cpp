@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/bytes.hpp"
+
 namespace tora::core {
 
 MeanShiftDetector::MeanShiftDetector(std::size_t window,
@@ -59,9 +61,62 @@ ChangeAwarePolicy::ChangeAwarePolicy(
   if (!make_inner_) {
     throw std::invalid_argument("ChangeAwarePolicy: null inner factory");
   }
-  inner_ = make_inner_();
-  if (!inner_) {
+  inner_ = rebuild_inner();
+}
+
+ChangeAwarePolicy::ChangeAwarePolicy(
+    std::function<ResourcePolicyPtr(util::Rng)> make_inner, util::Rng inner_rng,
+    MeanShiftDetector detector)
+    : inner_rng_(inner_rng),
+      make_inner_seeded_(std::move(make_inner)),
+      detector_(detector) {
+  if (!make_inner_seeded_) {
+    throw std::invalid_argument("ChangeAwarePolicy: null inner factory");
+  }
+  inner_ = rebuild_inner();
+}
+
+ResourcePolicyPtr ChangeAwarePolicy::rebuild_inner() {
+  ResourcePolicyPtr fresh =
+      inner_rng_ ? make_inner_seeded_(inner_rng_->split()) : make_inner_();
+  if (!fresh) {
     throw std::invalid_argument("ChangeAwarePolicy: factory returned null");
+  }
+  return fresh;
+}
+
+std::string ChangeAwarePolicy::sampler_state() const {
+  util::ByteWriter w;
+  w.u8(inner_rng_ ? 1 : 0);
+  if (inner_rng_) {
+    const util::Rng::State s = inner_rng_->state();
+    for (std::uint64_t word : s.words) w.u64(word);
+    w.f64(s.cached_normal);
+    w.u8(s.has_cached_normal ? 1 : 0);
+  }
+  w.str(inner_->sampler_state());
+  return w.take();
+}
+
+void ChangeAwarePolicy::restore_sampler_state(std::string_view state) {
+  util::ByteReader r(state);
+  const bool has_rng = r.u8() != 0;
+  if (has_rng != inner_rng_.has_value()) {
+    throw std::runtime_error(
+        "ChangeAwarePolicy: sampler state from a differently constructed "
+        "instance (rng-owning vs closure-seeded)");
+  }
+  if (has_rng) {
+    util::Rng::State s;
+    for (auto& word : s.words) word = r.u64();
+    s.cached_normal = r.f64();
+    s.has_cached_normal = r.u8() != 0;
+    inner_rng_->set_state(s);
+  }
+  inner_->restore_sampler_state(r.str());
+  if (!r.done()) {
+    throw std::runtime_error(
+        "ChangeAwarePolicy: trailing sampler-state bytes");
   }
 }
 
@@ -85,7 +140,7 @@ void ChangeAwarePolicy::observe(double peak_value, double significance) {
       }
     }
     if (fresh.empty()) fresh.push_back(since_change_.back());
-    inner_ = make_inner_();
+    inner_ = rebuild_inner();
     for (const Record& r : fresh) inner_->observe(r.value, r.significance);
     since_change_ = std::move(fresh);
     return;

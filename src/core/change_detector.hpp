@@ -3,10 +3,12 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "core/policy.hpp"
 #include "core/record.hpp"
+#include "util/rng.hpp"
 
 namespace tora::core {
 
@@ -65,6 +67,13 @@ class ChangeAwarePolicy final : public ResourcePolicy {
   ChangeAwarePolicy(std::function<ResourcePolicyPtr()> make_inner,
                     MeanShiftDetector detector);
 
+  /// Rng-owning variant: the policy owns the stream that seeds each inner
+  /// rebuild (one split per reset), so crash-recovery snapshots can capture
+  /// and restore it — the closure-captured stream of the nullary overload
+  /// is invisible to sampler_state(). The registry uses this form.
+  ChangeAwarePolicy(std::function<ResourcePolicyPtr(util::Rng)> make_inner,
+                    util::Rng inner_rng, MeanShiftDetector detector);
+
   void observe(double peak_value, double significance) override;
   double predict() override { return inner_->predict(); }
   double retry(double failed_alloc) override {
@@ -74,11 +83,22 @@ class ChangeAwarePolicy final : public ResourcePolicy {
   std::string name() const override;
   std::size_t record_count() const override { return total_observed_; }
 
+  /// The owned rebuild stream (when constructed with one) plus the current
+  /// inner policy's sampler state (crash recovery).
+  std::string sampler_state() const override;
+  void restore_sampler_state(std::string_view state) override;
+
   std::size_t resets() const noexcept { return detector_.changes_detected(); }
   ResourcePolicy& inner() noexcept { return *inner_; }
 
  private:
+  ResourcePolicyPtr rebuild_inner();
+
   std::function<ResourcePolicyPtr()> make_inner_;
+  /// Set iff constructed with the Rng-owning overload; consumed one split()
+  /// per inner rebuild.
+  std::optional<util::Rng> inner_rng_;
+  std::function<ResourcePolicyPtr(util::Rng)> make_inner_seeded_;
   MeanShiftDetector detector_;
   ResourcePolicyPtr inner_;
   /// Records observed since the last reset (replayed on the next reset).

@@ -1,15 +1,21 @@
 #include "core/checkpoint.hpp"
 
+#include <cstdio>
+#include <istream>
 #include <ostream>
-#include <sstream>
 #include <stdexcept>
+#include <vector>
 
+#include "util/bytes.hpp"
 #include "util/csv.hpp"
+#include "util/rng.hpp"
 
 namespace tora::core {
 
 namespace {
 
+constexpr const char* kMetaTag = "tora-checkpoint";
+constexpr const char* kFormatVersion = "2";
 constexpr const char* kHeader =
     "category,cores,memory_mb,disk_mb,time_s,significance";
 
@@ -25,11 +31,54 @@ double parse_double(const std::string& s, const char* what) {
   }
 }
 
+std::string hash_hex(std::uint64_t h) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+void restore_row(TaskAllocator& allocator, const std::vector<std::string>& r) {
+  if (r.size() != 6) {
+    throw std::invalid_argument("checkpoint: row with wrong field count");
+  }
+  ResourceVector peak(parse_double(r[1], "cores"),
+                      parse_double(r[2], "memory_mb"),
+                      parse_double(r[3], "disk_mb"),
+                      parse_double(r[4], "time_s"));
+  allocator.record_completion(r[0], peak, parse_double(r[5], "significance"));
+}
+
 }  // namespace
 
+std::uint64_t allocator_config_hash(const AllocatorConfig& config) {
+  // Canonical byte encoding of every behavior-relevant knob; hashing the
+  // bytes (not a formatted string) keeps the digest independent of locale
+  // and printf rounding.
+  util::ByteWriter w;
+  for (ResourceKind k : kAllResources) w.f64(config.worker_capacity[k]);
+  w.u8(config.exploration.mode == ExplorationConfig::Mode::FixedDefault ? 0
+                                                                        : 1);
+  for (ResourceKind k : kAllResources) {
+    w.f64(config.exploration.default_alloc[k]);
+  }
+  w.u64(config.exploration.min_records);
+  w.u64(config.managed.size());
+  for (ResourceKind k : config.managed) {
+    w.u8(static_cast<std::uint8_t>(k));
+  }
+  w.u8(config.record_history ? 1 : 0);
+  return util::hash64(w.bytes());
+}
+
 void save_allocator_state(const TaskAllocator& allocator, std::ostream& out) {
-  out << kHeader << '\n';
   util::CsvWriter csv(out);
+  csv.field(kMetaTag)
+      .field(kFormatVersion)
+      .field(allocator.policy_name())
+      .field(hash_hex(allocator_config_hash(allocator.config())));
+  csv.end_row();
+  out << kHeader << '\n';
   for (const auto& rec : allocator.history()) {
     csv.field(allocator.category_name(rec.category))
         .field(rec.peak.cores())
@@ -44,24 +93,50 @@ void save_allocator_state(const TaskAllocator& allocator, std::ostream& out) {
   }
 }
 
-void restore_allocator_state(TaskAllocator& allocator, std::istream& in) {
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  const auto rows = util::parse_csv(buf.str());
-  if (rows.empty() || rows.front() != util::parse_csv_line(kHeader)) {
+void restore_allocator_state(TaskAllocator& allocator, std::istream& in,
+                             RestoreOptions options) {
+  util::CsvRecordReader reader(in);
+  const auto header_fields = util::parse_csv_line(kHeader);
+  std::vector<std::string> rec;
+  if (!reader.next(rec)) {
     throw std::invalid_argument("checkpoint: missing or malformed header");
   }
-  for (std::size_t i = 1; i < rows.size(); ++i) {
-    const auto& r = rows[i];
-    if (r.size() != 6) {
-      throw std::invalid_argument("checkpoint: row with wrong field count");
+  if (!rec.empty() && rec[0] == kMetaTag) {
+    if (rec.size() != 4 || rec[1] != kFormatVersion) {
+      throw std::invalid_argument(
+          "checkpoint: unsupported metadata line (expected format version " +
+          std::string(kFormatVersion) + ")");
     }
-    ResourceVector peak(parse_double(r[1], "cores"),
-                        parse_double(r[2], "memory_mb"),
-                        parse_double(r[3], "disk_mb"),
-                        parse_double(r[4], "time_s"));
-    allocator.record_completion(r[0], peak,
-                                parse_double(r[5], "significance"));
+    const std::string& snap_policy = rec[2];
+    const std::string want_hash =
+        hash_hex(allocator_config_hash(allocator.config()));
+    if (!options.force) {
+      if (snap_policy != allocator.policy_name()) {
+        throw std::invalid_argument(
+            "checkpoint: snapshot was written by policy '" + snap_policy +
+            "' but the destination allocator runs '" +
+            allocator.policy_name() +
+            "'; restore into a matching allocator, or pass "
+            "RestoreOptions{.force = true} for deliberate cross-policy "
+            "replay");
+      }
+      if (rec[3] != want_hash) {
+        throw std::invalid_argument(
+            "checkpoint: snapshot config hash " + rec[3] +
+            " does not match the destination allocator's " + want_hash +
+            " (worker capacity, exploration, or managed resources differ); "
+            "recreate the allocator with the original config, or pass "
+            "RestoreOptions{.force = true} to replay anyway");
+      }
+    }
+    if (!reader.next(rec) || rec != header_fields) {
+      throw std::invalid_argument("checkpoint: missing or malformed header");
+    }
+  } else if (rec != header_fields) {
+    throw std::invalid_argument("checkpoint: missing or malformed header");
+  }
+  while (reader.next(rec)) {
+    restore_row(allocator, rec);
   }
 }
 

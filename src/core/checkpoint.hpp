@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 
 #include "core/task_allocator.hpp"
@@ -10,20 +11,45 @@ namespace tora::core {
 /// workflow manager. The snapshot is the allocator's completion history
 /// (category, peak vector, significance per completed task) as CSV;
 /// restoring replays it through record_completion, which rebuilds every
-/// policy's state exactly — the approach is policy-agnostic, works for any
-/// registered algorithm, and stays true to the paper's prior-free design
-/// (state never outlives the workflow run it was recorded in).
+/// policy's RECORD state exactly — the approach is policy-agnostic, works
+/// for any registered algorithm, and stays true to the paper's prior-free
+/// design (state never outlives the workflow run it was recorded in).
+///
+/// Note for bit-exact recovery: the bucketing family also carries SAMPLING
+/// state (a per-instance Rng) that history replay cannot rebuild; the
+/// binary recovery snapshot (core/recovery/snapshot.hpp) captures that too.
+/// This CSV checkpoint is the human-readable, cross-policy-replayable edge.
 ///
 /// Requires the source allocator to have been created with
 /// AllocatorConfig::record_history = true (the default).
 
-/// Writes the snapshot. Throws std::runtime_error on stream failure.
+/// Stable 64-bit hash of the allocator-behavior-relevant parts of an
+/// AllocatorConfig (capacity, exploration, managed set, history flag;
+/// expected_tasks is a performance hint and excluded). Two allocators with
+/// equal hashes allocate identically given identical inputs.
+std::uint64_t allocator_config_hash(const AllocatorConfig& config);
+
+/// Restore knobs.
+struct RestoreOptions {
+  /// Accept a snapshot whose recorded policy name or config hash does not
+  /// match the destination allocator — the deliberate cross-policy replay
+  /// escape hatch (e.g. feeding one policy's history to another for an
+  /// ablation). Mismatches otherwise throw std::invalid_argument.
+  bool force = false;
+};
+
+/// Writes the snapshot: a metadata line (format version, policy name,
+/// config hash), a column-header line, then one CSV row per completion.
+/// Throws std::runtime_error on stream failure.
 void save_allocator_state(const TaskAllocator& allocator, std::ostream& out);
 
-/// Replays a snapshot into `allocator`, which should be freshly constructed
-/// with the same policy/config (this is not validated — replaying into a
-/// different policy is allowed and simply feeds it the same records).
-/// Throws std::invalid_argument on malformed input.
-void restore_allocator_state(TaskAllocator& allocator, std::istream& in);
+/// Replays a snapshot into `allocator`, which should be freshly
+/// constructed. Snapshots with a metadata line are validated against the
+/// destination's policy name and config hash (see RestoreOptions::force);
+/// legacy header-only snapshots restore without validation. Rows stream
+/// incrementally — restoring never buffers the whole document. Throws
+/// std::invalid_argument on malformed input or metadata mismatch.
+void restore_allocator_state(TaskAllocator& allocator, std::istream& in,
+                             RestoreOptions options = {});
 
 }  // namespace tora::core

@@ -28,6 +28,10 @@ class HybridPolicy final : public ResourcePolicy {
   std::string name() const override;
   std::size_t record_count() const override { return observed_; }
 
+  /// Both stages' sampler states, length-prefixed (crash recovery).
+  std::string sampler_state() const override;
+  void restore_sampler_state(std::string_view state) override;
+
   bool switched() const noexcept { return observed_ >= switch_after_; }
   std::size_t switch_after() const noexcept { return switch_after_; }
   ResourcePolicy& initial() noexcept { return *initial_; }

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/bytes.hpp"
 #include "util/log.hpp"
 
 namespace tora::core::lifecycle {
@@ -66,6 +67,7 @@ void DispatchCore::ensure_allocation(std::uint64_t task_id) {
     e.alloc = allocator_.allocate(alloc_category_[task_id]);
     e.has_alloc = true;
     e.alloc_revision = allocator_.revision();
+    if (hooks_) hooks_->allocation_committed(task_id, e.alloc, false);
   }
 }
 
@@ -91,6 +93,9 @@ void DispatchCore::dispatch_pass(const PlaceFn& place, const CommitFn& commit,
       ++e.attempts;
       e.phase = TaskPhase::Running;
       e.running_on = *worker;
+      // Hook before CommitFn: the write-ahead journal must record the
+      // dispatch before the commit sends anything over a wire.
+      if (hooks_) hooks_->task_dispatched(task_id, *worker, e.attempts);
       commit(task_id, *worker, e.alloc);
     } else {
       waiting.push_back(task_id);
@@ -130,6 +135,7 @@ void DispatchCore::complete(std::uint64_t task_id,
       maybe_ready(dep);
     }
   }
+  if (hooks_) hooks_->task_completed(task_id, measured_peak, runtime_s);
 }
 
 DispatchCore::RetryVerdict DispatchCore::fail_attempt(std::uint64_t task_id,
@@ -137,15 +143,20 @@ DispatchCore::RetryVerdict DispatchCore::fail_attempt(std::uint64_t task_id,
                                                       unsigned exceeded_mask) {
   TaskEntry& e = entries_[task_id];
   e.failed_attempts.push_back({e.alloc, runtime_s});
-  if (config_.max_allocation_failures > 0 &&
-      e.failed_attempts.size() >= config_.max_allocation_failures) {
+  const auto fail_fatal = [&] {
+    if (hooks_) {
+      hooks_->task_failed_attempt(task_id, runtime_s, exceeded_mask, false);
+    }
     make_fatal(task_id);
     return RetryVerdict::Fatal;
+  };
+  if (config_.max_allocation_failures > 0 &&
+      e.failed_attempts.size() >= config_.max_allocation_failures) {
+    return fail_fatal();
   }
   if (exceeded_mask == 0) {
     util::log_warn("lifecycle: exhausted attempt without exceeded mask");
-    make_fatal(task_id);
-    return RetryVerdict::Fatal;
+    return fail_fatal();
   }
   const ResourceVector next = allocator_.allocate_retry(
       alloc_category_[task_id], e.alloc, exceeded_mask);
@@ -159,13 +170,16 @@ DispatchCore::RetryVerdict DispatchCore::fail_attempt(std::uint64_t task_id,
     }
   }
   if (!grew) {
-    make_fatal(task_id);
-    return RetryVerdict::Fatal;
+    return fail_fatal();
   }
   e.alloc = next;
   e.is_retry = true;
   e.phase = TaskPhase::Queued;
   ready_.push_back(task_id);
+  if (hooks_) {
+    hooks_->allocation_committed(task_id, next, true);
+    hooks_->task_failed_attempt(task_id, runtime_s, exceeded_mask, true);
+  }
   return RetryVerdict::Requeued;
 }
 
@@ -174,11 +188,73 @@ void DispatchCore::requeue_front(std::uint64_t task_id) {
   if (e.phase != TaskPhase::Running) return;
   e.phase = TaskPhase::Queued;
   ready_.push_front(task_id);
+  if (hooks_) hooks_->task_requeued(task_id);
 }
 
 void DispatchCore::charge_eviction(std::uint64_t task_id, double scale) {
   evicted_alloc_ += entries_[task_id].alloc * scale;
   ++evictions_;
+  if (hooks_) hooks_->task_evicted(task_id, scale);
+}
+
+void DispatchCore::save_state(util::ByteWriter& w) const {
+  w.u64(entries_.size());
+  for (const TaskEntry& e : entries_) {
+    w.u8(static_cast<std::uint8_t>(e.phase));
+    w.u8(e.submitted ? 1 : 0);
+    w.u8(e.has_alloc ? 1 : 0);
+    w.u8(e.is_retry ? 1 : 0);
+    w.u32(e.attempts);
+    w.u64(e.alloc_revision);
+    w.u64(e.running_on);
+    for (ResourceKind k : kAllResources) w.f64(e.alloc[k]);
+    w.u64(e.deps_remaining);
+    w.u64(e.failed_attempts.size());
+    for (const AttemptLog& a : e.failed_attempts) {
+      for (ResourceKind k : kAllResources) w.f64(a.alloc[k]);
+      w.f64(a.runtime_s);
+    }
+  }
+  w.u64(ready_.size());
+  for (std::uint64_t id : ready_) w.u64(id);
+  accounting_.save(w);
+  for (ResourceKind k : kAllResources) w.f64(evicted_alloc_[k]);
+  w.u64(evictions_);
+  w.u64(completed_);
+  w.u64(fatal_);
+  w.u64(finished_);
+}
+
+void DispatchCore::load_state(util::ByteReader& r) {
+  if (r.u64() != entries_.size()) {
+    throw std::runtime_error(
+        "DispatchCore: snapshot task count does not match the workload");
+  }
+  for (TaskEntry& e : entries_) {
+    e.phase = static_cast<TaskPhase>(r.u8());
+    e.submitted = r.u8() != 0;
+    e.has_alloc = r.u8() != 0;
+    e.is_retry = r.u8() != 0;
+    e.attempts = r.u32();
+    e.alloc_revision = r.u64();
+    e.running_on = r.u64();
+    for (ResourceKind k : kAllResources) e.alloc[k] = r.f64();
+    e.deps_remaining = r.u64();
+    e.failed_attempts.resize(r.u64());
+    for (AttemptLog& a : e.failed_attempts) {
+      for (ResourceKind k : kAllResources) a.alloc[k] = r.f64();
+      a.runtime_s = r.f64();
+    }
+  }
+  ready_.clear();
+  const std::uint64_t queued = r.u64();
+  for (std::uint64_t i = 0; i < queued; ++i) ready_.push_back(r.u64());
+  accounting_.load(r);
+  for (ResourceKind k : kAllResources) evicted_alloc_[k] = r.f64();
+  evictions_ = r.u64();
+  completed_ = r.u64();
+  fatal_ = r.u64();
+  finished_ = r.u64();
 }
 
 void DispatchCore::make_fatal(std::uint64_t task_id) {

@@ -69,13 +69,40 @@ struct DispatchConfig {
   Significance significance = Significance::TaskId;
 };
 
-/// Driver callbacks invoked from inside the machine. Kept to the one edge
-/// the drivers genuinely observe differently (the simulator logs and
-/// notifies its SimObserver per fatal task, including cascaded ones).
+/// Driver callbacks invoked from inside the machine. The simulator observes
+/// task_fatal (logging + SimObserver); the recoverable protocol manager
+/// implements the full set to emit the journal's lifecycle audit records
+/// (core/recovery/journal.hpp). Every hook defaults to a no-op, fires AFTER
+/// the state change it describes, and must not re-enter the core.
 class RuntimeHooks {
  public:
   virtual ~RuntimeHooks() = default;
+  /// A task was declared unrunnable (cascaded fatalities fire one each).
   virtual void task_fatal(std::uint64_t /*task_id*/) {}
+  /// A (re)computed allocation was cached for the task. `is_retry` marks
+  /// escalations from fail_attempt; false means a dispatch-time (re)compute.
+  virtual void allocation_committed(std::uint64_t /*task_id*/,
+                                    const ResourceVector& /*alloc*/,
+                                    bool /*is_retry*/) {}
+  /// A placement was admitted: the entry is Running on `worker` and the
+  /// driver's CommitFn is about to run. `attempt` is the wire attempt id.
+  virtual void task_dispatched(std::uint64_t /*task_id*/,
+                               std::uint64_t /*worker*/,
+                               std::uint32_t /*attempt*/) {}
+  /// A successful completion was recorded (accounting + allocator fed).
+  virtual void task_completed(std::uint64_t /*task_id*/,
+                              const ResourceVector& /*measured_peak*/,
+                              double /*runtime_s*/) {}
+  /// An allocation-induced failure was logged. `requeued` is false when the
+  /// failure tipped the task fatal (task_fatal also fires).
+  virtual void task_failed_attempt(std::uint64_t /*task_id*/,
+                                   double /*runtime_s*/,
+                                   unsigned /*exceeded_mask*/,
+                                   bool /*requeued*/) {}
+  /// An infrastructure requeue put a Running task back at the queue front.
+  virtual void task_requeued(std::uint64_t /*task_id*/) {}
+  /// An eviction charge hit the ledger.
+  virtual void task_evicted(std::uint64_t /*task_id*/, double /*scale*/) {}
 };
 
 /// The single implementation of the task-lifecycle state machine both
@@ -191,6 +218,20 @@ class DispatchCore {
   }
 
   TaskAllocator& allocator() noexcept { return allocator_; }
+
+  /// Binary serialization of the core's mutable state for the crash-recovery
+  /// snapshot: every TaskEntry, the ready queue, accounting, the eviction
+  /// ledger and the progress counters. The IMMUTABLE shape (task specs,
+  /// dependency graph, interned category ids, config) is NOT serialized —
+  /// load_state requires a core freshly constructed over the same workload
+  /// and config, and restores it to bit-identical mutable state. Hooks do
+  /// not fire during load (the events already happened).
+  void save_state(util::ByteWriter& w) const;
+  void load_state(util::ByteReader& r);
+
+  /// Swap the hooks sink (the recoverable manager re-attaches itself after
+  /// reconstructing the core). May be null.
+  void set_hooks(RuntimeHooks* hooks) noexcept { hooks_ = hooks; }
 
  private:
   void maybe_ready(std::uint64_t task_id);

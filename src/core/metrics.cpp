@@ -2,7 +2,29 @@
 
 #include <stdexcept>
 
+#include "util/bytes.hpp"
+
 namespace tora::core {
+
+namespace {
+
+void save_breakdown(util::ByteWriter& w, const WasteBreakdown& b) {
+  w.f64(b.consumption);
+  w.f64(b.allocation);
+  w.f64(b.internal_fragmentation);
+  w.f64(b.failed_allocation);
+}
+
+WasteBreakdown load_breakdown(util::ByteReader& r) {
+  WasteBreakdown b;
+  b.consumption = r.f64();
+  b.allocation = r.f64();
+  b.internal_fragmentation = r.f64();
+  b.failed_allocation = r.f64();
+  return b;
+}
+
+}  // namespace
 
 CategoryId WasteAccounting::intern(std::string_view category) {
   const CategoryId id = table_.intern(category);
@@ -135,6 +157,37 @@ void WasteAccounting::merge(const WasteAccounting& other) {
   }
 }
 
+void WasteAccounting::save(util::ByteWriter& w) const {
+  for (const WasteBreakdown& b : by_resource_) save_breakdown(w, b);
+  w.u64(tasks_);
+  w.u64(attempts_);
+  w.u64(table_.size());
+  for (const std::string& name : table_.names()) w.str(name);
+  for (std::size_t count : counts_) w.u64(count);
+  for (const BreakdownArray& cat : by_category_) {
+    for (const WasteBreakdown& b : cat) save_breakdown(w, b);
+  }
+}
+
+void WasteAccounting::load(util::ByteReader& r) {
+  *this = WasteAccounting();
+  for (WasteBreakdown& b : by_resource_) b = load_breakdown(r);
+  tasks_ = r.u64();
+  attempts_ = r.u64();
+  const std::uint64_t categories = r.u64();
+  for (std::uint64_t i = 0; i < categories; ++i) {
+    const CategoryId id = intern(r.str());
+    if (id != i) {
+      throw std::runtime_error(
+          "WasteAccounting: duplicate category in serialized table");
+    }
+  }
+  for (std::size_t& count : counts_) count = r.u64();
+  for (BreakdownArray& cat : by_category_) {
+    for (WasteBreakdown& b : cat) b = load_breakdown(r);
+  }
+}
+
 void ChaosCounters::merge(const ChaosCounters& other) noexcept {
   messages_dropped += other.messages_dropped;
   messages_duplicated += other.messages_duplicated;
@@ -152,6 +205,20 @@ void ChaosCounters::merge(const ChaosCounters& other) noexcept {
   duplicate_dispatches += other.duplicate_dispatches;
   misaddressed_messages += other.misaddressed_messages;
   worker_crashes += other.worker_crashes;
+}
+
+void RecoveryCounters::merge(const RecoveryCounters& other) noexcept {
+  journal_records += other.journal_records;
+  journal_bytes += other.journal_bytes;
+  journal_syncs += other.journal_syncs;
+  snapshots_written += other.snapshots_written;
+  crashes_injected += other.crashes_injected;
+  recoveries += other.recoveries;
+  torn_records_truncated += other.torn_records_truncated;
+  torn_snapshots_discarded += other.torn_snapshots_discarded;
+  records_replayed += other.records_replayed;
+  ticks_replayed += other.ticks_replayed;
+  inputs_replayed += other.inputs_replayed;
 }
 
 }  // namespace tora::core

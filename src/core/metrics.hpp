@@ -11,6 +11,11 @@
 #include "core/lifecycle/category_table.hpp"
 #include "core/resources.hpp"
 
+namespace tora::util {
+class ByteWriter;
+class ByteReader;
+}  // namespace tora::util
+
 namespace tora::core {
 
 /// One execution attempt of a task: what was allocated and for how long the
@@ -107,6 +112,12 @@ class WasteAccounting {
   /// matched by name, so the two tables need not agree on ids.
   void merge(const WasteAccounting& other);
 
+  /// Binary serialization for the crash-recovery snapshot (the restored
+  /// accounting is bit-identical: breakdown doubles travel as their IEEE-754
+  /// bit patterns). load() replaces this accounting's entire state.
+  void save(util::ByteWriter& w) const;
+  void load(util::ByteReader& r);
+
  private:
   using BreakdownArray = std::array<WasteBreakdown, kResourceCount>;
 
@@ -152,6 +163,37 @@ struct ChaosCounters {
   void merge(const ChaosCounters& other) noexcept;
 
   bool operator==(const ChaosCounters&) const = default;
+};
+
+/// Counters for the crash-recovery subsystem (core/recovery/): journal and
+/// snapshot traffic on the write side, crash injections, and what recovery
+/// found and replayed on the read side. Aggregated by the recoverable
+/// runtime and rendered by exp::recovery_table. These describe the recovery
+/// MACHINERY, not the workflow — they are deliberately outside the state
+/// that snapshots capture, so they survive across crashes of the thing they
+/// measure.
+struct RecoveryCounters {
+  // Write side (journal + snapshots).
+  std::size_t journal_records = 0;  ///< records appended
+  std::size_t journal_bytes = 0;    ///< framed bytes appended
+  std::size_t journal_syncs = 0;    ///< explicit durability barriers
+  std::size_t snapshots_written = 0;
+
+  // Crash injection.
+  std::size_t crashes_injected = 0;
+
+  // Read side (recovery).
+  std::size_t recoveries = 0;  ///< successful manager reconstructions
+  std::size_t torn_records_truncated = 0;   ///< torn journal tails dropped
+  std::size_t torn_snapshots_discarded = 0;  ///< invalid snapshots skipped
+  std::size_t records_replayed = 0;  ///< journal records re-applied
+  std::size_t ticks_replayed = 0;    ///< manager ticks reconstructed
+  std::size_t inputs_replayed = 0;   ///< worker messages re-handled
+
+  /// Field-wise sum, for aggregating the slices of one run.
+  void merge(const RecoveryCounters& other) noexcept;
+
+  bool operator==(const RecoveryCounters&) const = default;
 };
 
 }  // namespace tora::core

@@ -2,7 +2,9 @@
 
 #include <cstddef>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <string_view>
 
 namespace tora::core {
 
@@ -34,6 +36,26 @@ class ResourcePolicy {
 
   virtual std::string name() const = 0;
   virtual std::size_t record_count() const = 0;
+
+  /// Opaque serialization of the policy's SAMPLING state — the part that is
+  /// NOT a pure function of the observe() stream (the bucketing family's
+  /// per-instance Rng; predict/retry draw from it, so two instances with
+  /// identical records but different sampler positions diverge). Crash
+  /// recovery replays the completion history to rebuild record state, then
+  /// overwrites the sampler state with these bytes to make the restored
+  /// policy bit-identical. Deterministic policies return empty.
+  virtual std::string sampler_state() const { return {}; }
+
+  /// Restores bytes produced by sampler_state() on a policy of the same
+  /// type. Implementations should throw std::runtime_error on malformed
+  /// input; the default accepts only the empty state.
+  virtual void restore_sampler_state(std::string_view state) {
+    if (!state.empty()) {
+      throw std::runtime_error(
+          "ResourcePolicy: unexpected sampler state for a deterministic "
+          "policy");
+    }
+  }
 };
 
 using ResourcePolicyPtr = std::unique_ptr<ResourcePolicy>;

@@ -1,0 +1,76 @@
+#include "core/recovery/crash.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace tora::core::recovery {
+
+const char* to_string(ManagerCrashPoint p) noexcept {
+  switch (p) {
+    case ManagerCrashPoint::PumpBegin: return "pump-begin";
+    case ManagerCrashPoint::AfterDrain: return "after-drain";
+    case ManagerCrashPoint::AfterLiveness: return "after-liveness";
+    case ManagerCrashPoint::PumpEnd: return "pump-end";
+    case ManagerCrashPoint::BeforeJournalSync: return "before-journal-sync";
+    case ManagerCrashPoint::BeforeSnapshotRename:
+      return "before-snapshot-rename";
+    case ManagerCrashPoint::AfterSnapshotRename:
+      return "after-snapshot-rename";
+  }
+  return "unknown";
+}
+
+ManagerCrash::ManagerCrash(ManagerCrashPoint point, std::uint64_t tick)
+    : std::runtime_error(std::string("injected manager crash at ") +
+                         to_string(point) + ", tick " + std::to_string(tick)),
+      point_(point),
+      tick_(tick) {}
+
+CrashSchedule::CrashSchedule(std::vector<ScheduledCrash> crashes)
+    : crashes_(std::move(crashes)) {
+  std::stable_sort(crashes_.begin(), crashes_.end(),
+                   [](const ScheduledCrash& a, const ScheduledCrash& b) {
+                     return a.fire_tick < b.fire_tick;
+                   });
+}
+
+CrashSchedule CrashSchedule::random(std::uint64_t seed, std::size_t count,
+                                    std::uint64_t horizon_ticks,
+                                    std::span<const ManagerCrashPoint> points) {
+  if (points.empty() || horizon_ticks == 0) return CrashSchedule{};
+  util::Rng rng(seed);
+  std::vector<ScheduledCrash> crashes;
+  crashes.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    crashes.push_back(
+        {rng.uniform_int(1, horizon_ticks),
+         points[static_cast<std::size_t>(
+             rng.uniform_int(0, points.size() - 1))]});
+  }
+  return CrashSchedule(std::move(crashes));
+}
+
+std::string CrashSchedule::describe() const {
+  std::string out;
+  for (const ScheduledCrash& c : crashes_) {
+    if (!out.empty()) out += ", ";
+    out += std::string(to_string(c.point)) + "@" + std::to_string(c.fire_tick);
+  }
+  return out.empty() ? "none" : out;
+}
+
+CrashMonitor::CrashMonitor(CrashSchedule schedule, RecoveryCounters* counters)
+    : schedule_(std::move(schedule)), counters_(counters) {}
+
+void CrashMonitor::reach(ManagerCrashPoint point, std::uint64_t tick) {
+  if (!armed_ || next_ >= schedule_.crashes().size()) return;
+  const ScheduledCrash& due = schedule_.crashes()[next_];
+  if (point != due.point || tick < due.fire_tick) return;
+  ++next_;
+  if (counters_) ++counters_->crashes_injected;
+  throw ManagerCrash(point, tick);
+}
+
+}  // namespace tora::core::recovery

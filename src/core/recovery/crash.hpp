@@ -1,0 +1,145 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+
+namespace tora::core::recovery {
+
+/// Named crash points threaded through the manager's pump and the recovery
+/// log's append/sync/rotate boundaries. The taxonomy matters:
+///
+///  - EQUALITY-SAFE points crash AFTER the journal has been synced for the
+///    state the manager just built, so recovery reconstructs the run
+///    bit-for-bit. These are the points the recovery_chaos harness uses to
+///    assert crashed == crash-free.
+///
+///  - BeforeJournalSync is LOSS-PRONE: it crashes with polled inputs still
+///    in the unsynced journal tail, so those messages are gone forever
+///    (consumed from the channel, never made durable). Recovery still
+///    succeeds — the protocol's own retry machinery absorbs the loss — but
+///    the run is not input-identical. Recoverability tests only.
+enum class ManagerCrashPoint : std::uint8_t {
+  PumpBegin = 0,         ///< before the tick did anything
+  AfterDrain,            ///< inputs polled, journaled, synced, handled
+  AfterLiveness,         ///< liveness phase done and journaled
+  PumpEnd,               ///< full tick done and journaled
+  BeforeJournalSync,     ///< loss-prone: unsynced tail dies with the crash
+  BeforeSnapshotRename,  ///< snapshot tmp written+synced, not yet committed
+  AfterSnapshotRename,   ///< snapshot committed, new journal not yet open
+};
+
+constexpr std::array<ManagerCrashPoint, 7> kAllManagerCrashPoints = {
+    ManagerCrashPoint::PumpBegin,        ManagerCrashPoint::AfterDrain,
+    ManagerCrashPoint::AfterLiveness,    ManagerCrashPoint::PumpEnd,
+    ManagerCrashPoint::BeforeJournalSync,
+    ManagerCrashPoint::BeforeSnapshotRename,
+    ManagerCrashPoint::AfterSnapshotRename,
+};
+
+/// The points at which a crash loses no durable input — recovery replays to
+/// a bit-identical manager. (Excludes BeforeJournalSync.) The snapshot
+/// points only fire when a snapshot rotation actually runs, so schedules
+/// built from this set need a snapshot cadence to hit them.
+constexpr std::array<ManagerCrashPoint, 6> kLossFreeCrashPoints = {
+    ManagerCrashPoint::PumpBegin,        ManagerCrashPoint::AfterDrain,
+    ManagerCrashPoint::AfterLiveness,    ManagerCrashPoint::PumpEnd,
+    ManagerCrashPoint::BeforeSnapshotRename,
+    ManagerCrashPoint::AfterSnapshotRename,
+};
+
+/// Loss-free points that fire on EVERY tick (no snapshot cadence needed).
+constexpr std::array<ManagerCrashPoint, 4> kPumpCrashPoints = {
+    ManagerCrashPoint::PumpBegin,
+    ManagerCrashPoint::AfterDrain,
+    ManagerCrashPoint::AfterLiveness,
+    ManagerCrashPoint::PumpEnd,
+};
+
+const char* to_string(ManagerCrashPoint p) noexcept;
+
+/// The injected fault. Thrown out of the manager pump (or the recovery
+/// log's rotation) and caught by the recoverable runtime, which rebuilds
+/// the manager from storage and resumes.
+class ManagerCrash : public std::runtime_error {
+ public:
+  ManagerCrash(ManagerCrashPoint point, std::uint64_t tick);
+
+  ManagerCrashPoint point() const noexcept { return point_; }
+  std::uint64_t tick() const noexcept { return tick_; }
+
+ private:
+  ManagerCrashPoint point_;
+  std::uint64_t tick_;
+};
+
+/// One scheduled crash: fires the first time `point` is reached on a tick
+/// >= `fire_tick`. The >= (rather than ==) makes schedules robust to points
+/// that do not occur every tick (snapshot rotations).
+struct ScheduledCrash {
+  std::uint64_t fire_tick = 0;
+  ManagerCrashPoint point = ManagerCrashPoint::PumpEnd;
+
+  bool operator==(const ScheduledCrash&) const = default;
+};
+
+/// An ordered list of crashes for one run. Build explicitly for targeted
+/// tests, or seeded via random() for soak runs.
+class CrashSchedule {
+ public:
+  CrashSchedule() = default;
+  explicit CrashSchedule(std::vector<ScheduledCrash> crashes);
+
+  /// `count` crashes at ticks spread over [1, horizon_ticks], each at a
+  /// point drawn uniformly from `points`. Deterministic in `seed`.
+  static CrashSchedule random(std::uint64_t seed, std::size_t count,
+                              std::uint64_t horizon_ticks,
+                              std::span<const ManagerCrashPoint> points);
+
+  const std::vector<ScheduledCrash>& crashes() const noexcept {
+    return crashes_;
+  }
+  std::string describe() const;
+
+ private:
+  std::vector<ScheduledCrash> crashes_;
+};
+
+/// Arms the schedule against a live manager: the manager calls reach() at
+/// every crash point; when the next scheduled crash matches, the monitor
+/// throws ManagerCrash. disarm() suspends firing (recovery runs disarmed so
+/// the machinery that repairs a crash cannot itself be crashed mid-repair —
+/// real deployments get that durability from the storage contract, and the
+/// harness's repeated crashes at later ticks cover re-crashing soon after
+/// recovery).
+class CrashMonitor {
+ public:
+  explicit CrashMonitor(CrashSchedule schedule,
+                        RecoveryCounters* counters = nullptr);
+
+  /// Throws ManagerCrash if the next scheduled crash is due at this point.
+  void reach(ManagerCrashPoint point, std::uint64_t tick);
+
+  void disarm() noexcept { armed_ = false; }
+  void arm() noexcept { armed_ = true; }
+  bool armed() const noexcept { return armed_; }
+
+  std::size_t fired() const noexcept { return next_; }
+  std::size_t pending() const noexcept {
+    return schedule_.crashes().size() - next_;
+  }
+
+ private:
+  CrashSchedule schedule_;
+  RecoveryCounters* counters_;
+  std::size_t next_ = 0;
+  bool armed_ = true;
+};
+
+}  // namespace tora::core::recovery

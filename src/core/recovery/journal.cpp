@@ -1,0 +1,104 @@
+#include "core/recovery/journal.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/bytes.hpp"
+
+namespace tora::core::recovery {
+
+namespace {
+
+constexpr std::size_t kFrameOverhead = 4 + 1 + 4;  // len + type + crc
+
+std::uint32_t record_crc(RecordType type, std::string_view payload) {
+  const char type_byte = static_cast<char>(type);
+  return util::crc32(payload, util::crc32({&type_byte, 1}));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+std::uint32_t get_u32(std::string_view bytes, std::size_t at) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[at])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[at + 1]))
+             << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[at + 2]))
+             << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[at + 3]))
+             << 24;
+}
+
+}  // namespace
+
+const char* to_string(RecordType t) noexcept {
+  switch (t) {
+    case RecordType::Epoch: return "epoch";
+    case RecordType::Started: return "started";
+    case RecordType::Tick: return "tick";
+    case RecordType::Input: return "input";
+    case RecordType::LivenessDone: return "liveness-done";
+    case RecordType::DispatchDone: return "dispatch-done";
+    case RecordType::CategoryInterned: return "category-interned";
+    case RecordType::TaskSubmitted: return "task-submitted";
+    case RecordType::AllocationCommitted: return "allocation-committed";
+    case RecordType::TaskDispatched: return "task-dispatched";
+    case RecordType::TaskCompleted: return "task-completed";
+    case RecordType::TaskAttemptFailed: return "task-attempt-failed";
+    case RecordType::TaskRequeued: return "task-requeued";
+    case RecordType::TaskEvicted: return "task-evicted";
+    case RecordType::TaskFatal: return "task-fatal";
+  }
+  return "unknown";
+}
+
+JournalWriter::JournalWriter(std::unique_ptr<AppendHandle> out,
+                             RecoveryCounters* counters)
+    : out_(std::move(out)), counters_(counters) {
+  if (!out_) {
+    throw std::invalid_argument("JournalWriter: null append handle");
+  }
+}
+
+void JournalWriter::append(RecordType type, std::string_view payload) {
+  std::string frame;
+  frame.reserve(kFrameOverhead + payload.size());
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  frame.push_back(static_cast<char>(type));
+  frame += payload;
+  put_u32(frame, record_crc(type, payload));
+  out_->append(frame);
+  bytes_written_ += frame.size();
+  if (counters_) {
+    ++counters_->journal_records;
+    counters_->journal_bytes += frame.size();
+  }
+}
+
+void JournalWriter::sync() {
+  out_->sync();
+  if (counters_) ++counters_->journal_syncs;
+}
+
+JournalReadResult read_journal(std::string_view bytes) {
+  JournalReadResult out;
+  std::size_t at = 0;
+  while (bytes.size() - at >= kFrameOverhead) {
+    const std::uint32_t len = get_u32(bytes, at);
+    if (bytes.size() - at < kFrameOverhead + len) break;  // cut mid-payload
+    const RecordType type = static_cast<RecordType>(bytes[at + 4]);
+    const std::string_view payload = bytes.substr(at + 5, len);
+    if (get_u32(bytes, at + 5 + len) != record_crc(type, payload)) break;
+    out.records.push_back({type, std::string(payload)});
+    at += kFrameOverhead + len;
+  }
+  out.bytes_consumed = at;
+  out.torn = at != bytes.size();
+  return out;
+}
+
+}  // namespace tora::core::recovery

@@ -1,0 +1,153 @@
+#include "core/recovery/recovery_log.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <stdexcept>
+#include <utility>
+
+#include "core/recovery/snapshot.hpp"
+#include "util/bytes.hpp"
+
+namespace tora::core::recovery {
+
+namespace {
+
+struct ParsedName {
+  enum class Kind { Snapshot, Journal, SnapshotTmp } kind;
+  std::uint64_t epoch;
+};
+
+std::optional<ParsedName> parse_name(std::string_view name) {
+  ParsedName out{};
+  std::string_view rest;
+  if (name.starts_with("snapshot-")) {
+    out.kind = ParsedName::Kind::Snapshot;
+    rest = name.substr(9);
+    if (rest.ends_with(".tmp")) {
+      out.kind = ParsedName::Kind::SnapshotTmp;
+      rest = rest.substr(0, rest.size() - 4);
+    }
+  } else if (name.starts_with("journal-")) {
+    out.kind = ParsedName::Kind::Journal;
+    rest = name.substr(8);
+  } else {
+    return std::nullopt;
+  }
+  const auto [ptr, ec] =
+      std::from_chars(rest.data(), rest.data() + rest.size(), out.epoch);
+  if (ec != std::errc{} || ptr != rest.data() + rest.size()) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+}  // namespace
+
+RecoveryLog::RecoveryLog(Storage& storage, RecoveryCounters* counters,
+                         CrashMonitor* crashes)
+    : storage_(storage), counters_(counters), crashes_(crashes) {}
+
+std::string RecoveryLog::snapshot_name(std::uint64_t epoch) {
+  return "snapshot-" + std::to_string(epoch);
+}
+
+std::string RecoveryLog::journal_name(std::uint64_t epoch) {
+  return "journal-" + std::to_string(epoch);
+}
+
+RecoveryLog::ScanResult RecoveryLog::scan() {
+  std::vector<std::uint64_t> snapshot_epochs;
+  for (const std::string& name : storage_.list()) {
+    const auto parsed = parse_name(name);
+    if (parsed && parsed->kind == ParsedName::Kind::Snapshot) {
+      snapshot_epochs.push_back(parsed->epoch);
+    }
+  }
+  std::sort(snapshot_epochs.rbegin(), snapshot_epochs.rend());
+
+  ScanResult out;
+  bool found = false;
+  for (std::uint64_t epoch : snapshot_epochs) {
+    const auto file = storage_.read_file(snapshot_name(epoch));
+    auto body = file ? open_snapshot(*file) : std::nullopt;
+    if (!body) {
+      // Torn or corrupted — fall back to the previous generation, which the
+      // rotation protocol guarantees still exists.
+      if (counters_) ++counters_->torn_snapshots_discarded;
+      continue;
+    }
+    out.epoch = epoch;
+    out.snapshot = std::move(body);
+    found = true;
+    break;
+  }
+  if (!found) out.epoch = 0;  // genesis: journal-0 holds everything
+
+  if (const auto bytes = storage_.read_file(journal_name(out.epoch))) {
+    JournalReadResult r = read_journal(*bytes);
+    out.tail = std::move(r.records);
+    out.torn_tail = r.torn;
+    if (r.torn && counters_) ++counters_->torn_records_truncated;
+  }
+  return out;
+}
+
+void RecoveryLog::open_journal(std::uint64_t epoch, std::uint64_t tick) {
+  journal_ =
+      std::make_unique<JournalWriter>(storage_.open_append(journal_name(epoch)),
+                                      counters_);
+  util::ByteWriter w;
+  w.u64(epoch);
+  w.u64(tick);
+  journal_->append(RecordType::Epoch, w.bytes());
+  journal_->sync();
+  epoch_ = epoch;
+}
+
+void RecoveryLog::open_fresh() { open_journal(0, 0); }
+
+void RecoveryLog::adopt_epoch(std::uint64_t epoch) noexcept { epoch_ = epoch; }
+
+void RecoveryLog::append(RecordType type, std::string_view payload) {
+  if (!journal_) {
+    throw std::logic_error("RecoveryLog: append before open_fresh/rotate");
+  }
+  journal_->append(type, payload);
+}
+
+void RecoveryLog::sync() {
+  if (!journal_) {
+    throw std::logic_error("RecoveryLog: sync before open_fresh/rotate");
+  }
+  journal_->sync();
+}
+
+void RecoveryLog::rotate(std::string_view body, std::uint64_t tick) {
+  const std::uint64_t next = epoch_ + 1;
+  const std::string committed = snapshot_name(next);
+  const std::string tmp = committed + ".tmp";
+  storage_.write_file_durable(tmp, seal_snapshot(body));
+  if (crashes_) {
+    crashes_->reach(ManagerCrashPoint::BeforeSnapshotRename, tick);
+  }
+  storage_.rename(tmp, committed);
+  if (counters_) ++counters_->snapshots_written;
+  if (crashes_) {
+    crashes_->reach(ManagerCrashPoint::AfterSnapshotRename, tick);
+  }
+  open_journal(next, tick);
+  purge_older_than(next);
+}
+
+void RecoveryLog::purge_older_than(std::uint64_t epoch) {
+  for (const std::string& name : storage_.list()) {
+    const auto parsed = parse_name(name);
+    if (!parsed) continue;
+    if (parsed->kind == ParsedName::Kind::SnapshotTmp ||
+        parsed->epoch < epoch) {
+      storage_.remove(name);
+    }
+  }
+}
+
+}  // namespace tora::core::recovery

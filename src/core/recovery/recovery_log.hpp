@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/recovery/crash.hpp"
+#include "core/recovery/journal.hpp"
+#include "core/recovery/storage.hpp"
+
+namespace tora::core::recovery {
+
+/// Durability knobs for a recoverable manager.
+struct RecoveryConfig {
+  /// Compact the journal into a fresh snapshot every N ticks (0 = never;
+  /// the journal then grows for the whole run, which is always correct but
+  /// makes recovery replay the run from its start).
+  std::size_t snapshot_every_ticks = 0;
+};
+
+/// The write-ahead log's file layout and rotation protocol, over a Storage.
+///
+/// Layout: at most two generations of `snapshot-<epoch>` + `journal-<epoch>`
+/// pairs (plus a transient `snapshot-<epoch>.tmp`). `snapshot-<E>` is the
+/// sealed full state at the instant epoch E began; `journal-<E>` holds every
+/// record appended since, starting with an Epoch record. Epoch 0 is genesis:
+/// no snapshot file, and `journal-0` carries the whole history.
+///
+/// Rotation (rotate()) is crash-safe by construction:
+///   1. write `snapshot-<E+1>.tmp` fully, synced           (crash: ignored)
+///   2. rename to `snapshot-<E+1>`                          (commit point)
+///   3. open `journal-<E+1>`, append Epoch record, sync
+///   4. delete every older-generation file
+/// A crash between 2 and 3 leaves a committed snapshot with no journal —
+/// scan() treats the missing journal as an empty tail. A crash before 2
+/// leaves only a .tmp, which scan() ignores and the next rotation replaces.
+///
+/// scan() picks the LARGEST epoch whose snapshot seals correctly (CRC,
+/// magic, version), falling back epoch by epoch — a torn snapshot is always
+/// survivable because its predecessor is only deleted after the successor
+/// committed. The journal tail is read with torn-tail truncation.
+class RecoveryLog {
+ public:
+  /// `crashes` (optional) arms the two snapshot-rotation crash points.
+  RecoveryLog(Storage& storage, RecoveryCounters* counters = nullptr,
+              CrashMonitor* crashes = nullptr);
+
+  struct ScanResult {
+    std::uint64_t epoch = 0;
+    /// Sealed-and-validated snapshot BODY for `epoch`; nullopt at genesis.
+    std::optional<std::string> snapshot;
+    /// Intact journal records of `epoch` (Epoch header record included).
+    std::vector<JournalRecord> tail;
+    bool torn_tail = false;
+  };
+
+  /// Read-only: find the newest recoverable state. Does not open anything
+  /// for writing.
+  ScanResult scan();
+
+  /// Start writing at genesis: opens `journal-0` (truncating), appends the
+  /// Epoch record and syncs.
+  void open_fresh();
+
+  /// Adopt `epoch` as current WITHOUT touching storage — used on recovery,
+  /// where the caller scans, rebuilds state, then immediately rotate()s to
+  /// epoch+1 (writing a fresh post-recovery snapshot).
+  void adopt_epoch(std::uint64_t epoch) noexcept;
+
+  /// Append one record to the current journal (open_fresh or rotate first).
+  void append(RecordType type, std::string_view payload);
+
+  /// Durability barrier on the current journal.
+  void sync();
+
+  /// Drops the journal handle WITHOUT syncing — the crashed-manager path
+  /// (the runtime closes, tells the storage the process died, then scans).
+  void close() noexcept { journal_.reset(); }
+
+  /// Compact: seal `body` as the snapshot for epoch()+1, commit it, open
+  /// the new journal and purge older generations. `tick` feeds the crash
+  /// monitor's snapshot crash points.
+  void rotate(std::string_view body, std::uint64_t tick);
+
+  bool writable() const noexcept { return journal_ != nullptr; }
+  std::uint64_t epoch() const noexcept { return epoch_; }
+
+  /// Framed bytes appended to the CURRENT journal (recovery-latency bench).
+  std::size_t journal_bytes() const noexcept {
+    return journal_ ? journal_->bytes_written() : 0;
+  }
+
+  static std::string snapshot_name(std::uint64_t epoch);
+  static std::string journal_name(std::uint64_t epoch);
+
+ private:
+  void open_journal(std::uint64_t epoch, std::uint64_t tick);
+  void purge_older_than(std::uint64_t epoch);
+
+  Storage& storage_;
+  RecoveryCounters* counters_;
+  CrashMonitor* crashes_;
+  std::unique_ptr<JournalWriter> journal_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace tora::core::recovery

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/task_allocator.hpp"
+
+namespace tora::util {
+class ByteWriter;
+class ByteReader;
+}  // namespace tora::util
+
+namespace tora::core::recovery {
+
+/// Binary allocator serialization for the crash-recovery snapshot. Unlike
+/// the CSV checkpoint (core/checkpoint.hpp), which replays history and is
+/// deliberately cross-policy, this capture is BIT-EXACT: alongside the
+/// completion history it records each created policy instance's sampler
+/// state (ResourcePolicy::sampler_state) and the created-category SET, so a
+/// restore leaves every policy — and the factory's master Rng position —
+/// exactly where the crashed allocator had them.
+///
+/// Restore protocol: the destination must be a freshly constructed
+/// allocator with the same policy name and config (validated against the
+/// recorded name and allocator_config_hash; mismatch throws). History is
+/// replayed through record_completion (rebuilding record state, completed
+/// counts, revision and the significance watermark), policies are
+/// force-created for every recorded created category (restoring the master
+/// Rng position — creation count is what moves it), and finally each
+/// policy's sampler state is overwritten with the recorded bytes.
+///
+/// Requires config().record_history = true on the source (throws
+/// otherwise): the completed counts are rebuilt from the history.
+void save_allocator(const TaskAllocator& allocator, util::ByteWriter& w);
+void load_allocator(TaskAllocator& allocator, util::ByteReader& r);
+
+/// Snapshot container: `"TORASNAP" [u32 version] body [u32 crc]` with the
+/// trailing CRC-32 covering everything before it. seal wraps a body;
+/// open validates magic, version and CRC and returns the body, or nullopt
+/// for anything invalid (torn, truncated, corrupted, wrong version) — a bad
+/// snapshot is an expected recovery input, not an exception.
+std::string seal_snapshot(std::string_view body);
+std::optional<std::string> open_snapshot(std::string_view file);
+
+}  // namespace tora::core::recovery

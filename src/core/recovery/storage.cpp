@@ -1,0 +1,228 @@
+#include "core/recovery/storage.hpp"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace tora::core::recovery {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error("recovery storage: " + what + ": " +
+                           std::strerror(errno));
+}
+
+void check_name(const std::string& name) {
+  if (name.empty() || name.find('/') != std::string::npos) {
+    throw std::invalid_argument("recovery storage: bad object name '" + name +
+                                "'");
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MemStorage
+
+class MemStorage::MemAppend final : public AppendHandle {
+ public:
+  explicit MemAppend(File* file) : file_(file) {}
+  void append(std::string_view bytes) override { file_->buffered += bytes; }
+  void sync() override {
+    file_->durable += file_->buffered;
+    file_->buffered.clear();
+  }
+
+ private:
+  File* file_;
+};
+
+std::unique_ptr<AppendHandle> MemStorage::open_append(const std::string& name) {
+  check_name(name);
+  File& f = files_[name];
+  f.durable.clear();
+  f.buffered.clear();
+  return std::make_unique<MemAppend>(&f);
+}
+
+void MemStorage::write_file_durable(const std::string& name,
+                                    std::string_view bytes) {
+  check_name(name);
+  File& f = files_[name];
+  f.durable = bytes;
+  f.buffered.clear();
+}
+
+void MemStorage::rename(const std::string& from, const std::string& to) {
+  check_name(from);
+  check_name(to);
+  const auto it = files_.find(from);
+  if (it == files_.end()) {
+    throw std::runtime_error("recovery storage: rename of missing object '" +
+                             from + "'");
+  }
+  File moved = std::move(it->second);
+  files_.erase(it);
+  files_[to] = std::move(moved);
+}
+
+void MemStorage::remove(const std::string& name) {
+  check_name(name);
+  files_.erase(name);
+}
+
+std::optional<std::string> MemStorage::read_file(
+    const std::string& name) const {
+  const auto it = files_.find(name);
+  if (it == files_.end()) return std::nullopt;
+  return it->second.durable + it->second.buffered;
+}
+
+std::vector<std::string> MemStorage::list() const {
+  std::vector<std::string> names;
+  names.reserve(files_.size());
+  for (const auto& [name, file] : files_) names.push_back(name);
+  return names;
+}
+
+void MemStorage::crash() {
+  for (auto& [name, file] : files_) file.buffered.clear();
+}
+
+void MemStorage::tear(const std::string& name, std::size_t keep) {
+  const auto it = files_.find(name);
+  if (it == files_.end()) {
+    throw std::out_of_range("MemStorage::tear: unknown object '" + name + "'");
+  }
+  File& f = it->second;
+  f.buffered.clear();
+  if (keep < f.durable.size()) f.durable.resize(keep);
+}
+
+// ---------------------------------------------------------------------------
+// FileStorage
+
+class FileStorage::FileAppend final : public AppendHandle {
+ public:
+  explicit FileAppend(int fd) : fd_(fd) {}
+  ~FileAppend() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  FileAppend(const FileAppend&) = delete;
+  FileAppend& operator=(const FileAppend&) = delete;
+
+  void append(std::string_view bytes) override {
+    const char* p = bytes.data();
+    std::size_t left = bytes.size();
+    while (left > 0) {
+      const ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("append write");
+      }
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+  }
+
+  void sync() override {
+    if (::fsync(fd_) != 0) throw_errno("append fsync");
+  }
+
+ private:
+  int fd_;
+};
+
+FileStorage::FileStorage(std::string root) : root_(std::move(root)) {
+  if (::mkdir(root_.c_str(), 0755) != 0 && errno != EEXIST) {
+    throw_errno("mkdir " + root_);
+  }
+}
+
+std::string FileStorage::path_for(const std::string& name) const {
+  check_name(name);
+  return root_ + "/" + name;
+}
+
+void FileStorage::sync_dir() const {
+  const int fd = ::open(root_.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) throw_errno("open dir " + root_);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) throw_errno("fsync dir " + root_);
+}
+
+std::unique_ptr<AppendHandle> FileStorage::open_append(
+    const std::string& name) {
+  const std::string path = path_for(name);
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw_errno("open " + path);
+  return std::make_unique<FileAppend>(fd);
+}
+
+void FileStorage::write_file_durable(const std::string& name,
+                                     std::string_view bytes) {
+  auto handle = open_append(name);
+  handle->append(bytes);
+  handle->sync();
+}
+
+void FileStorage::rename(const std::string& from, const std::string& to) {
+  if (::rename(path_for(from).c_str(), path_for(to).c_str()) != 0) {
+    throw_errno("rename " + from + " -> " + to);
+  }
+  sync_dir();
+}
+
+void FileStorage::remove(const std::string& name) {
+  if (::unlink(path_for(name).c_str()) != 0 && errno != ENOENT) {
+    throw_errno("unlink " + name);
+  }
+}
+
+std::optional<std::string> FileStorage::read_file(
+    const std::string& name) const {
+  const int fd = ::open(path_for(name).c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return std::nullopt;
+    throw_errno("open " + name);
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw_errno("read " + name);
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+std::vector<std::string> FileStorage::list() const {
+  DIR* dir = ::opendir(root_.c_str());
+  if (!dir) throw_errno("opendir " + root_);
+  std::vector<std::string> names;
+  while (dirent* ent = ::readdir(dir)) {
+    const std::string name = ent->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(name);
+  }
+  ::closedir(dir);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace tora::core::recovery

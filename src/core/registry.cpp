@@ -115,12 +115,14 @@ PolicyFactory make_policy_factory(std::string_view policy_name,
   }
   if (policy_name == kChangeAwareBucketing) {
     return [master, opts](ResourceKind, const AllocatorConfig&) -> ResourcePolicyPtr {
-      auto inner_rng = std::make_shared<util::Rng>(master->split());
+      // The Rng-owning constructor: the rebuild stream lives inside the
+      // policy, so crash-recovery snapshots capture it (sampler_state).
       return std::make_unique<ChangeAwarePolicy>(
-          [inner_rng, opts]() -> ResourcePolicyPtr {
+          [opts](util::Rng rng) -> ResourcePolicyPtr {
             return std::make_unique<ExhaustiveBucketing>(
-                inner_rng->split(), opts.exhaustive_max_buckets);
+                rng, opts.exhaustive_max_buckets);
           },
+          util::Rng(master->split()),
           MeanShiftDetector(opts.change_window, opts.change_ratio));
     };
   }

@@ -113,6 +113,16 @@ std::size_t TaskAllocator::records_for(const std::string& category) const {
   return id ? records_for(*id) : 0;
 }
 
+const ResourcePolicy* TaskAllocator::policy_if_created(
+    CategoryId category, ResourceKind kind) const {
+  if (!policies_created(category)) return nullptr;
+  const CategoryState& st = categories_[category];
+  for (std::size_t i = 0; i < config_.managed.size(); ++i) {
+    if (config_.managed[i] == kind) return st.policies[i].get();
+  }
+  return nullptr;
+}
+
 ResourcePolicy& TaskAllocator::policy(CategoryId category, ResourceKind kind) {
   auto& st = state_for(category);
   for (std::size_t i = 0; i < config_.managed.size(); ++i) {

@@ -140,6 +140,23 @@ class TaskAllocator {
     return policy(intern(category), kind);
   }
 
+  /// True once the category's policy instances exist (first allocate /
+  /// record / policy() touch). Crash-recovery snapshots record the created
+  /// SET: policy creation draws from the factory's master Rng stream, so a
+  /// restore must re-create exactly as many instances to leave the stream
+  /// at the same position — including categories still in exploration,
+  /// whose policies exist but have observed nothing.
+  bool policies_created(CategoryId category) const {
+    return category < categories_.size() &&
+           !categories_[category].policies.empty();
+  }
+
+  /// The policy WITHOUT creating it (nullptr when absent). Snapshot writers
+  /// use this: a const walk over existing instances must not advance the
+  /// factory stream.
+  const ResourcePolicy* policy_if_created(CategoryId category,
+                                          ResourceKind kind) const;
+
   const AllocatorConfig& config() const noexcept { return config_; }
   const std::string& policy_name() const noexcept { return policy_name_; }
 

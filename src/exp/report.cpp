@@ -89,4 +89,23 @@ TextTable chaos_table(const core::ChaosCounters& c) {
   return table;
 }
 
+TextTable recovery_table(const core::RecoveryCounters& c) {
+  TextTable table({"counter", "count"});
+  const auto row = [&](const char* name, std::size_t v) {
+    table.add_row({name, std::to_string(v)});
+  };
+  row("journal_records", c.journal_records);
+  row("journal_bytes", c.journal_bytes);
+  row("journal_syncs", c.journal_syncs);
+  row("snapshots_written", c.snapshots_written);
+  row("crashes_injected", c.crashes_injected);
+  row("recoveries", c.recoveries);
+  row("torn_records_truncated", c.torn_records_truncated);
+  row("torn_snapshots_discarded", c.torn_snapshots_discarded);
+  row("records_replayed", c.records_replayed);
+  row("ticks_replayed", c.ticks_replayed);
+  row("inputs_replayed", c.inputs_replayed);
+  return table;
+}
+
 }  // namespace tora::exp

@@ -42,4 +42,8 @@ std::string fmt_pct(double ratio);
 /// comparable line-by-line.
 TextTable chaos_table(const core::ChaosCounters& c);
 
+/// Renders crash-recovery counters (journal volume, snapshots, crashes,
+/// replay work) as a two-column table, zero rows included.
+TextTable recovery_table(const core::RecoveryCounters& c);
+
 }  // namespace tora::exp

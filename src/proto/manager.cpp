@@ -6,6 +6,8 @@
 #include <string>
 #include <utility>
 
+#include "core/recovery/snapshot.hpp"
+#include "util/bytes.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 
@@ -13,6 +15,8 @@ namespace tora::proto {
 
 using core::ResourceKind;
 using core::ResourceVector;
+using core::recovery::ManagerCrashPoint;
+using core::recovery::RecordType;
 
 namespace {
 
@@ -21,6 +25,31 @@ core::lifecycle::DispatchConfig dispatch_config(const LivenessConfig& cfg) {
   dc.max_allocation_failures = cfg.max_allocation_failures;
   // Significance stays the paper's default (task id + 1).
   return dc;
+}
+
+void save_chaos(util::ByteWriter& w, const core::ChaosCounters& c) {
+  for (std::size_t v : {c.messages_dropped, c.messages_duplicated,
+                        c.messages_corrupted, c.messages_severed,
+                        c.links_severed, c.malformed_lines,
+                        c.stale_or_duplicate_results, c.attempt_timeouts,
+                        c.redispatches, c.workers_declared_dead,
+                        c.workers_quarantined, c.protocol_evictions,
+                        c.heartbeats, c.duplicate_dispatches,
+                        c.misaddressed_messages, c.worker_crashes}) {
+    w.u64(v);
+  }
+}
+
+void load_chaos(util::ByteReader& r, core::ChaosCounters& c) {
+  for (std::size_t* v :
+       {&c.messages_dropped, &c.messages_duplicated, &c.messages_corrupted,
+        &c.messages_severed, &c.links_severed, &c.malformed_lines,
+        &c.stale_or_duplicate_results, &c.attempt_timeouts, &c.redispatches,
+        &c.workers_declared_dead, &c.workers_quarantined,
+        &c.protocol_evictions, &c.heartbeats, &c.duplicate_dispatches,
+        &c.misaddressed_messages, &c.worker_crashes}) {
+    *v = r.u64();
+  }
 }
 
 }  // namespace
@@ -33,7 +62,7 @@ ProtocolManager::ProtocolManager(std::span<const core::TaskSpec> tasks,
       allocator_(allocator),
       links_(std::move(links)),
       cfg_(cfg),
-      core_(tasks, allocator, dispatch_config(cfg)),
+      core_(tasks, allocator, dispatch_config(cfg), this),
       proto_states_(tasks.size()),
       quarantined_(links_.size(), 0),
       malformed_logged_(links_.size(), 0) {
@@ -45,34 +74,86 @@ ProtocolManager::ProtocolManager(std::span<const core::TaskSpec> tasks,
 void ProtocolManager::start() {
   if (started_) throw std::logic_error("ProtocolManager: started twice");
   started_ = true;
+  if (journaling()) {
+    // Audit the categories interned at construction, then the start marker
+    // (replay re-runs core_.start() when it reads Started).
+    for (core::CategoryId id = 0; id < allocator_.category_count(); ++id) {
+      util::ByteWriter w;
+      w.u32(id);
+      w.str(allocator_.category_name(id));
+      journal(RecordType::CategoryInterned, w.bytes());
+    }
+    journal(RecordType::Started);
+    log_->sync();
+  }
   core_.start();
 }
 
 std::size_t ProtocolManager::pump() {
+  // Crash taxonomy (core/recovery/crash.hpp): every equality-safe point is
+  // preceded by a journal sync covering everything this tick did so far, so
+  // recovery replays to the exact pre-crash state and the interrupted
+  // tick's remaining phases run exactly once.
+  reach(ManagerCrashPoint::PumpBegin, tick_ + 1);
   ++tick_;
+  if (journaling()) {
+    util::ByteWriter w;
+    w.u64(tick_);
+    journal(RecordType::Tick, w.bytes());
+  }
   std::size_t handled = 0;
   for (std::size_t i = 0; i < links_.size(); ++i) {
     while (auto line = links_[i]->to_manager.poll()) {
-      const auto msg = decode(*line);
-      if (!msg) {
-        note_malformed(i, *line);
-        continue;
+      if (journaling()) {
+        // Write-ahead: the line is journaled BEFORE it is handled. A crash
+        // after the sync below can always re-derive its effects; the line
+        // itself is gone from the channel either way.
+        util::ByteWriter w;
+        w.u32(static_cast<std::uint32_t>(i));
+        w.str(*line);
+        journal(RecordType::Input, w.bytes());
       }
-      if (msg->type == MsgType::Heartbeat) {
-        // Liveness traffic, not workflow progress: callers use pump()'s
-        // return value to detect stalls, so heartbeats stay uncounted.
-        ++chaos_.heartbeats;
-        on_heartbeat(*msg);
-        continue;
-      }
-      touch(msg->worker_id);
-      handle(*msg);
-      ++handled;
+      if (handle_line(i, *line)) ++handled;
     }
   }
+  if (journaling()) {
+    reach(ManagerCrashPoint::BeforeJournalSync, tick_);
+    log_->sync();
+  }
+  reach(ManagerCrashPoint::AfterDrain, tick_);
   check_liveness();
+  if (journaling()) {
+    journal(RecordType::LivenessDone);
+    log_->sync();
+  }
+  reach(ManagerCrashPoint::AfterLiveness, tick_);
   dispatch_queued();
+  if (journaling()) {
+    journal(RecordType::DispatchDone);
+    log_->sync();
+  }
+  reach(ManagerCrashPoint::PumpEnd, tick_);
+  maybe_snapshot();
   return handled;
+}
+
+bool ProtocolManager::handle_line(std::size_t link_index,
+                                  const std::string& line) {
+  const auto msg = decode(line);
+  if (!msg) {
+    note_malformed(link_index, line);
+    return false;
+  }
+  if (msg->type == MsgType::Heartbeat) {
+    // Liveness traffic, not workflow progress: callers use pump()'s
+    // return value to detect stalls, so heartbeats stay uncounted.
+    ++chaos_.heartbeats;
+    on_heartbeat(*msg);
+    return false;
+  }
+  touch(msg->worker_id);
+  handle(*msg);
+  return true;
 }
 
 void ProtocolManager::note_malformed(std::size_t link_index,
@@ -286,20 +367,279 @@ void ProtocolManager::dispatch_queued() {
         WorkerState& ws = workers_.at(wid);
         ws.committed += alloc;
         proto_states_[task_id].dispatch_tick = tick_;
-        Message m;
-        m.type = MsgType::TaskDispatch;
-        m.worker_id = wid;
-        m.task_id = task_id;
-        m.attempt = core_.entry(task_id).attempts;
-        m.category = tasks_[task_id].category;
-        m.resources = alloc;
-        ws.link->to_worker.send(encode(m));
+        if (!replaying_) {
+          Message m;
+          m.type = MsgType::TaskDispatch;
+          m.worker_id = wid;
+          m.task_id = task_id;
+          m.attempt = core_.entry(task_id).attempts;
+          m.category = tasks_[task_id].category;
+          m.resources = alloc;
+          ws.link->to_worker.send(encode(m));
+        }
+        // Counted even during replay: the crashed manager sent the message,
+        // so the reconstructed counter must include it.
         ++dispatches_;
       },
       // Defer: capped-exponential-backoff windows after infra failures.
       [this](std::uint64_t task_id) {
         return proto_states_[task_id].backoff_until > tick_;
       });
+}
+
+// ------------------------------------------------------------- recovery
+
+void ProtocolManager::attach_recovery(core::recovery::RecoveryLog* log,
+                                      core::recovery::CrashMonitor* crashes,
+                                      core::recovery::RecoveryConfig recovery,
+                                      core::RecoveryCounters* counters) {
+  log_ = log;
+  crashes_ = crashes;
+  recovery_cfg_ = recovery;
+  recovery_counters_ = counters;
+}
+
+bool ProtocolManager::journaling() const noexcept {
+  return log_ != nullptr && log_->writable() && !replaying_;
+}
+
+void ProtocolManager::journal(RecordType type, std::string_view payload) {
+  log_->append(type, payload);
+}
+
+void ProtocolManager::reach(ManagerCrashPoint point, std::uint64_t tick) {
+  if (crashes_) crashes_->reach(point, tick);
+}
+
+void ProtocolManager::maybe_snapshot() {
+  if (!journaling() || recovery_cfg_.snapshot_every_ticks == 0) return;
+  if (tick_ % recovery_cfg_.snapshot_every_ticks != 0) return;
+  log_->rotate(snapshot_body(), tick_);
+}
+
+void ProtocolManager::task_fatal(std::uint64_t task_id) {
+  if (!journaling()) return;
+  util::ByteWriter w;
+  w.u64(task_id);
+  journal(RecordType::TaskFatal, w.bytes());
+}
+
+void ProtocolManager::allocation_committed(std::uint64_t task_id,
+                                           const ResourceVector& alloc,
+                                           bool is_retry) {
+  if (!journaling()) return;
+  util::ByteWriter w;
+  w.u64(task_id);
+  for (ResourceKind k : core::kAllResources) w.f64(alloc[k]);
+  w.u8(is_retry ? 1 : 0);
+  journal(RecordType::AllocationCommitted, w.bytes());
+}
+
+void ProtocolManager::task_dispatched(std::uint64_t task_id,
+                                      std::uint64_t worker,
+                                      std::uint32_t attempt) {
+  if (!journaling()) return;
+  util::ByteWriter w;
+  w.u64(task_id);
+  w.u64(worker);
+  w.u64(attempt);
+  journal(RecordType::TaskDispatched, w.bytes());
+}
+
+void ProtocolManager::task_completed(std::uint64_t task_id,
+                                     const ResourceVector& measured_peak,
+                                     double runtime_s) {
+  if (!journaling()) return;
+  util::ByteWriter w;
+  w.u64(task_id);
+  for (ResourceKind k : core::kAllResources) w.f64(measured_peak[k]);
+  w.f64(runtime_s);
+  journal(RecordType::TaskCompleted, w.bytes());
+}
+
+void ProtocolManager::task_failed_attempt(std::uint64_t task_id,
+                                          double runtime_s,
+                                          unsigned exceeded_mask,
+                                          bool requeued) {
+  if (!journaling()) return;
+  util::ByteWriter w;
+  w.u64(task_id);
+  w.f64(runtime_s);
+  w.u32(exceeded_mask);
+  w.u8(requeued ? 1 : 0);
+  journal(RecordType::TaskAttemptFailed, w.bytes());
+}
+
+void ProtocolManager::task_requeued(std::uint64_t task_id) {
+  if (!journaling()) return;
+  util::ByteWriter w;
+  w.u64(task_id);
+  journal(RecordType::TaskRequeued, w.bytes());
+}
+
+void ProtocolManager::task_evicted(std::uint64_t task_id, double scale) {
+  if (!journaling()) return;
+  util::ByteWriter w;
+  w.u64(task_id);
+  w.f64(scale);
+  journal(RecordType::TaskEvicted, w.bytes());
+}
+
+std::string ProtocolManager::snapshot_body() const {
+  util::ByteWriter w;
+  core::recovery::save_allocator(allocator_, w);
+  core_.save_state(w);
+  w.u64(tick_);
+  w.u64(dispatches_);
+  w.u8(started_ ? 1 : 0);
+  w.u64(workers_.size());
+  for (const auto& [wid, ws] : workers_) {
+    w.u64(wid);
+    for (ResourceKind k : core::kAllResources) w.f64(ws.capacity[k]);
+    for (ResourceKind k : core::kAllResources) w.f64(ws.committed[k]);
+    w.u64(ws.last_seen_tick);
+    w.u64(ws.consecutive_failures);
+  }
+  w.u64(proto_states_.size());
+  for (const ProtoTaskState& st : proto_states_) {
+    w.u64(st.dispatch_tick);
+    w.u64(st.backoff_until);
+    w.u64(st.infra_failures);
+  }
+  w.u64(quarantined_.size());
+  for (char q : quarantined_) w.u8(static_cast<std::uint8_t>(q));
+  w.u64(malformed_logged_.size());
+  for (char m : malformed_logged_) w.u8(static_cast<std::uint8_t>(m));
+  save_chaos(w, chaos_);
+  return w.take();
+}
+
+void ProtocolManager::restore_state(util::ByteReader& r) {
+  core::recovery::load_allocator(allocator_, r);
+  core_.load_state(r);
+  tick_ = r.u64();
+  dispatches_ = r.u64();
+  started_ = r.u8() != 0;
+  workers_.clear();
+  const std::uint64_t worker_count = r.u64();
+  for (std::uint64_t i = 0; i < worker_count; ++i) {
+    const std::uint64_t wid = r.u64();
+    if (wid >= links_.size()) {
+      throw std::runtime_error(
+          "recovery snapshot: worker id beyond the link table (snapshot from "
+          "a different deployment?)");
+    }
+    WorkerState ws;
+    for (ResourceKind k : core::kAllResources) ws.capacity[k] = r.f64();
+    for (ResourceKind k : core::kAllResources) ws.committed[k] = r.f64();
+    ws.last_seen_tick = r.u64();
+    ws.consecutive_failures = r.u64();
+    // Links are rebound by position: worker ids equal link indices, and the
+    // links (with their in-flight messages) survive the manager crash.
+    ws.link = links_[wid];
+    workers_[wid] = std::move(ws);
+  }
+  if (r.u64() != proto_states_.size()) {
+    throw std::runtime_error(
+        "recovery snapshot: per-task state count does not match the workload");
+  }
+  for (ProtoTaskState& st : proto_states_) {
+    st.dispatch_tick = r.u64();
+    st.backoff_until = r.u64();
+    st.infra_failures = r.u64();
+  }
+  if (r.u64() != quarantined_.size()) {
+    throw std::runtime_error(
+        "recovery snapshot: quarantine set does not match the link table");
+  }
+  for (char& q : quarantined_) q = static_cast<char>(r.u8());
+  if (r.u64() != malformed_logged_.size()) {
+    throw std::runtime_error(
+        "recovery snapshot: malformed-log set does not match the link table");
+  }
+  for (char& m : malformed_logged_) m = static_cast<char>(r.u8());
+  load_chaos(r, chaos_);
+}
+
+std::size_t ProtocolManager::recover(
+    const core::recovery::RecoveryLog::ScanResult& scan) {
+  if (started_ || tick_ != 0) {
+    throw std::logic_error(
+        "ProtocolManager::recover: manager must be freshly constructed");
+  }
+  if (scan.snapshot) {
+    util::ByteReader r(*scan.snapshot);
+    restore_state(r);
+    if (!r.done()) {
+      throw std::runtime_error("recovery snapshot: trailing bytes");
+    }
+  }
+
+  // Replay the journal tail through the real handlers with sends
+  // suppressed: every state transition re-derives exactly (the inputs are
+  // the only nondeterminism), while the wire stays untouched — the channels
+  // still hold whatever was in flight at the crash.
+  replaying_ = true;
+  bool liveness_pending = false;
+  bool dispatch_pending = false;
+  std::size_t handled = 0;
+  for (const core::recovery::JournalRecord& rec : scan.tail) {
+    if (recovery_counters_) ++recovery_counters_->records_replayed;
+    switch (rec.type) {
+      case RecordType::Epoch:
+        break;
+      case RecordType::Started:
+        started_ = true;
+        core_.start();
+        break;
+      case RecordType::Tick: {
+        util::ByteReader r(rec.payload);
+        ++tick_;
+        if (r.u64() != tick_) {
+          replaying_ = false;
+          throw std::runtime_error("recovery journal: tick out of sequence");
+        }
+        liveness_pending = true;
+        dispatch_pending = true;
+        handled = 0;
+        if (recovery_counters_) ++recovery_counters_->ticks_replayed;
+        break;
+      }
+      case RecordType::Input: {
+        util::ByteReader r(rec.payload);
+        const std::uint32_t link = r.u32();
+        const std::string line = r.str();
+        if (link >= links_.size()) {
+          replaying_ = false;
+          throw std::runtime_error(
+              "recovery journal: input from an unknown link");
+        }
+        if (handle_line(link, line)) ++handled;
+        if (recovery_counters_) ++recovery_counters_->inputs_replayed;
+        break;
+      }
+      case RecordType::LivenessDone:
+        check_liveness();
+        liveness_pending = false;
+        break;
+      case RecordType::DispatchDone:
+        dispatch_queued();
+        dispatch_pending = false;
+        break;
+      default:
+        // Lifecycle audit records: the same state change re-derives from
+        // the input replay above; re-applying would double it.
+        break;
+    }
+  }
+  replaying_ = false;
+
+  // Finish the interrupted tick. A phase with no completion marker never
+  // ran before the crash, so it runs here exactly once — with sends
+  // ENABLED, because its messages never reached the wire.
+  if (liveness_pending) check_liveness();
+  if (dispatch_pending) dispatch_queued();
+  return handled;
 }
 
 void ProtocolManager::shutdown_workers() {
@@ -313,10 +653,8 @@ void ProtocolManager::shutdown_workers() {
 
 // ---------------------------------------------------------------- runtime
 
-namespace {
-
-std::vector<DuplexLinkPtr> build_links(std::size_t num_workers,
-                                       const ChaosConfig& chaos) {
+std::vector<DuplexLinkPtr> build_chaos_links(std::size_t num_workers,
+                                             const ChaosConfig& chaos) {
   std::vector<DuplexLinkPtr> links;
   links.reserve(num_workers);
   util::Rng rng(chaos.seed);
@@ -358,7 +696,7 @@ std::vector<DuplexLinkPtr> build_links(std::size_t num_workers,
   return links;
 }
 
-std::size_t stall_limit_for(const ChaosConfig& chaos) {
+std::size_t chaos_stall_limit(const ChaosConfig& chaos) {
   if (!chaos.enabled()) return 0;  // fault-free runs fail fast, as before
   // Under chaos, quiet rounds are legitimate: backoff windows, timeout
   // windows and silence windows all pass without countable progress. Allow
@@ -367,8 +705,6 @@ std::size_t stall_limit_for(const ChaosConfig& chaos) {
   return 64 * (lv.silence_ticks + lv.attempt_timeout_ticks +
                lv.backoff_cap_ticks + 4);
 }
-
-}  // namespace
 
 ProtocolRuntime::ProtocolRuntime(std::span<const core::TaskSpec> tasks,
                                  core::TaskAllocator& allocator,
@@ -384,9 +720,9 @@ ProtocolRuntime::ProtocolRuntime(std::span<const core::TaskSpec> tasks,
                                  const ChaosConfig& chaos)
     : tasks_(tasks),
       allocator_(allocator),
-      links_(build_links(num_workers, chaos)),
+      links_(build_chaos_links(num_workers, chaos)),
       manager_(tasks, allocator, links_, chaos.liveness),
-      stall_limit_(stall_limit_for(chaos)) {
+      stall_limit_(chaos_stall_limit(chaos)) {
   if (num_workers == 0) {
     throw std::invalid_argument("ProtocolRuntime: need at least one worker");
   }

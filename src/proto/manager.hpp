@@ -7,12 +7,18 @@
 
 #include "core/lifecycle/dispatch_core.hpp"
 #include "core/metrics.hpp"
+#include "core/recovery/crash.hpp"
+#include "core/recovery/recovery_log.hpp"
 #include "core/task.hpp"
 #include "core/task_allocator.hpp"
 #include "proto/channel.hpp"
 #include "proto/fault.hpp"
 #include "proto/message.hpp"
 #include "proto/worker_agent.hpp"
+
+namespace tora::util {
+class ByteReader;
+}  // namespace tora::util
 
 namespace tora::proto {
 
@@ -41,7 +47,20 @@ namespace tora::proto {
 /// (one-way severed link) is quarantined. Results are deduplicated by
 /// (worker, task, attempt), so duplicated or stale messages can never
 /// double-charge an attempt.
-class ProtocolManager {
+///
+/// Crash safety (see core/recovery/ and docs/recovery.md): when a
+/// RecoveryLog is attached, every pump write-ahead journals its
+/// nondeterministic inputs — the tick boundary, each polled wire line
+/// (BEFORE it is handled), and phase-completion markers — plus the
+/// lifecycle audit records emitted through the DispatchCore hooks. The
+/// journal is compacted into a durable snapshot (snapshot_body) on the
+/// configured cadence. recover() rebuilds a freshly constructed manager
+/// from snapshot + journal tail by replaying the real handlers with wire
+/// sends suppressed, which reconstructs the pre-crash state bit-for-bit;
+/// phases of the interrupted tick that never ran pre-crash then run once
+/// with sends enabled. An attached CrashMonitor injects deterministic
+/// ManagerCrash exceptions at the named pump/snapshot boundaries.
+class ProtocolManager : private core::lifecycle::RuntimeHooks {
  public:
   ProtocolManager(std::span<const core::TaskSpec> tasks,
                   core::TaskAllocator& allocator,
@@ -85,6 +104,36 @@ class ProtocolManager {
   /// The shared lifecycle machine (parity tests and diagnostics).
   const core::lifecycle::DispatchCore& core() const noexcept { return core_; }
 
+  // --- crash recovery -----------------------------------------------------
+
+  /// Attaches the durability machinery. `log` receives the write-ahead
+  /// journal and snapshot rotations; `crashes` (nullable) arms the
+  /// deterministic crash points; `counters` (nullable) observes journal and
+  /// replay traffic. Attach before start() (or recover()) so the journal
+  /// covers the whole life of the manager.
+  void attach_recovery(core::recovery::RecoveryLog* log,
+                       core::recovery::CrashMonitor* crashes,
+                       core::recovery::RecoveryConfig recovery,
+                       core::RecoveryCounters* counters);
+
+  /// Serializes the manager's complete mutable state — allocator (with
+  /// per-policy sampler state), lifecycle core, worker registry, per-task
+  /// protocol state, quarantine set, chaos counters, tick — as the snapshot
+  /// BODY (the RecoveryLog seals it). Doubles as a bit-exact state
+  /// fingerprint for the crash/no-crash equality harness.
+  std::string snapshot_body() const;
+
+  /// Rebuilds this freshly constructed manager from a RecoveryLog scan:
+  /// restores the snapshot (if any), replays the journal tail through the
+  /// real handlers with sends suppressed, then finishes the interrupted
+  /// tick's missing phases with sends enabled. Returns the number of
+  /// non-heartbeat inputs handled in the final replayed tick (the pump()
+  /// return value the crashed tick would have produced). Workers, links and
+  /// their in-flight messages are expected to have survived; results for
+  /// pre-crash attempts are accepted exactly once by the normal idempotency
+  /// gate on subsequent pumps.
+  std::size_t recover(const core::recovery::RecoveryLog::ScanResult& scan);
+
  private:
   /// Protocol-only per-task state, parallel to the core's TaskEntry.
   struct ProtoTaskState {
@@ -107,6 +156,31 @@ class ProtocolManager {
   void note_malformed(std::size_t link_index, const std::string& line);
   void touch(std::uint64_t worker_id);
   void check_liveness();
+  /// Decode + dispatch one polled wire line (the pump drain body, shared
+  /// with journal replay). Returns true for a handled non-heartbeat line.
+  bool handle_line(std::size_t link_index, const std::string& line);
+  /// True while journal records should be appended (log attached, writable,
+  /// and not replaying — replay must not re-journal what it reads).
+  bool journaling() const noexcept;
+  void journal(core::recovery::RecordType type, std::string_view payload = {});
+  void reach(core::recovery::ManagerCrashPoint point, std::uint64_t tick);
+  void restore_state(util::ByteReader& r);
+  void maybe_snapshot();
+
+  // RuntimeHooks: the lifecycle audit records of the journal.
+  void task_fatal(std::uint64_t task_id) override;
+  void allocation_committed(std::uint64_t task_id,
+                            const core::ResourceVector& alloc,
+                            bool is_retry) override;
+  void task_dispatched(std::uint64_t task_id, std::uint64_t worker,
+                       std::uint32_t attempt) override;
+  void task_completed(std::uint64_t task_id,
+                      const core::ResourceVector& measured_peak,
+                      double runtime_s) override;
+  void task_failed_attempt(std::uint64_t task_id, double runtime_s,
+                           unsigned exceeded_mask, bool requeued) override;
+  void task_requeued(std::uint64_t task_id) override;
+  void task_evicted(std::uint64_t task_id, double scale) override;
   /// Requeues a Running task after an infrastructure failure, applying
   /// capped exponential backoff. No-op unless the task is Running.
   void requeue_infra(std::uint64_t task_id);
@@ -129,7 +203,24 @@ class ProtocolManager {
   std::size_t tick_ = 0;
   std::size_t dispatches_ = 0;
   bool started_ = false;
+
+  core::recovery::RecoveryLog* log_ = nullptr;
+  core::recovery::CrashMonitor* crashes_ = nullptr;
+  core::recovery::RecoveryConfig recovery_cfg_{};
+  core::RecoveryCounters* recovery_counters_ = nullptr;
+  bool replaying_ = false;
 };
+
+/// Builds the in-process duplex links for `num_workers`, wrapping each in
+/// seeded FaultyChannels when `chaos` enables faults (labeled RNG splits per
+/// direction × worker; severed links capped at n-1 so a run stays
+/// completable). Shared by ProtocolRuntime and RecoverableProtocolRuntime.
+std::vector<DuplexLinkPtr> build_chaos_links(std::size_t num_workers,
+                                             const ChaosConfig& chaos);
+
+/// Stall tolerance for pump loops under `chaos`: 0 (fail fast) without
+/// faults, else a generous multiple of the longest detection chain.
+std::size_t chaos_stall_limit(const ChaosConfig& chaos);
 
 /// Aggregate outcome of a full protocol run.
 struct ProtocolRunResult {

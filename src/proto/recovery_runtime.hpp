@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/recovery/crash.hpp"
+#include "core/recovery/recovery_log.hpp"
+#include "core/recovery/storage.hpp"
+#include "core/task.hpp"
+#include "core/task_allocator.hpp"
+#include "proto/manager.hpp"
+
+namespace tora::proto {
+
+/// Outcome of a crash-recoverable protocol run.
+struct RecoveryRunResult : ProtocolRunResult {
+  core::RecoveryCounters recovery;
+  /// The final manager's ProtocolManager::snapshot_body(): a bit-exact
+  /// serialization of allocator (with sampler state), lifecycle core,
+  /// worker registry, per-task protocol state and chaos counters. Two runs
+  /// with equal fingerprints finished in EXACTLY the same state — the
+  /// crash/no-crash equality harness compares these byte strings.
+  std::string state_fingerprint;
+};
+
+/// ProtocolRuntime's crash-safe sibling: same in-process deployment (N
+/// WorkerAgents over optionally faulty links), but the manager journals to
+/// a RecoveryLog over the given Storage, snapshots on the configured
+/// cadence, and an armed CrashMonitor kills it at scheduled crash points.
+/// Each ManagerCrash is caught here: the dead manager (and its allocator —
+/// both die with the process they model) is discarded, a fresh pair is
+/// rebuilt from storage via ProtocolManager::recover, a post-recovery
+/// snapshot is rotated in, and the round loop resumes. Workers, links and
+/// in-flight messages survive, exactly like real workers outliving a
+/// manager node: re-dispatched attempts are deduplicated by attempt id,
+/// results sent before the crash are accepted exactly once, and workers
+/// that died while the manager was down fall into the normal
+/// silence/backoff/quarantine machinery.
+///
+/// With a loss-free crash schedule (kLossFreeCrashPoints) the run is
+/// bit-for-bit identical to the same configuration with an empty schedule —
+/// state_fingerprint equality is the headline assertion of
+/// bench/recovery_chaos and tests/test_recovery_manager.
+class RecoverableProtocolRuntime {
+ public:
+  /// Rebuilds the allocator after each crash. Must produce a freshly
+  /// constructed allocator with the same policy, seed and config every call
+  /// (recovery validates the policy name and config hash).
+  using AllocatorFactory =
+      std::function<std::unique_ptr<core::TaskAllocator>()>;
+
+  RecoverableProtocolRuntime(std::span<const core::TaskSpec> tasks,
+                             AllocatorFactory make_allocator,
+                             std::size_t num_workers,
+                             core::ResourceVector worker_capacity,
+                             const ChaosConfig& chaos,
+                             core::recovery::Storage& storage,
+                             core::recovery::RecoveryConfig recovery = {},
+                             core::recovery::CrashSchedule crashes = {});
+
+  /// Runs to completion (see ProtocolRuntime::run for the stall contract).
+  /// Scheduled crashes that never fire (points not reached before the run
+  /// finished) are simply left pending.
+  RecoveryRunResult run(std::size_t max_rounds = 1000000);
+
+  const core::RecoveryCounters& recovery_counters() const noexcept {
+    return counters_;
+  }
+
+ private:
+  /// Full crash-side protocol: close the journal handle, let the storage
+  /// drop unsynced bytes, scan, rebuild allocator + manager, replay, rotate
+  /// a fresh snapshot, re-arm. Returns the recovered pump() result of the
+  /// interrupted tick.
+  std::size_t recover();
+
+  std::span<const core::TaskSpec> tasks_;
+  AllocatorFactory make_allocator_;
+  LivenessConfig liveness_;
+  std::unique_ptr<core::TaskAllocator> allocator_;
+  std::vector<DuplexLinkPtr> links_;
+  std::vector<WorkerAgent> agents_;
+  core::recovery::Storage& storage_;
+  core::RecoveryCounters counters_;
+  core::recovery::CrashMonitor monitor_;
+  core::recovery::RecoveryLog log_;
+  core::recovery::RecoveryConfig recovery_cfg_;
+  std::unique_ptr<ProtocolManager> manager_;
+  std::size_t stall_limit_;
+};
+
+}  // namespace tora::proto

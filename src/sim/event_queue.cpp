@@ -1,6 +1,9 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "util/bytes.hpp"
 
 namespace tora::sim {
 
@@ -14,14 +17,52 @@ void EventQueue::push(SimTime time, EventKind kind, std::uint64_t a,
   e.b = b;
   e.epoch = epoch;
   e.seq = next_seq_++;
-  heap_.push(e);
+  heap_.push_back(e);
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 Event EventQueue::pop() {
   if (heap_.empty()) throw std::logic_error("EventQueue: pop on empty queue");
-  Event e = heap_.top();
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event e = heap_.back();
+  heap_.pop_back();
   return e;
+}
+
+void EventQueue::save_state(util::ByteWriter& w) const {
+  w.u64(next_seq_);
+  w.u64(heap_.size());
+  for (const Event& e : heap_) {
+    w.f64(e.time);
+    w.u8(static_cast<std::uint8_t>(e.kind));
+    w.u64(e.a);
+    w.u64(e.b);
+    w.u64(e.epoch);
+    w.u64(e.seq);
+  }
+}
+
+void EventQueue::load_state(util::ByteReader& r) {
+  next_seq_ = r.u64();
+  const std::uint64_t n = r.u64();
+  heap_.clear();
+  heap_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Event e;
+    e.time = r.f64();
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(EventKind::WorkerLeave)) {
+      throw std::runtime_error("EventQueue: unknown event kind in snapshot");
+    }
+    e.kind = static_cast<EventKind>(kind);
+    e.a = r.u64();
+    e.b = r.u64();
+    e.epoch = r.u64();
+    e.seq = r.u64();
+    heap_.push_back(e);
+  }
+  // The array was saved in heap storage order, so it is already a valid
+  // heap; nothing to re-establish.
 }
 
 }  // namespace tora::sim

@@ -1,8 +1,12 @@
 #pragma once
 
 #include <cstdint>
-#include <queue>
 #include <vector>
+
+namespace tora::util {
+class ByteWriter;
+class ByteReader;
+}  // namespace tora::util
 
 namespace tora::sim {
 
@@ -31,7 +35,11 @@ struct Event {
 };
 
 /// Min-heap of events ordered by (time, seq). Deterministic: equal-time
-/// events pop in insertion order.
+/// events pop in insertion order. Stored as a raw vector + std::push_heap /
+/// std::pop_heap (not std::priority_queue) so the pending-event set can be
+/// serialized for simulation snapshot/resume: save/load round-trip the heap
+/// array verbatim — internal layout included — so a resumed run pops events
+/// in exactly the original order.
 class EventQueue {
  public:
   void push(SimTime time, EventKind kind, std::uint64_t a = 0,
@@ -44,7 +52,12 @@ class EventQueue {
   Event pop();
 
   /// Time of the earliest event. Requires !empty().
-  SimTime next_time() const { return heap_.top().time; }
+  SimTime next_time() const { return heap_.front().time; }
+
+  /// Snapshot/restore of the full queue state (heap array in storage order
+  /// plus the tie-breaking sequence counter).
+  void save_state(util::ByteWriter& w) const;
+  void load_state(util::ByteReader& r);
 
  private:
   struct Later {
@@ -53,7 +66,7 @@ class EventQueue {
       return x.seq > y.seq;
     }
   };
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::vector<Event> heap_;
   std::uint64_t next_seq_ = 0;
 };
 

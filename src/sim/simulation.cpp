@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/recovery/snapshot.hpp"
+#include "util/bytes.hpp"
 #include "util/log.hpp"
 
 namespace tora::sim {
@@ -95,26 +97,45 @@ void Simulation::schedule_worker_lifetime(std::uint64_t worker_id) {
 }
 
 SimResult Simulation::run() {
-  if (ran_) throw std::logic_error("Simulation: run() called twice");
-  ran_ = true;
-  bootstrap();
-  while (!core_.done()) {
-    if (events_.empty()) {
-      // Churn disabled and every worker idle yet tasks still queued would be
-      // a scheduling bug: any clamped allocation fits an empty worker.
-      throw std::logic_error(
-          "Simulation: event queue drained with " +
-          std::to_string(core_.task_count() - core_.finished()) +
-          " tasks unfinished");
-    }
-    handle(events_.pop());
+  if (finished_) throw std::logic_error("Simulation: run() called twice");
+  while (step()) {
   }
-  result_.accounting = core_.accounting();
-  result_.tasks_completed = core_.completed();
-  result_.tasks_fatal = core_.fatal();
-  result_.evictions = core_.evictions();
-  result_.evicted_alloc_seconds = core_.evicted_alloc();
-  return result_;
+  return result();
+}
+
+bool Simulation::step() {
+  if (!started_) {
+    started_ = true;
+    bootstrap();
+  }
+  if (core_.done()) {
+    finished_ = true;
+    return false;
+  }
+  if (events_.empty()) {
+    // Churn disabled and every worker idle yet tasks still queued would be
+    // a scheduling bug: any clamped allocation fits an empty worker.
+    throw std::logic_error(
+        "Simulation: event queue drained with " +
+        std::to_string(core_.task_count() - core_.finished()) +
+        " tasks unfinished");
+  }
+  handle(events_.pop());
+  if (core_.done()) {
+    finished_ = true;
+    return false;
+  }
+  return true;
+}
+
+SimResult Simulation::result() const {
+  SimResult r = result_;
+  r.accounting = core_.accounting();
+  r.tasks_completed = core_.completed();
+  r.tasks_fatal = core_.fatal();
+  r.evictions = core_.evictions();
+  r.evicted_alloc_seconds = core_.evicted_alloc();
+  return r;
 }
 
 void Simulation::handle(const Event& e) {
@@ -261,6 +282,68 @@ void Simulation::task_fatal(std::uint64_t task_id) {
   util::log_warn("task ", task_id, " (", tasks_[task_id].category,
                  ") is unrunnable: demand exceeds pool capacity or attempt "
                  "limit reached");
+}
+
+void Simulation::save_state(util::ByteWriter& w) const {
+  w.u8(started_ ? 1 : 0);
+  w.u8(finished_ ? 1 : 0);
+  core::recovery::save_allocator(allocator_, w);
+  core_.save_state(w);
+  const util::Rng::State rs = rng_.state();
+  for (std::uint64_t word : rs.words) w.u64(word);
+  w.f64(rs.cached_normal);
+  w.u8(rs.has_cached_normal ? 1 : 0);
+  events_.save_state(w);
+  pool_.save_state(w);
+  w.u64(timing_.size());
+  for (const TimingState& t : timing_) {
+    w.u64(t.epoch);
+    w.f64(t.attempt_start);
+    w.f64(t.attempt_runtime);
+  }
+  w.f64(now_);
+  // Only the simulator-owned result fields: everything else is derived from
+  // the core on read (result()).
+  w.f64(result_.makespan_s);
+  w.u64(result_.total_joins);
+  w.u64(result_.total_leaves);
+  w.u64(result_.peak_workers);
+  for (ResourceKind k : core::kAllResources) w.f64(result_.committed_integral[k]);
+  for (ResourceKind k : core::kAllResources) w.f64(result_.capacity_integral[k]);
+}
+
+void Simulation::load_state(util::ByteReader& r) {
+  if (started_) {
+    throw std::logic_error(
+        "Simulation: load_state must precede the first step()/run()");
+  }
+  started_ = r.u8() != 0;
+  finished_ = r.u8() != 0;
+  core::recovery::load_allocator(allocator_, r);
+  core_.load_state(r);
+  util::Rng::State rs;
+  for (std::uint64_t& word : rs.words) word = r.u64();
+  rs.cached_normal = r.f64();
+  rs.has_cached_normal = r.u8() != 0;
+  rng_.set_state(rs);
+  events_.load_state(r);
+  pool_.load_state(r);
+  if (r.u64() != timing_.size()) {
+    throw std::runtime_error(
+        "Simulation: snapshot task count does not match the workload");
+  }
+  for (TimingState& t : timing_) {
+    t.epoch = r.u64();
+    t.attempt_start = r.f64();
+    t.attempt_runtime = r.f64();
+  }
+  now_ = r.f64();
+  result_.makespan_s = r.f64();
+  result_.total_joins = r.u64();
+  result_.total_leaves = r.u64();
+  result_.peak_workers = r.u64();
+  for (ResourceKind k : core::kAllResources) result_.committed_integral[k] = r.f64();
+  for (ResourceKind k : core::kAllResources) result_.capacity_integral[k] = r.f64();
 }
 
 }  // namespace tora::sim

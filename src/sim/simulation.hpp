@@ -112,8 +112,34 @@ class Simulation final : private core::lifecycle::RuntimeHooks {
              core::TaskAllocator& allocator, SimConfig config);
 
   /// Runs to completion of every task and returns the aggregate result.
-  /// Call at most once.
+  /// Call at most once (a load_state()-restored simulation may call it once
+  /// to finish the restored run).
   SimResult run();
+
+  /// Processes exactly one event (bootstrapping the pool and the submit
+  /// schedule on the first call); returns false once every task reached a
+  /// terminal phase. Stepping manually lets long-running drivers snapshot
+  /// the simulation between events; run() is equivalent to stepping until
+  /// false and then reading result().
+  bool step();
+
+  /// Aggregate result so far. Totals owned by the lifecycle core
+  /// (accounting, completion/fatal counts, evictions) are synced on read,
+  /// so this is valid mid-run as well as after run().
+  SimResult result() const;
+
+  /// Serializes the complete mid-run state: allocator (bit-exact, including
+  /// per-policy sampler state), lifecycle core, pending event heap, worker
+  /// pool, per-task timing/epochs, the clock, the RNG and partial results.
+  /// Restoring into a fresh Simulation (same tasks/config, freshly
+  /// constructed allocator of the same policy+config+seed) and resuming
+  /// produces bit-for-bit the run the saved one would have produced.
+  void save_state(util::ByteWriter& w) const;
+
+  /// Restores a save_state() capture. Must be called before the first
+  /// step()/run(); the allocator passed at construction is overwritten
+  /// (policy name and config hash are validated; mismatch throws).
+  void load_state(util::ByteReader& r);
 
   /// Attaches a lifecycle observer (nullptr to detach). Must be set before
   /// run(); the observer must outlive the simulation.
@@ -159,7 +185,8 @@ class Simulation final : private core::lifecycle::RuntimeHooks {
   std::vector<TimingState> timing_;
   SimTime now_ = 0.0;
   SimResult result_;
-  bool ran_ = false;
+  bool started_ = false;
+  bool finished_ = false;
   SimObserver* observer_ = nullptr;
 };
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/bytes.hpp"
+
 namespace tora::sim {
 
 using core::ResourceKind;
@@ -52,6 +54,27 @@ void Worker::finish(std::uint64_t task_id, const ResourceVector& alloc) {
   if (!committed_.non_negative()) {
     throw std::logic_error("Worker: commitment went negative");
   }
+}
+
+void Worker::save_state(util::ByteWriter& w) const {
+  w.u64(id_);
+  for (ResourceKind k : core::kAllResources) w.f64(capacity_[k]);
+  for (ResourceKind k : core::kAllResources) w.f64(committed_[k]);
+  w.u64(running_.size());
+  for (std::uint64_t task_id : running_) w.u64(task_id);
+  w.u8(draining_ ? 1 : 0);
+}
+
+Worker Worker::load_state(util::ByteReader& r) {
+  const std::uint64_t id = r.u64();
+  ResourceVector capacity;
+  for (ResourceKind k : core::kAllResources) capacity[k] = r.f64();
+  Worker w(id, capacity);
+  for (ResourceKind k : core::kAllResources) w.committed_[k] = r.f64();
+  const std::uint64_t running = r.u64();
+  for (std::uint64_t i = 0; i < running; ++i) w.running_.insert(r.u64());
+  w.draining_ = r.u8() != 0;
+  return w;
 }
 
 }  // namespace tora::sim

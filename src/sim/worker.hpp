@@ -5,6 +5,11 @@
 
 #include "core/resources.hpp"
 
+namespace tora::util {
+class ByteWriter;
+class ByteReader;
+}  // namespace tora::util
+
 namespace tora::sim {
 
 /// One opportunistic worker node: fixed capacity, tracks the resources
@@ -40,6 +45,11 @@ class Worker {
   /// Pool-departure flag: a draining worker accepts no new tasks.
   bool draining() const noexcept { return draining_; }
   void set_draining(bool d) noexcept { draining_ = d; }
+
+  /// Snapshot/restore for simulation resume (id, capacity, commitments,
+  /// running set, draining flag).
+  void save_state(util::ByteWriter& w) const;
+  static Worker load_state(util::ByteReader& r);
 
  private:
   std::uint64_t id_;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/bytes.hpp"
+
 namespace tora::sim {
 
 std::uint64_t WorkerPool::add_worker() { return add_worker(capacity_); }
@@ -75,6 +77,25 @@ std::size_t WorkerPool::running_attempts() const noexcept {
   std::size_t n = 0;
   for (const auto& [id, w] : workers_) n += w.running_count();
   return n;
+}
+
+void WorkerPool::save_state(util::ByteWriter& w) const {
+  w.u64(next_id_);
+  w.u64(workers_.size());
+  for (const auto& [id, worker] : workers_) worker.save_state(w);
+}
+
+void WorkerPool::load_state(util::ByteReader& r) {
+  next_id_ = r.u64();
+  const std::uint64_t n = r.u64();
+  workers_.clear();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Worker worker = Worker::load_state(r);
+    if (worker.id() >= next_id_) {
+      throw std::runtime_error("WorkerPool: snapshot worker id out of range");
+    }
+    workers_.emplace(worker.id(), std::move(worker));
+  }
 }
 
 }  // namespace tora::sim

@@ -8,6 +8,11 @@
 #include "core/resources.hpp"
 #include "sim/worker.hpp"
 
+namespace tora::util {
+class ByteWriter;
+class ByteReader;
+}  // namespace tora::util
+
 namespace tora::sim {
 
 /// Churn model for the opportunistic pool (paper §V-A: "20 to 50 workers
@@ -73,6 +78,11 @@ class WorkerPool {
   const std::map<std::uint64_t, Worker>& workers() const noexcept {
     return workers_;
   }
+
+  /// Snapshot/restore for simulation resume: the alive-worker map (each
+  /// worker's full state) and the never-reused id counter.
+  void save_state(util::ByteWriter& w) const;
+  void load_state(util::ByteReader& r);
 
  private:
   core::ResourceVector capacity_;

@@ -1,0 +1,100 @@
+#include "util/bytes.hpp"
+
+#include <array>
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+namespace tora::util {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data, std::uint32_t seed) noexcept {
+  static constexpr auto kTable = make_crc_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (unsigned char byte : data) {
+    c = kTable[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void ByteWriter::u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void ByteWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void ByteWriter::str(std::string_view s) {
+  if (s.size() > 0xFFFFFFFFull) {
+    throw std::length_error("ByteWriter: string too long");
+  }
+  u32(static_cast<std::uint32_t>(s.size()));
+  out_.append(s.data(), s.size());
+}
+
+void ByteReader::need(std::size_t n) const {
+  if (data_.size() - pos_ < n) {
+    throw std::runtime_error("ByteReader: truncated input");
+  }
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint32_t ByteReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(data_[pos_++]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(data_[pos_++]))
+         << (8 * i);
+  }
+  return v;
+}
+
+double ByteReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string ByteReader::str() {
+  const std::uint32_t n = u32();
+  need(n);
+  std::string s(data_.substr(pos_, n));
+  pos_ += n;
+  return s;
+}
+
+}  // namespace tora::util

@@ -2,6 +2,8 @@
 
 #include <charconv>
 #include <cstdio>
+#include <istream>
+#include <stdexcept>
 
 namespace tora::util {
 
@@ -61,6 +63,51 @@ void CsvWriter::end_row() {
 void CsvWriter::row(const std::vector<std::string>& fields) {
   for (const auto& f : fields) field(f);
   end_row();
+}
+
+bool CsvRecordReader::next(std::vector<std::string>& fields) {
+  fields.clear();
+  std::string cur;
+  bool in_quotes = false;
+  bool saw_anything = false;
+  int ci;
+  while ((ci = in_.get()) != std::char_traits<char>::eof()) {
+    const char c = static_cast<char>(ci);
+    if (in_quotes) {
+      if (c == '"') {
+        if (in_.peek() == '"') {
+          cur += '"';
+          in_.get();
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+      saw_anything = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+      saw_anything = true;
+    } else if (c == '\n') {
+      if (!saw_anything && cur.empty()) continue;  // skip blank lines
+      fields.push_back(std::move(cur));
+      return true;
+    } else if (c != '\r') {
+      cur += c;
+      saw_anything = true;
+    }
+  }
+  if (in_quotes) {
+    throw std::invalid_argument("csv: unterminated quoted field at EOF");
+  }
+  if (!saw_anything && cur.empty()) return false;
+  fields.push_back(std::move(cur));
+  return true;
 }
 
 std::vector<std::string> parse_csv_line(std::string_view line) {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <iosfwd>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -39,6 +40,25 @@ class CsvWriter {
 
 /// Splits one CSV line into fields, honoring double-quote escaping.
 std::vector<std::string> parse_csv_line(std::string_view line);
+
+/// Incremental CSV record reader over a stream: yields one record at a
+/// time without buffering the whole document, so restoring a multi-million
+/// row checkpoint never doubles peak memory. Unlike line-splitting parsers,
+/// it honors quoting across newlines — a quoted field may contain embedded
+/// record separators (categories with newlines in their names round-trip).
+class CsvRecordReader {
+ public:
+  /// The stream must outlive the reader.
+  explicit CsvRecordReader(std::istream& in) : in_(in) {}
+
+  /// Reads the next record into `fields` (cleared first). Returns false at
+  /// end of input. Blank records (empty lines) are skipped. Throws
+  /// std::invalid_argument on an unterminated quoted field at EOF.
+  bool next(std::vector<std::string>& fields);
+
+ private:
+  std::istream& in_;
+};
 
 /// Parses a whole CSV document into rows of fields. Blank lines are skipped.
 std::vector<std::vector<std::string>> parse_csv(std::string_view text);

@@ -63,6 +63,26 @@ class Rng {
   /// does not perturb existing ones (hash-based stream derivation).
   Rng split(std::string_view label) const noexcept;
 
+  /// Complete generator state, exposed for crash-recovery snapshots: the
+  /// xoshiro words plus the Box-Muller cache (normal01 produces variates in
+  /// pairs; forgetting the cached one would shift every later draw).
+  struct State {
+    std::array<std::uint64_t, 4> words{};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+
+    bool operator==(const State&) const = default;
+  };
+
+  State state() const noexcept {
+    return {state_, cached_normal_, has_cached_normal_};
+  }
+  void set_state(const State& s) noexcept {
+    state_ = s.words;
+    cached_normal_ = s.cached_normal;
+    has_cached_normal_ = s.has_cached_normal;
+  }
+
  private:
   std::array<std::uint64_t, 4> state_{};
   double cached_normal_ = 0.0;

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "core/bucketing_policy.hpp"
 #include "core/registry.hpp"
@@ -116,6 +118,100 @@ TEST(Checkpoint, CategoriesWithCommasSurvive) {
   auto b = tora::core::make_allocator(tora::core::kMaxSeen, 1);
   restore_allocator_state(b, snapshot);
   EXPECT_EQ(b.records_for("weird,category"), 1u);
+}
+
+TEST(Checkpoint, AdversarialCategoryNamesRoundTrip) {
+  // Category names come from user workload descriptions — assume nothing.
+  const std::vector<std::string> names = {
+      "plain",
+      "comma,inside",
+      "\"fully quoted\"",
+      "quote\"in\"middle",
+      "trailing quote\"",
+      "embedded\nnewline",
+      "crlf\r\nline",
+      "tab\tand space ",
+      ",leading,and,trailing,",
+      "\"\n\",\"",                      // quotes + newline + commas combined
+      "unicode \xC3\xA9\xC3\xA0\xE6\xBC\xA2\xE5\xAD\x97 \xF0\x9F\x92\xBE",
+  };
+  auto a = tora::core::make_allocator(tora::core::kMaxSeen, 1);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    a.record_completion(names[i], {1.0 + static_cast<double>(i), 50.0, 5.0});
+    a.record_completion(names[i], {1.0, 60.0 + static_cast<double>(i), 5.0});
+  }
+  std::stringstream snapshot;
+  save_allocator_state(a, snapshot);
+  auto b = tora::core::make_allocator(tora::core::kMaxSeen, 1);
+  restore_allocator_state(b, snapshot);
+  ASSERT_EQ(b.history().size(), a.history().size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(b.records_for(names[i]), 2u) << "category " << i;
+  }
+  // Same intern order, same peaks, same significances.
+  for (std::size_t i = 0; i < a.history().size(); ++i) {
+    EXPECT_EQ(b.category_name(b.history()[i].category),
+              a.category_name(a.history()[i].category));
+    EXPECT_EQ(b.history()[i].peak, a.history()[i].peak);
+    EXPECT_DOUBLE_EQ(b.history()[i].significance, a.history()[i].significance);
+  }
+}
+
+TEST(Checkpoint, PolicyNameMismatchThrowsWithActionableMessage) {
+  auto a = tora::core::make_allocator(tora::core::kGreedyBucketing, 1);
+  a.record_completion("c", {1.0, 100.0, 10.0});
+  std::stringstream snapshot;
+  save_allocator_state(a, snapshot);
+
+  auto b = tora::core::make_allocator(tora::core::kMaxSeen, 1);
+  try {
+    restore_allocator_state(b, snapshot);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // The message must name both policies so the operator can see what was
+    // mixed up, and mention the escape hatch.
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("greedy_bucketing"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("max_seen"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("force"), std::string::npos) << msg;
+  }
+}
+
+TEST(Checkpoint, ConfigHashMismatchThrows) {
+  auto a = tora::core::make_allocator(tora::core::kMaxSeen, 1);
+  a.record_completion("c", {1.0, 100.0, 10.0});
+  std::stringstream snapshot;
+  save_allocator_state(a, snapshot);
+
+  // Same policy, different worker capacity: allocations would be clamped
+  // differently, so the restore must refuse.
+  auto b = tora::core::make_allocator(tora::core::kMaxSeen, 1,
+                                      {8.0, 1024.0, 1024.0, 0.0});
+  EXPECT_THROW(restore_allocator_state(b, snapshot), std::invalid_argument);
+}
+
+TEST(Checkpoint, ForceRestoresAcrossPolicies) {
+  auto a = tora::core::make_allocator(tora::core::kGreedyBucketing, 1);
+  for (int i = 0; i < 12; ++i) {
+    a.record_completion("c", {1.0, 100.0 + 10.0 * i, 10.0});
+  }
+  std::stringstream snapshot;
+  save_allocator_state(a, snapshot);
+
+  auto b = tora::core::make_allocator(tora::core::kMaxSeen, 1);
+  tora::core::RestoreOptions opts;
+  opts.force = true;
+  restore_allocator_state(b, snapshot, opts);
+  EXPECT_EQ(b.records_for("c"), 12u);
+}
+
+TEST(Checkpoint, LegacyHeaderOnlySnapshotStillRestores) {
+  auto a = tora::core::make_allocator(tora::core::kMaxSeen, 1);
+  std::stringstream legacy(
+      "category,cores,memory_mb,disk_mb,time_s,significance\n"
+      "c,1,256,32,12.5,1\n");
+  restore_allocator_state(a, legacy);
+  EXPECT_EQ(a.records_for("c"), 1u);
 }
 
 }  // namespace

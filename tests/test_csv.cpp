@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <vector>
 
 namespace {
 
@@ -86,6 +88,73 @@ TEST(Csv, RoundTripThroughParser) {
   EXPECT_EQ(rows[0][1], "with,comma");
   EXPECT_EQ(rows[0][2], "42");
   EXPECT_EQ(std::stod(rows[0][3]), 2.5);
+}
+
+TEST(CsvRecordReader, StreamsRecordsOneAtATime) {
+  std::istringstream in("a,b\n\n1,2\n3,4\n");
+  tora::util::CsvRecordReader reader(in);
+  std::vector<std::string> fields;
+  ASSERT_TRUE(reader.next(fields));
+  EXPECT_EQ(fields, (std::vector<std::string>{"a", "b"}));
+  ASSERT_TRUE(reader.next(fields));  // blank line skipped
+  EXPECT_EQ(fields, (std::vector<std::string>{"1", "2"}));
+  ASSERT_TRUE(reader.next(fields));
+  EXPECT_EQ(fields, (std::vector<std::string>{"3", "4"}));
+  EXPECT_FALSE(reader.next(fields));
+}
+
+TEST(CsvRecordReader, QuotedNewlinesStayInsideOneRecord) {
+  std::istringstream in("\"multi\nline\",x\nnext,row\n");
+  tora::util::CsvRecordReader reader(in);
+  std::vector<std::string> fields;
+  ASSERT_TRUE(reader.next(fields));
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "multi\nline");
+  EXPECT_EQ(fields[1], "x");
+  ASSERT_TRUE(reader.next(fields));
+  EXPECT_EQ(fields, (std::vector<std::string>{"next", "row"}));
+  EXPECT_FALSE(reader.next(fields));
+}
+
+TEST(CsvRecordReader, EscapedQuotesAndMissingFinalNewline) {
+  std::vector<std::string> fields;
+  std::istringstream quoted("\"say \"\"hi\"\"\",done");
+  tora::util::CsvRecordReader quoted_reader(quoted);
+  ASSERT_TRUE(quoted_reader.next(fields));
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "say \"hi\"");
+  EXPECT_EQ(fields[1], "done");
+  EXPECT_FALSE(quoted_reader.next(fields));
+}
+
+TEST(CsvRecordReader, UnterminatedQuoteThrows) {
+  std::istringstream in("\"never closed\nmore text");
+  tora::util::CsvRecordReader reader(in);
+  std::vector<std::string> fields;
+  EXPECT_THROW(reader.next(fields), std::invalid_argument);
+}
+
+TEST(CsvRecordReader, RoundTripsWriterOutput) {
+  // Unlike parse_csv (a line splitter), the streaming reader honors quoted
+  // newlines — so it round-trips EVERYTHING CsvWriter can produce.
+  const std::vector<std::vector<std::string>> rows = {
+      {"comma,field", "quote\"field", "new\nline", "plain"},
+      {"second", "row", "", "trailing "},
+  };
+  std::ostringstream out;
+  CsvWriter w(out);
+  for (const auto& fields : rows) w.row(fields);
+
+  std::istringstream in(out.str());
+  tora::util::CsvRecordReader reader(in);
+  std::vector<std::string> fields;
+  std::size_t row = 0;
+  while (reader.next(fields)) {
+    ASSERT_LT(row, rows.size());
+    EXPECT_EQ(fields, rows[row]);
+    ++row;
+  }
+  EXPECT_EQ(row, rows.size());
 }
 
 }  // namespace

@@ -1,0 +1,160 @@
+// Simulation snapshot/resume: a run saved mid-flight and restored into a
+// fresh Simulation (fresh allocator of the same policy/seed) must finish
+// bit-for-bit identical to the uninterrupted run — same final save_state
+// bytes, same results. This is the simulator-side twin of the protocol
+// manager's crash-recovery equality.
+
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "util/bytes.hpp"
+
+namespace {
+
+using tora::core::ResourceKind;
+using tora::core::ResourceVector;
+using tora::core::TaskSpec;
+using tora::sim::SimConfig;
+using tora::sim::SimResult;
+using tora::sim::Simulation;
+using tora::util::ByteReader;
+using tora::util::ByteWriter;
+
+std::vector<TaskSpec> varied_tasks(std::size_t n) {
+  std::vector<TaskSpec> tasks;
+  for (std::size_t i = 0; i < n; ++i) {
+    TaskSpec t;
+    t.id = i;
+    t.category = i % 4 == 0 ? "wide" : "narrow";
+    t.demand = i % 4 == 0 ? ResourceVector{2.0, 2500.0, 300.0}
+                          : ResourceVector{1.0, 600.0, 60.0};
+    t.duration_s = 8.0 + static_cast<double>(i % 7);
+    t.peak_fraction = 0.6;
+    tasks.push_back(std::move(t));
+  }
+  return tasks;
+}
+
+SimConfig churny_config() {
+  SimConfig cfg;
+  cfg.churn.enabled = true;
+  cfg.churn.initial_workers = 5;
+  cfg.churn.min_workers = 3;
+  cfg.churn.max_workers = 8;
+  cfg.churn.mean_interarrival_s = 30.0;
+  cfg.churn.mean_lifetime_s = 120.0;
+  cfg.submit_interval_s = 1.0;
+  cfg.seed = 11;
+  return cfg;
+}
+
+std::string final_state(Simulation& sim) {
+  ByteWriter w;
+  sim.save_state(w);
+  return w.take();
+}
+
+TEST(SimSnapshot, ResumedRunIsBitExact) {
+  const auto tasks = varied_tasks(60);
+  const SimConfig cfg = churny_config();
+  for (const char* policy : {"greedy_bucketing", "max_seen", "kmeans_bucketing"}) {
+    // Uninterrupted reference run, stepped so we can capture the final state.
+    auto ref_alloc = tora::core::make_allocator(policy, 7);
+    Simulation reference(tasks, ref_alloc, cfg);
+    const SimResult want = reference.run();
+    const std::string want_state = final_state(reference);
+
+    // Interrupt after a prefix of events, snapshot, resume elsewhere.
+    for (const int prefix : {1, 37, 180}) {
+      auto ab = tora::core::make_allocator(policy, 7);
+      Simulation before(tasks, ab, cfg);
+      for (int i = 0; i < prefix && before.step(); ++i) {
+      }
+      ByteWriter w;
+      before.save_state(w);
+      const std::string saved = w.take();
+
+      auto ar = tora::core::make_allocator(policy, 7);
+      Simulation after(tasks, ar, cfg);
+      ByteReader r(saved);
+      after.load_state(r);
+      EXPECT_TRUE(r.done()) << policy << " prefix " << prefix;
+      const SimResult got =
+          after.core().done() ? after.result() : after.run();
+
+      EXPECT_EQ(final_state(after), want_state)
+          << policy << " diverged after resume at event " << prefix;
+      EXPECT_DOUBLE_EQ(got.makespan_s, want.makespan_s);
+      EXPECT_EQ(got.tasks_completed, want.tasks_completed);
+      EXPECT_EQ(got.tasks_fatal, want.tasks_fatal);
+      EXPECT_EQ(got.evictions, want.evictions);
+      EXPECT_EQ(got.total_joins, want.total_joins);
+      EXPECT_EQ(got.total_leaves, want.total_leaves);
+      EXPECT_EQ(got.committed_integral, want.committed_integral);
+    }
+  }
+}
+
+TEST(SimSnapshot, MidRunResultIsReadable) {
+  const auto tasks = varied_tasks(20);
+  auto alloc = tora::core::make_allocator(tora::core::kGreedyBucketing, 7);
+  Simulation sim(tasks, alloc, churny_config());
+  for (int i = 0; i < 25 && sim.step(); ++i) {
+  }
+  const SimResult mid = sim.result();
+  EXPECT_LE(mid.tasks_completed, tasks.size());
+  const SimResult done = sim.run();
+  EXPECT_GE(done.tasks_completed + done.tasks_fatal, mid.tasks_completed);
+  EXPECT_EQ(done.tasks_completed + done.tasks_fatal, tasks.size());
+}
+
+TEST(SimSnapshot, LoadAfterStartThrows) {
+  const auto tasks = varied_tasks(8);
+  auto a = tora::core::make_allocator(tora::core::kMaxSeen, 7);
+  Simulation source(tasks, a, churny_config());
+  source.step();
+  ByteWriter w;
+  source.save_state(w);
+  const std::string saved = w.take();
+
+  auto b = tora::core::make_allocator(tora::core::kMaxSeen, 7);
+  Simulation late(tasks, b, churny_config());
+  late.step();
+  ByteReader r(saved);
+  EXPECT_THROW(late.load_state(r), std::logic_error);
+}
+
+TEST(SimSnapshot, WorkloadMismatchThrows) {
+  const auto tasks = varied_tasks(8);
+  auto a = tora::core::make_allocator(tora::core::kMaxSeen, 7);
+  Simulation source(tasks, a, churny_config());
+  source.step();
+  ByteWriter w;
+  source.save_state(w);
+  const std::string saved = w.take();
+
+  const auto other = varied_tasks(9);
+  auto b = tora::core::make_allocator(tora::core::kMaxSeen, 7);
+  Simulation wrong(other, b, churny_config());
+  ByteReader r(saved);
+  EXPECT_THROW(wrong.load_state(r), std::runtime_error);
+}
+
+TEST(SimSnapshot, RunTwiceStillThrows) {
+  const auto tasks = varied_tasks(8);
+  auto a = tora::core::make_allocator(tora::core::kMaxSeen, 7);
+  SimConfig cfg;
+  cfg.churn.enabled = false;
+  cfg.churn.initial_workers = 3;
+  Simulation sim(tasks, a, cfg);
+  (void)sim.run();
+  EXPECT_THROW(sim.run(), std::logic_error);
+}
+
+}  // namespace
