@@ -89,6 +89,31 @@ void BM_ExhaustiveBucketing(benchmark::State& state) {
                       [] { return std::make_unique<ExhaustiveBucketing>(Rng(7)); });
 }
 
+/// Amortized column: the same observe + predict cycle under an epoch
+/// schedule (growth = 1/16), where most predictions reuse the standing
+/// bucket configuration and observes stage in O(1). The engine persists
+/// across iterations — a continuous record stream starting at n, the
+/// steady-state the incremental engine is designed for.
+void BM_GreedyBucketing_Scheduled(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto values = normal_records(n + 1);
+  auto policy = std::make_unique<GreedyBucketing>(Rng(7));
+  policy->set_rebuild_schedule({1.0 / 16.0});
+  for (std::size_t i = 0; i < n; ++i) {
+    policy->observe(values[i], static_cast<double>(i) + 1.0);
+  }
+  benchmark::DoNotOptimize(policy->predict());
+  Rng stream(2025);
+  double significance = static_cast<double>(n);
+  for (auto _ : state) {
+    double x = stream.normal(8192.0, 2048.0);
+    if (x < 1.0) x = 1.0;
+    policy->observe(x, significance += 1.0);
+    benchmark::DoNotOptimize(policy->predict());
+  }
+  state.SetLabel(std::to_string(n) + " records");
+}
+
 constexpr std::int64_t kSizes[] = {10, 200, 1000, 2000, 5000};
 
 void apply_sizes(benchmark::internal::Benchmark* b) {
@@ -99,6 +124,7 @@ void apply_sizes(benchmark::internal::Benchmark* b) {
 BENCHMARK(BM_GreedyBucketing_Faithful)->Apply(apply_sizes);
 BENCHMARK(BM_GreedyBucketing_PrefixSum)->Apply(apply_sizes);
 BENCHMARK(BM_ExhaustiveBucketing)->Apply(apply_sizes);
+BENCHMARK(BM_GreedyBucketing_Scheduled)->Apply(apply_sizes);
 
 }  // namespace
 

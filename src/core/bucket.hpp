@@ -32,6 +32,13 @@ struct Bucket {
 
 /// An immutable set of buckets plus the probabilistic choice rules shared by
 /// every bucketing-family policy (Greedy, Exhaustive, Quantized).
+///
+/// Sampling is O(log B) in the bucket count B: construction precomputes the
+/// cumulative probability array (sample_index) and, for sets up to
+/// kSampleTableMaxBuckets buckets, per-suffix partial-sum rows
+/// (sample_above). Both are built with the same forward accumulation order
+/// the original linear scans used, so every draw maps to the bit-identical
+/// bucket choice; larger sets fall back to the original linear scans.
 class BucketSet {
  public:
   BucketSet() = default;
@@ -42,6 +49,16 @@ class BucketSet {
   static BucketSet from_break_indices(std::span<const Record> sorted,
                                       std::span<const std::size_t> ends);
 
+  /// SoA fast path for the incremental engine: `values`/`significances` are
+  /// the parallel sorted arrays and `total_sig` their significance sum (the
+  /// caller maintains it as a running prefix). Break-structure errors still
+  /// throw, but the O(n) sortedness check is a debug-only assertion — the
+  /// RecordStore merge guarantees order, so Release builds skip the scan.
+  static BucketSet from_sorted(std::span<const double> values,
+                               std::span<const double> significances,
+                               std::span<const std::size_t> ends,
+                               double total_sig);
+
   const std::vector<Bucket>& buckets() const noexcept { return buckets_; }
   bool empty() const noexcept { return buckets_.empty(); }
   std::size_t size() const noexcept { return buckets_.size(); }
@@ -49,6 +66,13 @@ class BucketSet {
   /// Picks a bucket index at random, weighted by bucket probabilities.
   /// Requires a non-empty set.
   std::size_t sample_index(util::Rng& rng) const;
+
+  /// The bucket a uniform draw u in [0, 1) selects: the first index whose
+  /// cumulative probability exceeds u. When rounding makes the probabilities
+  /// sum to less than 1 and u lands beyond the last cumulative entry, the
+  /// draw falls into the top bucket (the documented floating-point slack).
+  /// Exposed so tests can exercise the selection rule deterministically.
+  std::size_t index_for(double u) const;
 
   /// First allocation: the representative value of a probabilistically
   /// chosen bucket. Requires a non-empty set.
@@ -65,8 +89,31 @@ class BucketSet {
   /// non-empty set.
   double max_rep() const;
 
+  /// Bucket-count ceiling for the precomputed sample_above suffix rows
+  /// (memory is quadratic in the bucket count). Sets above it sample with
+  /// the original linear scans — same draws, just O(B).
+  static constexpr std::size_t kSampleTableMaxBuckets = 64;
+
  private:
+  static BucketSet build(std::span<const double> values,
+                         std::span<const double> significances,
+                         std::span<const std::size_t> ends, double total_sig);
+  void finalize();
+
   std::vector<Bucket> buckets_;
+  // Sampling tables, rebuilt by finalize():
+  //   reps_[i]      = buckets_[i].rep (non-decreasing; binary-searched to
+  //                   find the first bucket above a failed allocation),
+  //   cum_probs_[i] = prob[0] + ... + prob[i] (forward order),
+  //   tri_ row f    = partial sums prob[f], prob[f]+prob[f+1], ... — the
+  //                   renormalization run sample_above accumulates when the
+  //                   eligible set starts at bucket f. Row f lives at
+  //                   tri_[tri_row_offsets_[f] ...] with size() - f entries;
+  //                   empty when the set exceeds kSampleTableMaxBuckets.
+  std::vector<double> reps_;
+  std::vector<double> cum_probs_;
+  std::vector<double> tri_;
+  std::vector<std::size_t> tri_row_offsets_;
 };
 
 /// Sig-weighted expected waste of a bucket configuration under the paper's

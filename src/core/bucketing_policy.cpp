@@ -7,6 +7,15 @@
 
 namespace tora::core {
 
+std::size_t BucketingPolicy::RebuildSchedule::epoch_for(
+    std::size_t history_size) const noexcept {
+  if (!(growth > 0.0)) return 1;
+  const double k = growth * static_cast<double>(history_size);
+  if (!(k > 1.0)) return 1;
+  const double capped = std::min(k, static_cast<double>(max_epoch));
+  return static_cast<std::size_t>(capped);
+}
+
 void BucketingPolicy::observe(double peak_value, double significance) {
   if (peak_value < 0.0) {
     throw std::invalid_argument("BucketingPolicy: negative resource value");
@@ -14,36 +23,64 @@ void BucketingPolicy::observe(double peak_value, double significance) {
   if (significance < 0.0) {
     throw std::invalid_argument("BucketingPolicy: negative significance");
   }
-  // Insert after existing equal values so ties keep arrival order.
-  const Record r{peak_value, significance};
-  const auto pos = std::upper_bound(
-      records_.begin(), records_.end(), r,
-      [](const Record& a, const Record& b) { return a.value < b.value; });
-  records_.insert(pos, r);
-  dirty_ = true;
+  store_.add(peak_value, significance);
+  ++observed_since_rebuild_;
+  if (observed_since_rebuild_ >= schedule_.epoch_for(store_.size())) {
+    rebuild_due_ = true;
+  }
 }
 
-void BucketingPolicy::rebuild_if_dirty() {
-  if (!dirty_) return;
-  if (records_.empty()) {
+void BucketingPolicy::rebuild_now() {
+  store_.flush();
+  if (store_.empty()) {
     throw std::logic_error(
         "BucketingPolicy: predict() before any record was observed; the "
         "TaskAllocator's exploratory mode must cover the cold start");
   }
-  const auto ends = compute_break_indices(records_);
-  buckets_ = BucketSet::from_break_indices(records_, ends);
-  dirty_ = false;
+  const SortedRecords sorted = store_.sorted();
+  const auto ends = compute_break_indices(sorted);
+  buckets_ = BucketSet::from_sorted(sorted.values, sorted.significances, ends,
+                                    store_.total_significance());
+  rebuild_due_ = false;
+  built_ = true;
+  built_size_ = store_.size();
+  observed_since_rebuild_ = 0;
   ++rebuilds_;
 }
 
 const BucketSet& BucketingPolicy::buckets() {
-  rebuild_if_dirty();
+  if (rebuild_pending()) rebuild_now();
+  return buckets_;
+}
+
+const BucketSet& BucketingPolicy::fresh_buckets() {
+  if (stale()) rebuild_now();
   return buckets_;
 }
 
 double BucketingPolicy::predict() {
-  rebuild_if_dirty();
+  if (rebuild_pending()) rebuild_now();
   return buckets_.sample_allocation(rng_);
+}
+
+std::vector<Record> BucketingPolicy::records() {
+  store_.flush();
+  const auto v = store_.values();
+  const auto s = store_.significances();
+  std::vector<Record> out;
+  out.reserve(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out.push_back({v[i], s[i]});
+  return out;
+}
+
+std::span<const double> BucketingPolicy::values() {
+  store_.flush();
+  return store_.values();
+}
+
+std::span<const double> BucketingPolicy::significances() {
+  store_.flush();
+  return store_.significances();
 }
 
 std::string BucketingPolicy::sampler_state() const {
@@ -69,15 +106,22 @@ void BucketingPolicy::restore_sampler_state(std::string_view state) {
 
 double BucketingPolicy::retry(double failed_alloc) {
   // A previous execution exhausted failed_alloc; consider only buckets whose
-  // representative exceeds it. With none left (the failed allocation was
-  // already the highest rep seen), escalate by doubling (§IV-A).
-  if (!records_.empty()) {
-    rebuild_if_dirty();
+  // representative exceeds it. Retry escalation is exactly-on-demand: even
+  // under an amortizing schedule, any observation not yet reflected forces a
+  // merge + rebuild here, so the escalation sees the full history. With no
+  // bucket left (the failed allocation was already the highest rep seen),
+  // escalate by doubling (§IV-A), clamped at the configured capacity.
+  if (store_.size() > 0) {
+    if (stale()) rebuild_now();
     if (auto higher = buckets_.sample_above(failed_alloc, rng_)) {
       return *higher;
     }
   }
-  return failed_alloc > 0.0 ? failed_alloc * 2.0 : 1.0;
+  double next = failed_alloc > 0.0 ? failed_alloc * 2.0 : 1.0;
+  if (retry_capacity_ > failed_alloc && next > retry_capacity_) {
+    next = retry_capacity_;
+  }
+  return next;
 }
 
 }  // namespace tora::core

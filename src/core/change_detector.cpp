@@ -142,6 +142,10 @@ void ChangeAwarePolicy::observe(double peak_value, double significance) {
     if (fresh.empty()) fresh.push_back(since_change_.back());
     inner_ = rebuild_inner();
     for (const Record& r : fresh) inner_->observe(r.value, r.significance);
+    // Merge the replayed records immediately: the reset is a bulk load, so
+    // deferring the staged-run merge would only delay it to the next
+    // predict while keeping the staging buffer alive.
+    inner_->flush_observations();
     since_change_ = std::move(fresh);
     return;
   }

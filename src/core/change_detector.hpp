@@ -83,6 +83,8 @@ class ChangeAwarePolicy final : public ResourcePolicy {
   std::string name() const override;
   std::size_t record_count() const override { return total_observed_; }
 
+  void flush_observations() override { inner_->flush_observations(); }
+
   /// The owned rebuild stream (when constructed with one) plus the current
   /// inner policy's sampler state (crash recovery).
   std::string sampler_state() const override;

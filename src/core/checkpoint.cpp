@@ -138,6 +138,9 @@ void restore_allocator_state(TaskAllocator& allocator, std::istream& in,
   while (reader.next(rec)) {
     restore_row(allocator, rec);
   }
+  // The restore is a bulk replay: merge every policy's staged observations
+  // in one pass instead of leaving the whole history in staging buffers.
+  allocator.flush_policies();
 }
 
 }  // namespace tora::core

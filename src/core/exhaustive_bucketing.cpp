@@ -15,9 +15,9 @@ ExhaustiveBucketing::ExhaustiveBucketing(util::Rng rng,
 }
 
 std::vector<std::size_t> ExhaustiveBucketing::even_spacing_ends(
-    std::span<const Record> sorted, std::size_t num_buckets) {
-  const std::size_t n = sorted.size();
-  const double v_max = sorted.back().value;
+    std::span<const double> values, std::size_t num_buckets) {
+  const std::size_t n = values.size();
+  const double v_max = values.back();
   std::vector<std::size_t> ends;
   for (std::size_t i = 1; i < num_buckets; ++i) {
     const double cut =
@@ -25,11 +25,9 @@ std::vector<std::size_t> ExhaustiveBucketing::even_spacing_ends(
     // "Map its value to the closest record that has a lower value than it":
     // the last index whose value is strictly below the cut. Candidates below
     // the smallest record map to nothing and are dropped.
-    const auto it = std::lower_bound(
-        sorted.begin(), sorted.end(), cut,
-        [](const Record& r, double v) { return r.value < v; });
-    if (it == sorted.begin()) continue;
-    ends.push_back(static_cast<std::size_t>(it - sorted.begin()) - 1);
+    const auto it = std::lower_bound(values.begin(), values.end(), cut);
+    if (it == values.begin()) continue;
+    ends.push_back(static_cast<std::size_t>(it - values.begin()) - 1);
   }
   ends.push_back(n - 1);
   std::sort(ends.begin(), ends.end());
@@ -37,15 +35,26 @@ std::vector<std::size_t> ExhaustiveBucketing::even_spacing_ends(
   return ends;
 }
 
+std::vector<std::size_t> ExhaustiveBucketing::even_spacing_ends(
+    std::span<const Record> sorted, std::size_t num_buckets) {
+  std::vector<double> values;
+  values.reserve(sorted.size());
+  for (const Record& r : sorted) values.push_back(r.value);
+  return even_spacing_ends(std::span<const double>(values), num_buckets);
+}
+
 std::vector<std::size_t> ExhaustiveBucketing::compute_break_indices(
-    std::span<const Record> sorted) {
+    const SortedRecords& sorted) {
   const std::size_t n = sorted.size();
+  const double total_sig = sorted.sig_prefix.back();
   double best_cost = std::numeric_limits<double>::infinity();
   std::vector<std::size_t> best_ends{n - 1};
   const std::size_t limit = std::min(max_buckets_, n);
   for (std::size_t b = 1; b <= limit; ++b) {
-    auto ends = even_spacing_ends(sorted, b);
-    const auto set = BucketSet::from_break_indices(sorted, ends);
+    auto ends = even_spacing_ends(sorted.values, b);
+    const auto set =
+        BucketSet::from_sorted(sorted.values, sorted.significances, ends,
+                               total_sig);
     const double cost = expected_waste(set);
     if (cost < best_cost) {
       best_cost = cost;

@@ -19,7 +19,9 @@ namespace tora::core {
 /// configuration wins.
 ///
 /// Complexity: O(max_buckets · (n + max_buckets²)) per rebuild — the linear
-/// growth Table I reports for EB.
+/// growth Table I reports for EB. Candidate sets are built through the
+/// unchecked SoA constructor with the store-maintained total significance,
+/// so each candidate costs one aggregation pass instead of three.
 class ExhaustiveBucketing final : public BucketingPolicy {
  public:
   /// `max_buckets` bounds the configurations searched; the paper restricts
@@ -36,9 +38,13 @@ class ExhaustiveBucketing final : public BucketingPolicy {
   static std::vector<std::size_t> even_spacing_ends(
       std::span<const Record> sorted, std::size_t num_buckets);
 
+  /// SoA overload over the sorted value array (the engine's hot path).
+  static std::vector<std::size_t> even_spacing_ends(
+      std::span<const double> values, std::size_t num_buckets);
+
  protected:
   std::vector<std::size_t> compute_break_indices(
-      std::span<const Record> sorted) override;
+      const SortedRecords& sorted) override;
 
  private:
   std::size_t max_buckets_;

@@ -21,6 +21,19 @@ RangeAgg aggregate_prefix(std::span<const double> sig_prefix,
   return a;
 }
 
+RangeAgg aggregate_scan(std::span<const double> values,
+                        std::span<const double> sigs, std::size_t lo,
+                        std::size_t hi_inclusive) {
+  RangeAgg a;
+  double vsig = 0.0;
+  for (std::size_t i = lo; i <= hi_inclusive; ++i) {
+    a.sig += sigs[i];
+    vsig += values[i] * sigs[i];
+  }
+  a.mean = a.sig > 0.0 ? vsig / a.sig : 0.0;
+  return a;
+}
+
 RangeAgg aggregate_scan(std::span<const Record> sorted, std::size_t lo,
                         std::size_t hi_inclusive) {
   RangeAgg a;
@@ -33,14 +46,12 @@ RangeAgg aggregate_scan(std::span<const Record> sorted, std::size_t lo,
   return a;
 }
 
-/// The 4-case expected waste of §IV-B given the two buckets' aggregates.
-double two_bucket_cost(std::span<const Record> sorted, std::size_t brk,
-                       std::size_t hi, const RangeAgg& whole,
+/// The 4-case expected waste of §IV-B given the two buckets' reps and
+/// aggregates.
+double two_bucket_cost(double rep_lo, double rep_hi, const RangeAgg& whole,
                        const RangeAgg& low, const RangeAgg& high) {
   const double p_lo = whole.sig > 0.0 ? low.sig / whole.sig : 0.0;
   const double p_hi = 1.0 - p_lo;
-  const double rep_lo = sorted[brk].value;
-  const double rep_hi = sorted[hi].value;
   const double v_lo = low.mean;
   const double v_hi = high.mean;
   const double w_lo_lo = p_lo * p_lo * (rep_lo - v_lo);
@@ -55,18 +66,22 @@ double two_bucket_cost(std::span<const Record> sorted, std::size_t brk,
 double GreedyBucketing::candidate_cost(std::size_t lo, std::size_t brk,
                                        std::size_t hi) const {
   if (cost_model_ == CostModel::Faithful) {
-    const RangeAgg whole = aggregate_scan(current_, lo, hi);
-    if (brk == hi) return current_[hi].value - whole.mean;
-    return two_bucket_cost(current_, brk, hi, whole,
-                           aggregate_scan(current_, lo, brk),
-                           aggregate_scan(current_, brk + 1, hi));
+    const RangeAgg whole =
+        aggregate_scan(current_.values, current_.significances, lo, hi);
+    if (brk == hi) return current_.values[hi] - whole.mean;
+    return two_bucket_cost(
+        current_.values[brk], current_.values[hi], whole,
+        aggregate_scan(current_.values, current_.significances, lo, brk),
+        aggregate_scan(current_.values, current_.significances, brk + 1, hi));
   }
-  const RangeAgg whole = aggregate_prefix(sig_prefix_, vsig_prefix_, lo, hi);
-  if (brk == hi) return current_[hi].value - whole.mean;
+  const RangeAgg whole =
+      aggregate_prefix(current_.sig_prefix, current_.vsig_prefix, lo, hi);
+  if (brk == hi) return current_.values[hi] - whole.mean;
   return two_bucket_cost(
-      current_, brk, hi, whole,
-      aggregate_prefix(sig_prefix_, vsig_prefix_, lo, brk),
-      aggregate_prefix(sig_prefix_, vsig_prefix_, brk + 1, hi));
+      current_.values[brk], current_.values[hi], whole,
+      aggregate_prefix(current_.sig_prefix, current_.vsig_prefix, lo, brk),
+      aggregate_prefix(current_.sig_prefix, current_.vsig_prefix, brk + 1,
+                       hi));
 }
 
 double GreedyBucketing::split_cost(std::span<const Record> sorted,
@@ -74,23 +89,14 @@ double GreedyBucketing::split_cost(std::span<const Record> sorted,
                                    std::size_t hi) {
   const RangeAgg whole = aggregate_scan(sorted, lo, hi);
   if (brk == hi) return sorted[hi].value - whole.mean;
-  return two_bucket_cost(sorted, brk, hi, whole,
+  return two_bucket_cost(sorted[brk].value, sorted[hi].value, whole,
                          aggregate_scan(sorted, lo, brk),
                          aggregate_scan(sorted, brk + 1, hi));
 }
 
 std::vector<std::size_t> GreedyBucketing::compute_break_indices(
-    std::span<const Record> sorted) {
+    const SortedRecords& sorted) {
   current_ = sorted;
-  if (cost_model_ == CostModel::PrefixSum) {
-    sig_prefix_.assign(sorted.size() + 1, 0.0);
-    vsig_prefix_.assign(sorted.size() + 1, 0.0);
-    for (std::size_t i = 0; i < sorted.size(); ++i) {
-      sig_prefix_[i + 1] = sig_prefix_[i] + sorted[i].significance;
-      vsig_prefix_[i + 1] =
-          vsig_prefix_[i] + sorted[i].value * sorted[i].significance;
-    }
-  }
   std::vector<std::size_t> ends;
   solve(0, sorted.size() - 1, ends);
   return ends;

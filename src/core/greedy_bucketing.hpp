@@ -23,7 +23,10 @@ namespace tora::core {
 /// (`CostModel::Faithful`). This implementation defaults to prefix sums over
 /// significance and value·significance (`CostModel::PrefixSum`), which makes
 /// every candidate O(1) and a rebuild O(n · buckets) — identical break
-/// points, orders of magnitude cheaper. The Table I benchmark measures both.
+/// points, orders of magnitude cheaper. The prefix sums arrive precomputed
+/// in the SortedRecords view (maintained incrementally by the RecordStore),
+/// so a rebuild no longer re-scans the history to build them. The Table I
+/// benchmark measures both cost models.
 class GreedyBucketing final : public BucketingPolicy {
  public:
   enum class CostModel {
@@ -47,7 +50,7 @@ class GreedyBucketing final : public BucketingPolicy {
 
  protected:
   std::vector<std::size_t> compute_break_indices(
-      std::span<const Record> sorted) override;
+      const SortedRecords& sorted) override;
 
  private:
   void solve(std::size_t lo, std::size_t hi,
@@ -55,12 +58,9 @@ class GreedyBucketing final : public BucketingPolicy {
   double candidate_cost(std::size_t lo, std::size_t brk, std::size_t hi) const;
 
   CostModel cost_model_;
-  // Prefix sums over the sorted records, rebuilt per compute call:
-  // sig_prefix_[i]  = sum of significance of records [0, i)
-  // vsig_prefix_[i] = sum of value * significance of records [0, i)
-  std::vector<double> sig_prefix_;
-  std::vector<double> vsig_prefix_;
-  std::span<const Record> current_;
+  // The SortedRecords view of the compute call in progress (values, sigs,
+  // and the store-maintained prefix sums the PrefixSum model reads).
+  SortedRecords current_;
 };
 
 }  // namespace tora::core

@@ -28,6 +28,11 @@ class HybridPolicy final : public ResourcePolicy {
   std::string name() const override;
   std::size_t record_count() const override { return observed_; }
 
+  void flush_observations() override {
+    initial_->flush_observations();
+    steady_->flush_observations();
+  }
+
   /// Both stages' sampler states, length-prefixed (crash recovery).
   std::string sampler_state() const override;
   void restore_sampler_state(std::string_view state) override;

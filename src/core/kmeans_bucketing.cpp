@@ -16,11 +16,11 @@ KMeansBucketing::KMeansBucketing(util::Rng rng, std::size_t k,
 }
 
 std::vector<std::size_t> KMeansBucketing::cluster_ends(
-    std::span<const Record> sorted, std::size_t k,
-    std::size_t max_iterations) {
-  const std::size_t n = sorted.size();
+    std::span<const double> values, std::span<const double> significances,
+    std::size_t k, std::size_t max_iterations) {
+  const std::size_t n = values.size();
   k = std::min(k, n);
-  if (k <= 1 || sorted.front().value == sorted.back().value) {
+  if (k <= 1 || values.front() == values.back()) {
     return {n - 1};
   }
 
@@ -29,7 +29,7 @@ std::vector<std::size_t> KMeansBucketing::cluster_ends(
   for (std::size_t c = 0; c < k; ++c) {
     const double pos = (static_cast<double>(c) + 0.5) / static_cast<double>(k) *
                        static_cast<double>(n - 1);
-    centroids[c] = sorted[static_cast<std::size_t>(pos)].value;
+    centroids[c] = values[static_cast<std::size_t>(pos)];
   }
   std::sort(centroids.begin(), centroids.end());
 
@@ -45,13 +45,12 @@ std::vector<std::size_t> KMeansBucketing::cluster_ends(
       const double midpoint = 0.5 * (centroids[c] + centroids[c + 1]);
       // Last index with value <= midpoint (assignment to the lower centroid).
       const auto it = std::upper_bound(
-          sorted.begin() + static_cast<std::ptrdiff_t>(begin), sorted.end(),
-          midpoint,
-          [](double v, const Record& r) { return v < r.value; });
+          values.begin() + static_cast<std::ptrdiff_t>(begin), values.end(),
+          midpoint);
       const std::size_t end_idx =
-          it == sorted.begin() + static_cast<std::ptrdiff_t>(begin)
+          it == values.begin() + static_cast<std::ptrdiff_t>(begin)
               ? begin  // empty segment collapses onto its first record
-              : static_cast<std::size_t>(it - sorted.begin()) - 1;
+              : static_cast<std::size_t>(it - values.begin()) - 1;
       new_ends.push_back(std::min(end_idx, n - 2));
       begin = new_ends.back() + 1;
     }
@@ -67,12 +66,11 @@ std::vector<std::size_t> KMeansBucketing::cluster_ends(
     for (std::size_t end : new_ends) {
       double wsum = 0.0, vsum = 0.0;
       for (std::size_t i = seg_begin; i <= end; ++i) {
-        wsum += sorted[i].significance;
-        vsum += sorted[i].value * sorted[i].significance;
+        wsum += significances[i];
+        vsum += values[i] * significances[i];
       }
-      new_centroids.push_back(wsum > 0.0
-                                  ? vsum / wsum
-                                  : sorted[(seg_begin + end) / 2].value);
+      new_centroids.push_back(wsum > 0.0 ? vsum / wsum
+                                         : values[(seg_begin + end) / 2]);
       seg_begin = end + 1;
     }
 
@@ -90,16 +88,32 @@ std::vector<std::size_t> KMeansBucketing::cluster_ends(
   // buckets would share a representative). Extend each end through its run,
   // then dedupe.
   for (std::size_t& e : ends) {
-    while (e + 1 < n && sorted[e + 1].value == sorted[e].value) ++e;
+    while (e + 1 < n && values[e + 1] == values[e]) ++e;
   }
   std::sort(ends.begin(), ends.end());
   ends.erase(std::unique(ends.begin(), ends.end()), ends.end());
   return ends;
 }
 
+std::vector<std::size_t> KMeansBucketing::cluster_ends(
+    std::span<const Record> sorted, std::size_t k,
+    std::size_t max_iterations) {
+  std::vector<double> values;
+  std::vector<double> sigs;
+  values.reserve(sorted.size());
+  sigs.reserve(sorted.size());
+  for (const Record& r : sorted) {
+    values.push_back(r.value);
+    sigs.push_back(r.significance);
+  }
+  return cluster_ends(std::span<const double>(values),
+                      std::span<const double>(sigs), k, max_iterations);
+}
+
 std::vector<std::size_t> KMeansBucketing::compute_break_indices(
-    std::span<const Record> sorted) {
-  return cluster_ends(sorted, k_, max_iterations_);
+    const SortedRecords& sorted) {
+  return cluster_ends(sorted.values, sorted.significances, k_,
+                      max_iterations_);
 }
 
 }  // namespace tora::core

@@ -33,9 +33,14 @@ class KMeansBucketing final : public BucketingPolicy {
                                                std::size_t k,
                                                std::size_t max_iterations);
 
+  /// SoA overload over the parallel sorted arrays (the engine's hot path).
+  static std::vector<std::size_t> cluster_ends(
+      std::span<const double> values, std::span<const double> significances,
+      std::size_t k, std::size_t max_iterations);
+
  protected:
   std::vector<std::size_t> compute_break_indices(
-      std::span<const Record> sorted) override;
+      const SortedRecords& sorted) override;
 
  private:
   std::size_t k_;

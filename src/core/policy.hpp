@@ -37,6 +37,13 @@ class ResourcePolicy {
   virtual std::string name() const = 0;
   virtual std::size_t record_count() const = 0;
 
+  /// Folds any internally buffered observations into the policy's primary
+  /// state (the bucketing family's staged-record merge). Checkpoint and
+  /// recovery writers and the change detector call this before inspecting a
+  /// policy so they always see fully-merged state; policies without an
+  /// observation buffer do nothing. Must not consume sampler state.
+  virtual void flush_observations() {}
+
   /// Opaque serialization of the policy's SAMPLING state — the part that is
   /// NOT a pure function of the observe() stream (the bucketing family's
   /// per-instance Rng; predict/retry draw from it, so two instances with

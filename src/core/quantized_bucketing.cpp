@@ -19,8 +19,9 @@ QuantizedBucketing::QuantizedBucketing(util::Rng rng,
 }
 
 std::vector<std::size_t> QuantizedBucketing::compute_break_indices(
-    std::span<const Record> sorted) {
+    const SortedRecords& sorted) {
   const std::size_t n = sorted.size();
+  const auto& values = sorted.values;
   std::vector<std::size_t> ends;
   ends.reserve(quantiles_.size() + 1);
   for (double q : quantiles_) {
@@ -30,7 +31,7 @@ std::vector<std::size_t> QuantizedBucketing::compute_break_indices(
     // (a split inside a run would create a useless duplicate bucket).
     auto idx =
         static_cast<std::size_t>(std::floor(q * static_cast<double>(n - 1)));
-    while (idx + 1 < n && sorted[idx + 1].value == sorted[idx].value) ++idx;
+    while (idx + 1 < n && values[idx + 1] == values[idx]) ++idx;
     ends.push_back(idx);
   }
   ends.push_back(n - 1);

@@ -26,7 +26,7 @@ class QuantizedBucketing final : public BucketingPolicy {
 
  protected:
   std::vector<std::size_t> compute_break_indices(
-      std::span<const Record> sorted) override;
+      const SortedRecords& sorted) override;
 
  private:
   std::vector<double> quantiles_;

@@ -1,0 +1,67 @@
+#include "core/record_store.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace tora::core {
+
+void RecordStore::add(double value, double significance) {
+  stage_values_.push_back(value);
+  stage_sigs_.push_back(significance);
+}
+
+void RecordStore::flush() {
+  const std::size_t s = stage_values_.size();
+  if (s == 0) return;
+  const std::size_t n = values_.size();
+
+  // Sort the staged records by value, keeping arrival order on ties (stable
+  // through the index permutation).
+  stage_order_.resize(s);
+  std::iota(stage_order_.begin(), stage_order_.end(), std::size_t{0});
+  std::stable_sort(stage_order_.begin(), stage_order_.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return stage_values_[a] < stage_values_[b];
+                   });
+
+  // Merge. On value ties the main run goes first, so a staged record lands
+  // after every previously observed equal value — the same position a
+  // per-observe upper_bound insert would have chosen.
+  scratch_values_.clear();
+  scratch_sigs_.clear();
+  scratch_values_.reserve(n + s);
+  scratch_sigs_.reserve(n + s);
+  std::size_t i = 0;
+  std::size_t j = 0;
+  std::size_t first_changed = n;  // merge position of the first staged record
+  while (i < n || j < s) {
+    const bool take_staged =
+        i == n || (j < s && stage_values_[stage_order_[j]] < values_[i]);
+    if (take_staged) {
+      first_changed = std::min(first_changed, scratch_values_.size());
+      scratch_values_.push_back(stage_values_[stage_order_[j]]);
+      scratch_sigs_.push_back(stage_sigs_[stage_order_[j]]);
+      ++j;
+    } else {
+      scratch_values_.push_back(values_[i]);
+      scratch_sigs_.push_back(sigs_[i]);
+      ++i;
+    }
+  }
+  values_.swap(scratch_values_);
+  sigs_.swap(scratch_sigs_);
+  stage_values_.clear();
+  stage_sigs_.clear();
+
+  // Extend the prefix sums from the first changed position. Entries before
+  // it are untouched because the merge preserved that prefix of the run, so
+  // the recurrence continues exactly as a full forward recompute would.
+  sig_prefix_.resize(n + s + 1);
+  vsig_prefix_.resize(n + s + 1);
+  for (std::size_t p = first_changed; p < n + s; ++p) {
+    sig_prefix_[p + 1] = sig_prefix_[p] + sigs_[p];
+    vsig_prefix_[p + 1] = vsig_prefix_[p] + values_[p] * sigs_[p];
+  }
+}
+
+}  // namespace tora::core

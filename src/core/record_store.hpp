@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tora::core {
+
+/// Structure-of-arrays view of the value-sorted record history plus its
+/// running prefix sums, handed to the break-point algorithms so they never
+/// re-scan the history from scratch:
+///   sig_prefix[i]  = sum of significances[0, i)
+///   vsig_prefix[i] = sum of values[j] * significances[j] for j in [0, i)
+/// Both prefix spans have size() + 1 entries. The spans alias RecordStore
+/// storage and are invalidated by the next add()/flush().
+struct SortedRecords {
+  std::span<const double> values;
+  std::span<const double> significances;
+  std::span<const double> sig_prefix;
+  std::span<const double> vsig_prefix;
+
+  std::size_t size() const noexcept { return values.size(); }
+  bool empty() const noexcept { return values.empty(); }
+};
+
+/// The incremental record history behind BucketingPolicy.
+///
+/// add() is amortized O(1): new records accumulate in an unsorted staging
+/// buffer. flush() merges the staging buffer into the main value-sorted run
+/// (stable: ties keep arrival order, staged records land after existing
+/// equal values — exactly the order repeated upper_bound insertion would
+/// produce) and extends the prefix sums from the first position the merge
+/// changed. Sorted views are only valid for the merged run, so callers
+/// flush() before reading.
+class RecordStore {
+ public:
+  /// Appends one record to the staging buffer. O(1) amortized.
+  void add(double value, double significance);
+
+  /// Merges staged records into the sorted run and extends the prefix sums.
+  /// O(s log s + n) for s staged records over an n-record run; no-op when
+  /// nothing is staged.
+  void flush();
+
+  bool empty() const noexcept {
+    return values_.empty() && stage_values_.empty();
+  }
+  /// Total records observed (merged + staged).
+  std::size_t size() const noexcept {
+    return values_.size() + stage_values_.size();
+  }
+  std::size_t merged_count() const noexcept { return values_.size(); }
+  std::size_t staged_count() const noexcept { return stage_values_.size(); }
+  bool has_staged() const noexcept { return !stage_values_.empty(); }
+
+  /// Views over the merged sorted run (call flush() first to cover staged
+  /// records). Invalidated by add()/flush().
+  SortedRecords sorted() const noexcept {
+    return {values_, sigs_, sig_prefix_, vsig_prefix_};
+  }
+  std::span<const double> values() const noexcept { return values_; }
+  std::span<const double> significances() const noexcept { return sigs_; }
+
+  /// Total significance of the merged run: the last prefix entry, which is
+  /// bit-identical to a forward sequential sum over the sorted records.
+  double total_significance() const noexcept { return sig_prefix_.back(); }
+
+ private:
+  std::vector<double> values_;  // merged run, sorted ascending by value
+  std::vector<double> sigs_;    // parallel to values_
+  std::vector<double> sig_prefix_{0.0};
+  std::vector<double> vsig_prefix_{0.0};
+  std::vector<double> stage_values_;
+  std::vector<double> stage_sigs_;
+  // Reused merge scratch, kept to avoid per-flush allocations.
+  std::vector<double> scratch_values_;
+  std::vector<double> scratch_sigs_;
+  std::vector<std::size_t> stage_order_;
+};
+
+}  // namespace tora::core

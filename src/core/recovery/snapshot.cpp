@@ -113,6 +113,10 @@ void load_allocator(TaskAllocator& allocator, util::ByteReader& r) {
       allocator.policy(id, k).restore_sampler_state(r.str());
     }
   }
+  // History replay is a bulk load: merge staged observations now so the
+  // restored allocator starts from fully-merged state (flushing touches no
+  // sampler state, so the bit-exact fingerprint is unaffected).
+  allocator.flush_policies();
 }
 
 std::string seal_snapshot(std::string_view body) {

@@ -51,6 +51,20 @@ double max_seen_width(ResourceKind kind, const RegistryOptions& opts) {
                                      : opts.max_seen_bucket_mb;
 }
 
+/// Applies the registry-wide bucketing-engine tunables: the rebuild epoch
+/// schedule and the retry doubling ceiling (the worker's capacity for this
+/// resource — the TaskAllocator clamps allocations to it anyway, so the
+/// policy-side clamp changes no end-to-end allocation, it just stops the
+/// escalation from requesting more than any worker owns).
+template <typename Policy>
+std::unique_ptr<Policy> tuned(std::unique_ptr<Policy> policy,
+                              double retry_capacity,
+                              const RegistryOptions& opts) {
+  policy->set_retry_capacity(retry_capacity);
+  policy->set_rebuild_schedule({opts.rebuild_growth});
+  return policy;
+}
+
 }  // namespace
 
 PolicyFactory make_policy_factory(std::string_view policy_name,
@@ -81,46 +95,56 @@ PolicyFactory make_policy_factory(std::string_view policy_name,
     };
   }
   if (policy_name == kQuantizedBucketing) {
-    return [master, opts](ResourceKind, const AllocatorConfig&) -> ResourcePolicyPtr {
-      return std::make_unique<QuantizedBucketing>(master->split(),
-                                                  opts.quantized_quantiles);
+    return [master, opts](ResourceKind kind, const AllocatorConfig& cfg) -> ResourcePolicyPtr {
+      return tuned(std::make_unique<QuantizedBucketing>(
+                       master->split(), opts.quantized_quantiles),
+                   cfg.worker_capacity[kind], opts);
     };
   }
   if (policy_name == kGreedyBucketing) {
-    return [master](ResourceKind, const AllocatorConfig&) -> ResourcePolicyPtr {
-      return std::make_unique<GreedyBucketing>(master->split());
+    return [master, opts](ResourceKind kind, const AllocatorConfig& cfg) -> ResourcePolicyPtr {
+      return tuned(std::make_unique<GreedyBucketing>(master->split()),
+                   cfg.worker_capacity[kind], opts);
     };
   }
   if (policy_name == kExhaustiveBucketing) {
-    return [master, opts](ResourceKind, const AllocatorConfig&) -> ResourcePolicyPtr {
-      return std::make_unique<ExhaustiveBucketing>(master->split(),
-                                                   opts.exhaustive_max_buckets);
+    return [master, opts](ResourceKind kind, const AllocatorConfig& cfg) -> ResourcePolicyPtr {
+      return tuned(std::make_unique<ExhaustiveBucketing>(
+                       master->split(), opts.exhaustive_max_buckets),
+                   cfg.worker_capacity[kind], opts);
     };
   }
   if (policy_name == kHybridBucketing) {
-    return [master, opts](ResourceKind, const AllocatorConfig&) -> ResourcePolicyPtr {
+    return [master, opts](ResourceKind kind, const AllocatorConfig& cfg) -> ResourcePolicyPtr {
       return std::make_unique<HybridPolicy>(
-          std::make_unique<QuantizedBucketing>(master->split(),
-                                               opts.quantized_quantiles),
-          std::make_unique<ExhaustiveBucketing>(master->split(),
-                                                opts.exhaustive_max_buckets),
+          tuned(std::make_unique<QuantizedBucketing>(master->split(),
+                                                     opts.quantized_quantiles),
+                cfg.worker_capacity[kind], opts),
+          tuned(std::make_unique<ExhaustiveBucketing>(
+                    master->split(), opts.exhaustive_max_buckets),
+                cfg.worker_capacity[kind], opts),
           opts.hybrid_switch_records);
     };
   }
   if (policy_name == kKMeansBucketing) {
-    return [master, opts](ResourceKind, const AllocatorConfig&) -> ResourcePolicyPtr {
-      return std::make_unique<KMeansBucketing>(master->split(),
-                                               opts.kmeans_clusters);
+    return [master, opts](ResourceKind kind, const AllocatorConfig& cfg) -> ResourcePolicyPtr {
+      return tuned(std::make_unique<KMeansBucketing>(master->split(),
+                                                     opts.kmeans_clusters),
+                   cfg.worker_capacity[kind], opts);
     };
   }
   if (policy_name == kChangeAwareBucketing) {
-    return [master, opts](ResourceKind, const AllocatorConfig&) -> ResourcePolicyPtr {
+    return [master, opts](ResourceKind kind, const AllocatorConfig& cfg) -> ResourcePolicyPtr {
       // The Rng-owning constructor: the rebuild stream lives inside the
       // policy, so crash-recovery snapshots capture it (sampler_state).
+      // The worker capacity is captured by value so every post-reset inner
+      // instance inherits the same retry ceiling.
+      const double capacity = cfg.worker_capacity[kind];
       return std::make_unique<ChangeAwarePolicy>(
-          [opts](util::Rng rng) -> ResourcePolicyPtr {
-            return std::make_unique<ExhaustiveBucketing>(
-                rng, opts.exhaustive_max_buckets);
+          [opts, capacity](util::Rng rng) -> ResourcePolicyPtr {
+            return tuned(std::make_unique<ExhaustiveBucketing>(
+                             rng, opts.exhaustive_max_buckets),
+                         capacity, opts);
           },
           util::Rng(master->split()),
           MeanShiftDetector(opts.change_window, opts.change_ratio));

@@ -67,6 +67,13 @@ struct RegistryOptions {
   /// change_aware_bucketing: mean-shift detection window and trigger ratio.
   std::size_t change_window = 20;
   double change_ratio = 2.0;
+  /// Bucketing-family rebuild epoch growth: rebuild every
+  /// max(1, rebuild_growth × history_size)-th observation, so rebuild
+  /// points space out geometrically as records accumulate. 0 (default)
+  /// rebuilds for every observation — the paper-faithful mode that the
+  /// bit-exact parity and crash-recovery guarantees assume (see
+  /// BucketingPolicy::RebuildSchedule).
+  double rebuild_growth = 0.0;
 };
 
 /// Builds the per-resource PolicyFactory for a named algorithm. Throws

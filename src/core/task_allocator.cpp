@@ -123,6 +123,14 @@ const ResourcePolicy* TaskAllocator::policy_if_created(
   return nullptr;
 }
 
+void TaskAllocator::flush_policies() {
+  for (CategoryState& st : categories_) {
+    for (ResourcePolicyPtr& p : st.policies) {
+      if (p) p->flush_observations();
+    }
+  }
+}
+
 ResourcePolicy& TaskAllocator::policy(CategoryId category, ResourceKind kind) {
   auto& st = state_for(category);
   for (std::size_t i = 0; i < config_.managed.size(); ++i) {

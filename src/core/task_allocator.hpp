@@ -157,6 +157,13 @@ class TaskAllocator {
   const ResourcePolicy* policy_if_created(CategoryId category,
                                           ResourceKind kind) const;
 
+  /// Calls flush_observations() on every existing policy instance, folding
+  /// any staged observations into their primary state. Bulk-replay paths
+  /// (checkpoint restore, recovery snapshot load) call this once at the end
+  /// instead of leaving a full history in each policy's staging buffer.
+  /// Consumes no sampler state; creates no policies.
+  void flush_policies();
+
   const AllocatorConfig& config() const noexcept { return config_; }
   const std::string& policy_name() const noexcept { return policy_name_; }
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <stdexcept>
 #include <vector>
 
@@ -145,6 +146,40 @@ TEST(BucketSet, SampleAboveMixesEligibleBuckets) {
   }
   // Equal significance => the two eligible buckets split evenly.
   EXPECT_NEAR(got10, got20, 500);
+}
+
+TEST(BucketSet, IndexForMatchesLinearScan) {
+  const std::vector<Record> recs{{1.0, 1.0}, {2.0, 3.0}, {3.0, 4.0}};
+  const std::vector<std::size_t> ends{0, 1, 2};
+  const auto set = BucketSet::from_break_indices(recs, ends);
+  // probs = 0.125, 0.375, 0.5 -> cumulative boundaries 0.125, 0.5, 1.0.
+  // The binary search must agree with the historical strict-compare linear
+  // scan (u < running_sum), including exactly at the boundaries.
+  EXPECT_EQ(set.index_for(0.0), 0u);
+  EXPECT_EQ(set.index_for(0.124), 0u);
+  EXPECT_EQ(set.index_for(0.125), 1u);  // boundary goes to the upper bucket
+  EXPECT_EQ(set.index_for(0.499), 1u);
+  EXPECT_EQ(set.index_for(0.5), 2u);
+  EXPECT_EQ(set.index_for(0.999), 2u);
+}
+
+TEST(BucketSet, IndexForAdversarialProbsBelowOne) {
+  // Ten buckets of significance 0.1: accumulating the probabilities in
+  // floating point can leave the last cumulative boundary slightly below 1.
+  // A draw beyond it must land in the top bucket, never off the end.
+  std::vector<Record> recs;
+  for (int i = 0; i < 10; ++i) recs.push_back({static_cast<double>(i + 1), 0.1});
+  std::vector<std::size_t> ends;
+  for (std::size_t i = 0; i < recs.size(); ++i) ends.push_back(i);
+  const auto set = BucketSet::from_break_indices(recs, ends);
+  EXPECT_EQ(set.index_for(1.0), 9u);
+  EXPECT_EQ(set.index_for(std::nextafter(1.0, 0.0)), 9u);
+  Rng rng(8);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = set.sample_allocation(rng);
+    ASSERT_GE(v, 1.0);
+    ASSERT_LE(v, 10.0);
+  }
 }
 
 TEST(BucketSet, MaxRep) {

@@ -23,11 +23,11 @@ class SingletonBuckets final : public BucketingPolicy {
 
  protected:
   std::vector<std::size_t> compute_break_indices(
-      std::span<const Record> sorted) override {
+      const tora::core::SortedRecords& sorted) override {
     std::vector<std::size_t> ends;
     for (std::size_t i = 0; i < sorted.size(); ++i) {
       if (i + 1 == sorted.size() ||
-          sorted[i + 1].value != sorted[i].value) {
+          sorted.values[i + 1] != sorted.values[i]) {
         ends.push_back(i);
       }
     }
@@ -127,6 +127,91 @@ TEST(BucketingPolicyBase, LargeStreamStaysSorted) {
     ASSERT_LE(recs[i - 1].value, recs[i].value);
   }
   EXPECT_EQ(p.record_count(), 500u);
+  // The SoA views agree with the materialized records.
+  const auto vals = p.values();
+  const auto sigs = p.significances();
+  ASSERT_EQ(vals.size(), 500u);
+  ASSERT_EQ(sigs.size(), 500u);
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    EXPECT_DOUBLE_EQ(vals[i], recs[i].value);
+    EXPECT_DOUBLE_EQ(sigs[i], recs[i].significance);
+  }
+}
+
+TEST(BucketingPolicyBase, RetryDoublingClampedAtCapacity) {
+  SingletonBuckets p{Rng(11)};
+  for (double v : {1.0, 2.0, 3.0}) p.observe(v, 1.0);
+  p.set_retry_capacity(5.0);
+  // No bucket exceeds 3.0, so retry escalates by doubling — clamped to the
+  // configured worker capacity while it still exceeds the failure.
+  EXPECT_DOUBLE_EQ(p.retry(3.0), 5.0);   // 6.0 clamped to 5.0
+  EXPECT_DOUBLE_EQ(p.retry(4.0), 5.0);   // 8.0 clamped to 5.0
+  // At or beyond capacity the clamp would stall the chain; the unclamped
+  // doubling keeps the strictly-greater contract.
+  EXPECT_DOUBLE_EQ(p.retry(5.0), 10.0);
+  EXPECT_DOUBLE_EQ(p.retry(8.0), 16.0);
+}
+
+TEST(BucketingPolicyBase, RetryCapacityDefaultsToUnclamped) {
+  SingletonBuckets p{Rng(12)};
+  p.observe(3.0, 1.0);
+  EXPECT_DOUBLE_EQ(p.retry(123456.0), 246912.0);
+}
+
+TEST(BucketingPolicyBase, ScheduledRebuildsAmortize) {
+  SingletonBuckets p{Rng(13)};
+  // growth = 0.5: after a rebuild at history size n, the next one is due
+  // once the history roughly doubles.
+  p.set_rebuild_schedule({0.5});
+  for (int i = 1; i <= 8; ++i) p.observe(static_cast<double>(i), 1.0);
+  (void)p.buckets();
+  EXPECT_EQ(p.rebuild_count(), 1u);
+  for (int i = 9; i <= 14; ++i) {
+    p.observe(static_cast<double>(i), 1.0);
+    (void)p.predict();
+  }
+  EXPECT_EQ(p.rebuild_count(), 1u);  // predictions served the stale set
+  EXPECT_EQ(p.staged_count(), 6u);
+  p.observe(15.0, 1.0);  // epoch boundary: the history has ~doubled
+  (void)p.predict();
+  EXPECT_EQ(p.rebuild_count(), 2u);
+  EXPECT_EQ(p.staged_count(), 0u);
+}
+
+TEST(BucketingPolicyBase, RetryRebuildsExactlyOnDemand) {
+  SingletonBuckets p{Rng(14)};
+  p.set_rebuild_schedule({1.0});
+  for (double v : {1.0, 2.0, 3.0}) p.observe(v, 1.0);
+  (void)p.buckets();
+  const std::size_t built = p.rebuild_count();
+  p.observe(10.0, 1.0);  // mid-epoch: predict would serve stale buckets
+  // retry() must see the full history — the new top bucket at 10.
+  for (int i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(p.retry(3.0), 10.0);
+  EXPECT_EQ(p.rebuild_count(), built + 1);
+}
+
+TEST(BucketingPolicyBase, FreshBucketsForcesMerge) {
+  SingletonBuckets p{Rng(15)};
+  p.set_rebuild_schedule({1.0});
+  p.observe(1.0, 1.0);
+  (void)p.buckets();
+  p.observe(2.0, 1.0);  // staged, not due
+  EXPECT_EQ(p.buckets().size(), 1u);        // scheduled view lags
+  EXPECT_EQ(p.fresh_buckets().size(), 2u);  // forced view is current
+}
+
+TEST(BucketingPolicyBase, FlushObservationsMergesWithoutRebuild) {
+  SingletonBuckets p{Rng(16)};
+  p.observe(1.0, 1.0);
+  (void)p.buckets();
+  p.observe(2.0, 1.0);
+  EXPECT_EQ(p.staged_count(), 1u);
+  p.flush_observations();
+  EXPECT_EQ(p.staged_count(), 0u);
+  EXPECT_EQ(p.rebuild_count(), 1u);  // merge only, no bucket rebuild
+  // The scheduled rebuild still happens on the next use.
+  (void)p.predict();
+  EXPECT_EQ(p.rebuild_count(), 2u);
 }
 
 }  // namespace
