@@ -76,6 +76,10 @@ exp::ExperimentConfig experiment_config(const Options& opts) {
   }
   cfg.sim.placement = opts.placement;
   cfg.sim.submit_interval_s = opts.submit_interval_s;
+  cfg.sim.resilience = opts.resilience;
+  cfg.sim.churn.storm_interval_s = opts.storm_interval_s;
+  cfg.sim.churn.storm_duration_s = opts.storm_duration_s;
+  cfg.sim.churn.storm_evict_fraction = opts.storm_fraction;
   return cfg;
 }
 
@@ -149,6 +153,16 @@ int cmd_run(const Options& opts, std::ostream& out) {
       << exp::fmt(r.accounting.mean_attempts(), 2) << ", evictions "
       << r.evictions << ", makespan " << exp::fmt(r.makespan_s / 3600.0, 2)
       << " h\n";
+
+  if (cfg.sim.resilience.enabled()) {
+    double speculative = 0.0;
+    for (core::ResourceKind k : core::kManagedResources) {
+      speculative += r.accounting.breakdown(k).speculative;
+    }
+    out << "\nresilience (speculative waste " << exp::fmt(speculative, 0)
+        << ", outside AWE):\n";
+    exp::resilience_table(r.resilience).print(out);
+  }
 
   if (!opts.output_path.empty()) {
     std::ofstream csv_file(opts.output_path);
@@ -288,6 +302,15 @@ options:
   --csv FILE           plot: AWE CSV produced by bench/fig5_awe
   --resource R         plot: only this resource (cores|memory_mb|disk_mb)
   --filter-workflow W  plot: only this workflow
+
+resilience (default off; see docs/resilience.md):
+  --deadline-quantile Q  adaptive attempt deadlines at quantile Q (0 < Q <= 1)
+  --speculation          speculatively re-dispatch straggling attempts
+  --storm-threshold N    degraded mode after N evictions in the storm window
+  --probation S          reliability scoring; first quarantine sentence S
+  --storm-interval S     scenario: eviction-storm burst every S seconds
+  --storm-duration S     scenario: burst length (default 60)
+  --storm-fraction F     scenario: fraction of pool evicted per burst (0.5)
 )";
 }
 
@@ -340,7 +363,47 @@ Options parse_options(const std::vector<std::string>& args) {
     }
     else if (a == "--resource") opts.resource_filter = value();
     else if (a == "--filter-workflow") opts.workflow_filter = value();
+    else if (a == "--deadline-quantile") {
+      opts.resilience.deadlines = true;
+      opts.resilience.deadline_quantile =
+          parse_f64(value(), "--deadline-quantile");
+    } else if (a == "--speculation") {
+      opts.resilience.speculation = true;
+    } else if (a == "--storm-threshold") {
+      opts.resilience.storm_control = true;
+      opts.resilience.storm_enter =
+          static_cast<std::size_t>(parse_u64(value(), "--storm-threshold"));
+    } else if (a == "--probation") {
+      opts.resilience.reliability = true;
+      opts.resilience.probation_sentence = parse_f64(value(), "--probation");
+    } else if (a == "--storm-interval") {
+      opts.storm_interval_s = parse_f64(value(), "--storm-interval");
+      if (opts.storm_interval_s <= 0.0) {
+        throw std::invalid_argument("--storm-interval must be > 0");
+      }
+      // Sensible burst defaults; override with the sibling knobs.
+      if (opts.storm_duration_s == 0.0) opts.storm_duration_s = 60.0;
+      if (opts.storm_fraction == 0.0) opts.storm_fraction = 0.5;
+    } else if (a == "--storm-duration") {
+      opts.storm_duration_s = parse_f64(value(), "--storm-duration");
+      if (opts.storm_duration_s <= 0.0) {
+        throw std::invalid_argument("--storm-duration must be > 0");
+      }
+    } else if (a == "--storm-fraction") {
+      opts.storm_fraction = parse_f64(value(), "--storm-fraction");
+      if (opts.storm_fraction <= 0.0 || opts.storm_fraction > 1.0) {
+        throw std::invalid_argument("--storm-fraction must be in (0, 1]");
+      }
+    }
     else throw std::invalid_argument("unknown option '" + a + "'");
+  }
+  // Fail on a bad resilience knob here, before any work starts (the same
+  // validate() the runtimes call at construction).
+  opts.resilience.validate();
+  if ((opts.storm_duration_s > 0.0 || opts.storm_fraction > 0.0) &&
+      opts.storm_interval_s == 0.0) {
+    throw std::invalid_argument(
+        "--storm-duration/--storm-fraction require --storm-interval");
   }
   if ((opts.command == "run" || opts.command == "trace") &&
       opts.workflow.empty()) {

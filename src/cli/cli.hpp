@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "core/resilience/resilience.hpp"
 #include "sim/worker_pool.hpp"
 
 namespace tora::cli {
@@ -35,6 +36,15 @@ struct Options {
   std::size_t replications = 1;     // grid: >1 prints mean +/- sd cells
   std::string output_path;  // trace: destination; run: optional CSV metrics
   std::string trace_log;    // run: optional per-event CSV log
+  /// Churn-adaptive resilience layer (--deadline-quantile, --speculation,
+  /// --storm-threshold, --probation). Validated at parse time, so a bad
+  /// knob fails before any work starts.
+  core::resilience::ResilienceConfig resilience;
+  /// Eviction-storm scenario knobs for the simulated pool (--storm-interval
+  /// / --storm-duration / --storm-fraction).
+  double storm_interval_s = 0.0;
+  double storm_duration_s = 0.0;
+  double storm_fraction = 0.0;
 };
 
 /// Parses argv (excluding argv[0]). Throws std::invalid_argument with a

@@ -197,6 +197,19 @@ void DispatchCore::charge_eviction(std::uint64_t task_id, double scale) {
   if (hooks_) hooks_->task_evicted(task_id, scale);
 }
 
+void DispatchCore::charge_speculation(std::uint64_t task_id, double scale) {
+  const TaskEntry& e = entries_[task_id];
+  accounting_.add_speculative(acct_category_[task_id], e.alloc, scale);
+}
+
+void DispatchCore::rebind_running(std::uint64_t task_id, std::uint64_t worker) {
+  TaskEntry& e = entries_[task_id];
+  if (e.phase != TaskPhase::Running) {
+    throw std::logic_error("DispatchCore: rebind of a task that is not Running");
+  }
+  e.running_on = worker;
+}
+
 void DispatchCore::save_state(util::ByteWriter& w) const {
   w.u64(entries_.size());
   for (const TaskEntry& e : entries_) {

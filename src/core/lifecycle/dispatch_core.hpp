@@ -188,6 +188,18 @@ class DispatchCore {
   /// policies on a churning pool.
   void charge_eviction(std::uint64_t task_id, double scale);
 
+  /// Charges a losing speculative duplicate of a Running task — its cached
+  /// allocation × `scale` — to WasteAccounting's speculative column (the
+  /// resilience layer's insurance premium; never the eviction ledger, never
+  /// the paper's waste terms).
+  void charge_speculation(std::uint64_t task_id, double scale);
+
+  /// Re-binds a Running task to `worker` without touching attempts, the
+  /// queue or accounting: the resilience layer promotes a speculative
+  /// duplicate to primary when the original attempt is lost or outlived.
+  /// Throws std::logic_error unless the task is Running.
+  void rebind_running(std::uint64_t task_id, std::uint64_t worker);
+
   /// Declares a task unrunnable; fatality cascades to every dependent.
   /// Idempotent. Invokes hooks->task_fatal once per newly-fatal task.
   void make_fatal(std::uint64_t task_id);

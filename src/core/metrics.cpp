@@ -13,6 +13,7 @@ void save_breakdown(util::ByteWriter& w, const WasteBreakdown& b) {
   w.f64(b.allocation);
   w.f64(b.internal_fragmentation);
   w.f64(b.failed_allocation);
+  w.f64(b.speculative);
 }
 
 WasteBreakdown load_breakdown(util::ByteReader& r) {
@@ -21,6 +22,7 @@ WasteBreakdown load_breakdown(util::ByteReader& r) {
   b.allocation = r.f64();
   b.internal_fragmentation = r.f64();
   b.failed_allocation = r.f64();
+  b.speculative = r.f64();
   return b;
 }
 
@@ -78,6 +80,24 @@ void WasteAccounting::add(CategoryId id, const ResourceVector& peak,
 void WasteAccounting::add(const TaskUsage& usage) {
   add(intern(usage.category), usage.peak, usage.final_alloc,
       usage.final_runtime_s, usage.failed_attempts);
+}
+
+void WasteAccounting::add_speculative(CategoryId id,
+                                      const ResourceVector& alloc,
+                                      double held_s) {
+  if (held_s < 0.0) {
+    throw std::invalid_argument("WasteAccounting: negative speculation hold");
+  }
+  if (id >= by_category_.size()) {
+    throw std::out_of_range("WasteAccounting: unknown category id");
+  }
+  BreakdownArray& cat = by_category_[id];
+  for (ResourceKind k : kManagedResources) {
+    const double cost = alloc[k] * held_s;
+    by_resource_[static_cast<std::size_t>(k)].speculative += cost;
+    cat[static_cast<std::size_t>(k)].speculative += cost;
+  }
+  ++speculative_attempts_;
 }
 
 const WasteBreakdown& WasteAccounting::breakdown(ResourceKind kind) const {
@@ -140,9 +160,11 @@ void WasteAccounting::merge(const WasteAccounting& other) {
         other.by_resource_[i].internal_fragmentation;
     by_resource_[i].failed_allocation +=
         other.by_resource_[i].failed_allocation;
+    by_resource_[i].speculative += other.by_resource_[i].speculative;
   }
   tasks_ += other.tasks_;
   attempts_ += other.attempts_;
+  speculative_attempts_ += other.speculative_attempts_;
   for (CategoryId theirs = 0; theirs < other.counts_.size(); ++theirs) {
     const CategoryId mine = intern(other.table_.name(theirs));
     counts_[mine] += other.counts_[theirs];
@@ -153,6 +175,7 @@ void WasteAccounting::merge(const WasteAccounting& other) {
       dst.allocation += src.allocation;
       dst.internal_fragmentation += src.internal_fragmentation;
       dst.failed_allocation += src.failed_allocation;
+      dst.speculative += src.speculative;
     }
   }
 }
@@ -161,6 +184,7 @@ void WasteAccounting::save(util::ByteWriter& w) const {
   for (const WasteBreakdown& b : by_resource_) save_breakdown(w, b);
   w.u64(tasks_);
   w.u64(attempts_);
+  w.u64(speculative_attempts_);
   w.u64(table_.size());
   for (const std::string& name : table_.names()) w.str(name);
   for (std::size_t count : counts_) w.u64(count);
@@ -174,6 +198,7 @@ void WasteAccounting::load(util::ByteReader& r) {
   for (WasteBreakdown& b : by_resource_) b = load_breakdown(r);
   tasks_ = r.u64();
   attempts_ = r.u64();
+  speculative_attempts_ = r.u64();
   const std::uint64_t categories = r.u64();
   for (std::uint64_t i = 0; i < categories; ++i) {
     const CategoryId id = intern(r.str());
@@ -219,6 +244,42 @@ void RecoveryCounters::merge(const RecoveryCounters& other) noexcept {
   records_replayed += other.records_replayed;
   ticks_replayed += other.ticks_replayed;
   inputs_replayed += other.inputs_replayed;
+}
+
+void ResilienceCounters::merge(const ResilienceCounters& other) noexcept {
+  speculations_launched += other.speculations_launched;
+  speculations_promoted += other.speculations_promoted;
+  speculations_cancelled += other.speculations_cancelled;
+  adaptive_deadlines_used += other.adaptive_deadlines_used;
+  storms_entered += other.storms_entered;
+  storms_exited += other.storms_exited;
+  dispatches_held += other.dispatches_held;
+  probation_admissions += other.probation_admissions;
+  requarantines += other.requarantines;
+}
+
+void ResilienceCounters::save(util::ByteWriter& w) const {
+  w.u64(speculations_launched);
+  w.u64(speculations_promoted);
+  w.u64(speculations_cancelled);
+  w.u64(adaptive_deadlines_used);
+  w.u64(storms_entered);
+  w.u64(storms_exited);
+  w.u64(dispatches_held);
+  w.u64(probation_admissions);
+  w.u64(requarantines);
+}
+
+void ResilienceCounters::load(util::ByteReader& r) {
+  speculations_launched = r.u64();
+  speculations_promoted = r.u64();
+  speculations_cancelled = r.u64();
+  adaptive_deadlines_used = r.u64();
+  storms_entered = r.u64();
+  storms_exited = r.u64();
+  dispatches_held = r.u64();
+  probation_admissions = r.u64();
+  requarantines = r.u64();
 }
 
 }  // namespace tora::core

@@ -50,8 +50,15 @@ struct WasteBreakdown {
   double allocation = 0.0;
   double internal_fragmentation = 0.0;
   double failed_allocation = 0.0;
+  /// Σ aᵢ · tᵢ over losing speculative duplicates (resilience layer). Kept
+  /// OUT of `allocation` and total_waste(): a duplicate is the runtime's
+  /// hedge against churn, not an allocation decision, so charging it to the
+  /// paper's waste metric would blame the allocator for insurance premiums.
+  /// Reported as its own column so Fig. 6-style reports stay honest.
+  double speculative = 0.0;
 
   /// allocation − consumption; equals fragmentation + failed by identity.
+  /// Excludes `speculative` (see above).
   double total_waste() const noexcept { return allocation - consumption; }
 };
 
@@ -76,6 +83,18 @@ class WasteAccounting {
 
   /// Reporting-edge record: interns usage.category, then delegates.
   void add(const TaskUsage& usage);
+
+  /// Charges a losing speculative duplicate: `alloc` held for `held_s`
+  /// (seconds or ticks, the runtime's clock). Lands in the `speculative`
+  /// column only — never in allocation/failed_allocation, so AWE and
+  /// total_waste() are unchanged (see WasteBreakdown::speculative).
+  void add_speculative(CategoryId id, const ResourceVector& alloc,
+                       double held_s);
+
+  /// Losing speculative duplicates charged via add_speculative().
+  std::size_t speculative_attempts() const noexcept {
+    return speculative_attempts_;
+  }
 
   const WasteBreakdown& breakdown(ResourceKind kind) const;
 
@@ -124,6 +143,7 @@ class WasteAccounting {
   BreakdownArray by_resource_{};
   std::size_t tasks_ = 0;
   std::size_t attempts_ = 0;
+  std::size_t speculative_attempts_ = 0;
   CategoryTable table_;
   std::vector<std::size_t> counts_;             ///< indexed by CategoryId
   std::vector<BreakdownArray> by_category_;     ///< indexed by CategoryId
@@ -194,6 +214,38 @@ struct RecoveryCounters {
   void merge(const RecoveryCounters& other) noexcept;
 
   bool operator==(const RecoveryCounters&) const = default;
+};
+
+/// Counters for the churn-adaptive resilience layer (core/resilience/):
+/// speculative re-dispatch outcomes, adaptive-deadline usage, storm-mode
+/// transitions and probation traffic. Part of runtime state (saved with the
+/// snapshot, unlike RecoveryCounters) so recovered runs report identical
+/// numbers. Rendered by exp::resilience_table.
+struct ResilienceCounters {
+  // Speculation.
+  std::size_t speculations_launched = 0;  ///< duplicates dispatched
+  std::size_t speculations_promoted = 0;  ///< duplicate won / took over
+  std::size_t speculations_cancelled = 0;  ///< primary won or victim lost
+
+  // Deadlines.
+  std::size_t adaptive_deadlines_used = 0;  ///< timeouts fired adaptively
+
+  // Storm degradation.
+  std::size_t storms_entered = 0;
+  std::size_t storms_exited = 0;
+  std::size_t dispatches_held = 0;  ///< placements deferred by admission cap
+
+  // Reliability / probation.
+  std::size_t probation_admissions = 0;  ///< workers re-admitted after sentence
+  std::size_t requarantines = 0;         ///< convictions after the first
+
+  /// Field-wise sum, for aggregating the slices of one run.
+  void merge(const ResilienceCounters& other) noexcept;
+
+  void save(util::ByteWriter& w) const;
+  void load(util::ByteReader& r);
+
+  bool operator==(const ResilienceCounters&) const = default;
 };
 
 }  // namespace tora::core

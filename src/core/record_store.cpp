@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "util/bytes.hpp"
+
 namespace tora::core {
 
 void RecordStore::add(double value, double significance) {
@@ -61,6 +63,48 @@ void RecordStore::flush() {
   for (std::size_t p = first_changed; p < n + s; ++p) {
     sig_prefix_[p + 1] = sig_prefix_[p] + sigs_[p];
     vsig_prefix_[p + 1] = vsig_prefix_[p] + values_[p] * sigs_[p];
+  }
+}
+
+void RecordStore::save(util::ByteWriter& w) const {
+  w.u64(values_.size());
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    w.f64(values_[i]);
+    w.f64(sigs_[i]);
+  }
+  w.u64(stage_values_.size());
+  for (std::size_t i = 0; i < stage_values_.size(); ++i) {
+    w.f64(stage_values_[i]);
+    w.f64(stage_sigs_[i]);
+  }
+}
+
+void RecordStore::load(util::ByteReader& r) {
+  values_.clear();
+  sigs_.clear();
+  stage_values_.clear();
+  stage_sigs_.clear();
+  const std::uint64_t n = r.u64();
+  values_.reserve(n);
+  sigs_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    values_.push_back(r.f64());
+    sigs_.push_back(r.f64());
+  }
+  const std::uint64_t s = r.u64();
+  stage_values_.reserve(s);
+  stage_sigs_.reserve(s);
+  for (std::uint64_t i = 0; i < s; ++i) {
+    stage_values_.push_back(r.f64());
+    stage_sigs_.push_back(r.f64());
+  }
+  sig_prefix_.assign(1, 0.0);
+  vsig_prefix_.assign(1, 0.0);
+  sig_prefix_.reserve(values_.size() + 1);
+  vsig_prefix_.reserve(values_.size() + 1);
+  for (std::size_t p = 0; p < values_.size(); ++p) {
+    sig_prefix_.push_back(sig_prefix_[p] + sigs_[p]);
+    vsig_prefix_.push_back(vsig_prefix_[p] + values_[p] * sigs_[p]);
   }
 }
 

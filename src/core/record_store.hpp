@@ -4,6 +4,11 @@
 #include <span>
 #include <vector>
 
+namespace tora::util {
+class ByteWriter;
+class ByteReader;
+}  // namespace tora::util
+
 namespace tora::core {
 
 /// Structure-of-arrays view of the value-sorted record history plus its
@@ -64,6 +69,13 @@ class RecordStore {
   /// Total significance of the merged run: the last prefix entry, which is
   /// bit-identical to a forward sequential sum over the sorted records.
   double total_significance() const noexcept { return sig_prefix_.back(); }
+
+  /// Bit-exact serialization: merged run then staging buffer, each as a
+  /// u64 count followed by (value, significance) f64 pairs. load() rebuilds
+  /// the prefix sums with a forward sequential sum, which is bit-identical
+  /// to the incremental extension (see flush()).
+  void save(util::ByteWriter& w) const;
+  void load(util::ByteReader& r);
 
  private:
   std::vector<double> values_;  // merged run, sorted ascending by value

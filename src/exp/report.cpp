@@ -108,4 +108,21 @@ TextTable recovery_table(const core::RecoveryCounters& c) {
   return table;
 }
 
+TextTable resilience_table(const core::ResilienceCounters& c) {
+  TextTable table({"counter", "count"});
+  const auto row = [&](const char* name, std::size_t v) {
+    table.add_row({name, std::to_string(v)});
+  };
+  row("speculations_launched", c.speculations_launched);
+  row("speculations_promoted", c.speculations_promoted);
+  row("speculations_cancelled", c.speculations_cancelled);
+  row("adaptive_deadlines_used", c.adaptive_deadlines_used);
+  row("storms_entered", c.storms_entered);
+  row("storms_exited", c.storms_exited);
+  row("dispatches_held", c.dispatches_held);
+  row("probation_admissions", c.probation_admissions);
+  row("requarantines", c.requarantines);
+  return table;
+}
+
 }  // namespace tora::exp

@@ -46,4 +46,8 @@ TextTable chaos_table(const core::ChaosCounters& c);
 /// replay work) as a two-column table, zero rows included.
 TextTable recovery_table(const core::RecoveryCounters& c);
 
+/// Renders resilience-layer counters (speculation, adaptive deadlines,
+/// storms, probation) as a two-column table, zero rows included.
+TextTable resilience_table(const core::ResilienceCounters& c);
+
 }  // namespace tora::exp

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/metrics.hpp"
+#include "core/resilience/resilience.hpp"
 #include "proto/channel.hpp"
 #include "util/rng.hpp"
 
@@ -100,6 +101,13 @@ struct LivenessConfig {
   /// min(cap, base << (k-1)) ticks.
   std::size_t backoff_base_ticks = 1;
   std::size_t backoff_cap_ticks = 16;
+  /// Churn-adaptive resilience layer (core/resilience/): histogram-derived
+  /// deadlines replacing attempt_timeout_ticks, speculative re-dispatch of
+  /// stragglers, worker reliability scoring with probationary re-admission
+  /// instead of permanent quarantine, and eviction-storm degradation. All
+  /// windows are measured in pump ticks. Default-off: legacy behavior is
+  /// bit-exact with the layer disabled.
+  core::resilience::ResilienceConfig resilience;
 };
 
 /// Full chaos specification for a ProtocolRuntime run. Every random choice

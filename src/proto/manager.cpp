@@ -65,7 +65,11 @@ ProtocolManager::ProtocolManager(std::span<const core::TaskSpec> tasks,
       core_(tasks, allocator, dispatch_config(cfg), this),
       proto_states_(tasks.size()),
       quarantined_(links_.size(), 0),
-      malformed_logged_(links_.size(), 0) {
+      malformed_logged_(links_.size(), 0),
+      deadlines_(cfg.resilience),
+      reliability_(cfg.resilience),
+      storms_(cfg.resilience) {
+  cfg_.resilience.validate();
   for (const auto& link : links_) {
     if (!link) throw std::invalid_argument("ProtocolManager: null link");
   }
@@ -176,7 +180,7 @@ void ProtocolManager::on_heartbeat(const Message& msg) {
     util::log_warn("manager: heartbeat from unknown worker ", msg.worker_id);
     return;
   }
-  if (quarantined_[msg.worker_id]) return;
+  if (is_quarantined(msg.worker_id)) return;
   auto it = workers_.find(msg.worker_id);
   if (it != workers_.end()) {
     it->second.last_seen_tick = tick_;
@@ -184,7 +188,12 @@ void ProtocolManager::on_heartbeat(const Message& msg) {
   }
   // The heartbeat carries capacity exactly for this case: a worker whose
   // announcement was lost, or one spuriously declared dead, re-registers
-  // without a round-trip.
+  // without a round-trip. A convicted worker whose sentence elapsed
+  // re-registers here too — on probation until it delivers a result.
+  if (cfg_.resilience.reliability &&
+      reliability_.probationary(msg.worker_id, static_cast<double>(tick_))) {
+    ++res_counters_.probation_admissions;
+  }
   WorkerState ws;
   ws.capacity = msg.resources;
   ws.link = links_[msg.worker_id];
@@ -201,13 +210,18 @@ void ProtocolManager::handle(const Message& msg) {
         util::log_warn("manager: ready from unknown worker ", msg.worker_id);
         break;
       }
-      if (quarantined_[msg.worker_id]) break;
+      if (is_quarantined(msg.worker_id)) break;
       if (auto it = workers_.find(msg.worker_id); it != workers_.end()) {
         // A duplicated announcement must not reset `committed`, or the
         // manager would over-admit against the phantom free capacity.
         it->second.capacity = msg.resources;
         it->second.last_seen_tick = tick_;
         break;
+      }
+      if (cfg_.resilience.reliability &&
+          reliability_.probationary(msg.worker_id,
+                                    static_cast<double>(tick_))) {
+        ++res_counters_.probation_admissions;
       }
       WorkerState ws;
       ws.capacity = msg.resources;
@@ -226,12 +240,33 @@ void ProtocolManager::handle(const Message& msg) {
           core_.entry(msg.task_id).phase ==
               core::lifecycle::TaskPhase::Running) {
         const auto& entry = core_.entry(msg.task_id);
+        const ProtoTaskState& st = proto_states_[msg.task_id];
+        if (st.spec_active && msg.worker_id == st.spec_worker &&
+            msg.worker_id != entry.running_on) {
+          // Only the speculative duplicate was evicted: cancel it (the
+          // insurance premium, not the ledger); the primary attempt is
+          // untouched.
+          cancel_speculation(msg.task_id);
+          break;
+        }
         auto it = workers_.find(entry.running_on);
         if (it != workers_.end()) it->second.committed -= entry.alloc;
         ++chaos_.protocol_evictions;
         ++chaos_.redispatches;
         core_.charge_eviction(msg.task_id, 1.0);
-        core_.requeue_front(msg.task_id);
+        storms_.on_eviction(static_cast<double>(tick_));
+        if (cfg_.resilience.reliability) {
+          reliability_.on_offense(entry.running_on);
+        }
+        if (st.spec_active && workers_.count(st.spec_worker) != 0) {
+          // A duplicate is alive elsewhere: it takes over as the primary
+          // attempt — no requeue, the eviction charge above is the only
+          // cost of the handover.
+          promote_speculation(msg.task_id);
+        } else {
+          cancel_speculation(msg.task_id);
+          core_.requeue_front(msg.task_id);
+        }
       }
       break;
     }
@@ -247,23 +282,53 @@ void ProtocolManager::on_result(const Message& msg) {
     return;
   }
   const auto& entry = core_.entry(msg.task_id);
+  ProtoTaskState& st = proto_states_[msg.task_id];
   // Idempotency gate: accept a result only for the attempt currently in
-  // flight, from the worker it was dispatched to. Anything else is a
+  // flight, from the worker it was dispatched to — or from its speculative
+  // duplicate (same attempt id, different worker). Anything else is a
   // duplicate delivery or a report for an attempt already abandoned —
   // crediting it would double-charge WasteAccounting.
-  if (entry.phase != core::lifecycle::TaskPhase::Running ||
-      entry.running_on != msg.worker_id || msg.attempt != entry.attempts) {
+  const bool current = entry.phase == core::lifecycle::TaskPhase::Running &&
+                       msg.attempt == entry.attempts;
+  const bool from_primary = current && entry.running_on == msg.worker_id;
+  const bool from_duplicate = current && !from_primary && st.spec_active &&
+                              st.spec_worker == msg.worker_id;
+  if (!from_primary && !from_duplicate) {
     ++chaos_.stale_or_duplicate_results;
     return;
+  }
+  if (from_duplicate) {
+    // First result wins: the duplicate beat the primary. The abandoned
+    // primary attempt is speculative waste (never the eviction ledger —
+    // nothing was evicted), and its late result will fail the gate above
+    // once the duplicate is promoted below.
+    auto pit = workers_.find(entry.running_on);
+    if (pit != workers_.end()) pit->second.committed -= entry.alloc;
+    core_.charge_speculation(msg.task_id, 1.0);
+    promote_speculation(msg.task_id);
+  } else if (st.spec_active) {
+    // The primary won with a duplicate still in flight: cancel it (its
+    // capacity frees now; its late result will be stale).
+    cancel_speculation(msg.task_id);
   }
   auto wit = workers_.find(msg.worker_id);
   if (wit != workers_.end()) {
     wit->second.committed -= entry.alloc;
     wit->second.consecutive_failures = 0;
   }
-  proto_states_[msg.task_id].infra_failures = 0;
+  st.infra_failures = 0;
+  if (cfg_.resilience.reliability) reliability_.on_success(msg.worker_id);
 
   if (msg.outcome == Outcome::Success) {
+    // Feed the deadline histogram with the observable attempt duration in
+    // the manager's clock unit — pump ticks from dispatch to result — not
+    // the worker-reported model seconds, which the tick-based deadline and
+    // straggler windows could not be compared against. Successful attempts
+    // only: failures end early and would skew the quantiles down.
+    if (cfg_.resilience.deadlines || cfg_.resilience.speculation) {
+      deadlines_.observe(core_.category_of(msg.task_id),
+                         static_cast<double>(tick_ - st.dispatch_tick));
+    }
     // The worker-measured peak and runtime feed the shared machine, which
     // handles accounting, the allocator record, and dependent release.
     core_.complete(msg.task_id, msg.resources, msg.runtime_s);
@@ -277,6 +342,10 @@ void ProtocolManager::on_result(const Message& msg) {
 }
 
 void ProtocolManager::check_liveness() {
+  // Advance the storm window first so degraded mode can exit on a quiet
+  // tick, not only on the next eviction.
+  storms_.update(static_cast<double>(tick_));
+
   // Silence deaths first: a worker whose heartbeats stopped takes all its
   // in-flight tasks with it, and those are evictions, not timeouts.
   std::vector<std::uint64_t> dead;
@@ -287,6 +356,7 @@ void ProtocolManager::check_liveness() {
     ++chaos_.workers_declared_dead;
     util::log_info("manager: worker ", wid, " silent beyond ",
                    cfg_.silence_ticks, " ticks, declaring dead");
+    if (cfg_.resilience.reliability) reliability_.on_offense(wid);
     remove_worker(wid, false);
   }
 
@@ -294,18 +364,61 @@ void ProtocolManager::check_liveness() {
   // dispatch or result went missing. Abandon the attempt (its id is now
   // stale, so a late result is rejected) and redispatch under backoff. A
   // worker that keeps timing out is quarantined — that is the only way to
-  // detect a one-way severed manager->worker link.
+  // detect a one-way severed manager->worker link. With the resilience
+  // layer on, the one-size-fits-all window is replaced by the category's
+  // histogram-derived deadline once it has evidence, widened while a storm
+  // rages (eviction storms make everything slow; timing the pool out on
+  // top of it only amplifies the churn).
+  const double widen =
+      storms_.degraded() ? cfg_.resilience.degraded_deadline_widen : 1.0;
   for (std::size_t t = 0; t < core_.task_count(); ++t) {
     const auto& entry = core_.entry(t);
     if (entry.phase != core::lifecycle::TaskPhase::Running) continue;
-    if (tick_ - proto_states_[t].dispatch_tick <= cfg_.attempt_timeout_ticks) {
+    ProtoTaskState& st = proto_states_[t];
+    double limit = static_cast<double>(cfg_.attempt_timeout_ticks) * widen;
+    bool adaptive = false;
+    if (cfg_.resilience.deadlines && deadlines_.adaptive(core_.category_of(t))) {
+      limit = deadlines_.deadline(
+          core_.category_of(t),
+          static_cast<double>(cfg_.attempt_timeout_ticks), widen);
+      adaptive = true;
+    }
+    const bool timed_out =
+        static_cast<double>(tick_ - st.dispatch_tick) > limit;
+    const bool spec_timed_out =
+        st.spec_active && static_cast<double>(tick_ - st.spec_tick) > limit;
+    if (spec_timed_out && !timed_out) {
+      // The duplicate hung while the primary is still within its window:
+      // cancel it and penalize its worker like any other timeout.
+      const std::uint64_t sw = st.spec_worker;
+      ++chaos_.attempt_timeouts;
+      cancel_speculation(t);
+      if (cfg_.resilience.reliability) reliability_.on_offense(sw);
+      auto sit = workers_.find(sw);
+      if (sit != workers_.end() &&
+          ++sit->second.consecutive_failures >= cfg_.worker_failure_limit) {
+        remove_worker(sw, true);
+      }
       continue;
     }
+    if (!timed_out) continue;
     ++chaos_.attempt_timeouts;
+    if (adaptive) ++res_counters_.adaptive_deadlines_used;
     const std::uint64_t wid = entry.running_on;
     auto it = workers_.find(wid);
     if (it != workers_.end()) it->second.committed -= entry.alloc;
-    requeue_infra(t);
+    if (cfg_.resilience.reliability) reliability_.on_offense(wid);
+    if (st.spec_active && !spec_timed_out &&
+        workers_.count(st.spec_worker) != 0) {
+      // The primary timed out but its duplicate is fresh: the duplicate
+      // becomes the primary instead of abandoning the attempt. Timeouts
+      // charge neither ledger, exactly like the legacy path.
+      ++chaos_.redispatches;
+      promote_speculation(t);
+    } else {
+      cancel_speculation(t);
+      requeue_infra(t);
+    }
     if (it != workers_.end() &&
         ++it->second.consecutive_failures >= cfg_.worker_failure_limit) {
       util::log_info("manager: worker ", wid, " hit ",
@@ -333,40 +446,125 @@ void ProtocolManager::requeue_infra(std::uint64_t task_id) {
 void ProtocolManager::remove_worker(std::uint64_t worker_id, bool quarantine) {
   for (std::size_t t = 0; t < core_.task_count(); ++t) {
     const auto& entry = core_.entry(t);
-    if (entry.phase != core::lifecycle::TaskPhase::Running ||
-        entry.running_on != worker_id) {
-      continue;
+    if (entry.phase != core::lifecycle::TaskPhase::Running) continue;
+    ProtoTaskState& st = proto_states_[t];
+    if (entry.running_on == worker_id) {
+      // The attempt died with the worker: charge it as an eviction (the
+      // allocation was fine, the infrastructure was not).
+      ++chaos_.protocol_evictions;
+      core_.charge_eviction(t, 1.0);
+      storms_.on_eviction(static_cast<double>(tick_));
+      if (st.spec_active && st.spec_worker != worker_id &&
+          workers_.count(st.spec_worker) != 0) {
+        // A speculative duplicate is alive elsewhere: it takes over as the
+        // primary attempt instead of a requeue. Exactly one eviction charge
+        // for the lost primary; the handover itself costs nothing.
+        ++chaos_.redispatches;
+        promote_speculation(t);
+      } else {
+        cancel_speculation(t);
+        requeue_infra(t);
+      }
+    } else if (st.spec_active && st.spec_worker == worker_id) {
+      // Only the duplicate died with the worker: speculative waste, never
+      // the eviction ledger — the primary attempt is untouched.
+      core_.charge_speculation(t, 1.0);
+      ++res_counters_.speculations_cancelled;
+      st.spec_active = false;
     }
-    // The attempt died with the worker: charge it as an eviction (the
-    // allocation was fine, the infrastructure was not) and requeue.
-    ++chaos_.protocol_evictions;
-    core_.charge_eviction(t, 1.0);
-    requeue_infra(t);
   }
   workers_.erase(worker_id);
   if (quarantine && worker_id < quarantined_.size()) {
-    quarantined_[worker_id] = 1;
     ++chaos_.workers_quarantined;
+    if (cfg_.resilience.reliability) {
+      // Probationary re-admission instead of a permanent flag: the sentence
+      // doubles (sentence_growth) per prior conviction.
+      if (reliability_.convictions(worker_id) > 0) {
+        ++res_counters_.requarantines;
+      }
+      reliability_.quarantine(worker_id, static_cast<double>(tick_));
+    } else {
+      quarantined_[worker_id] = 1;
+    }
   }
 }
 
+bool ProtocolManager::is_quarantined(std::uint64_t worker_id) const {
+  if (worker_id < quarantined_.size() && quarantined_[worker_id]) return true;
+  return cfg_.resilience.reliability &&
+         reliability_.quarantined(worker_id, static_cast<double>(tick_));
+}
+
+bool ProtocolManager::churn_evidence() const noexcept {
+  return chaos_.protocol_evictions + chaos_.workers_declared_dead +
+             chaos_.attempt_timeouts >
+         0;
+}
+
+std::optional<std::uint64_t> ProtocolManager::place_worker(
+    const ResourceVector& alloc, std::optional<std::uint64_t> exclude) const {
+  if (!cfg_.resilience.reliability) {
+    // First-fit against announced capacities (the legacy policy).
+    for (const auto& [wid, ws] : workers_) {
+      if (exclude && wid == *exclude) continue;
+      if (alloc.fits_within(ws.capacity - ws.committed)) return wid;
+    }
+    return std::nullopt;
+  }
+  // Reliability-aware: the most reliable non-probationary fit, ties to the
+  // lowest id (the map order); probationary workers only as a last resort.
+  std::optional<std::uint64_t> pick;
+  double pick_score = -1.0;
+  bool pick_probationary = true;
+  const double now = static_cast<double>(tick_);
+  for (const auto& [wid, ws] : workers_) {
+    if (exclude && wid == *exclude) continue;
+    if (!alloc.fits_within(ws.capacity - ws.committed)) continue;
+    const bool probationary = reliability_.probationary(wid, now);
+    const double score = reliability_.score(wid);
+    const bool better = !pick || (pick_probationary && !probationary) ||
+                        (pick_probationary == probationary &&
+                         score > pick_score);
+    if (better) {
+      pick = wid;
+      pick_score = score;
+      pick_probationary = probationary;
+    }
+  }
+  return pick;
+}
+
 void ProtocolManager::dispatch_queued() {
+  // Degraded-mode admission control: while a storm rages, cap the number
+  // of in-flight attempts — every dispatch into a collapsing pool is
+  // likely eviction fodder.
+  const bool capped = storms_.degraded();
+  std::size_t inflight = 0;
+  if (capped) {
+    for (std::size_t t = 0; t < core_.task_count(); ++t) {
+      if (core_.entry(t).phase == core::lifecycle::TaskPhase::Running) {
+        ++inflight;
+      }
+    }
+  }
   core_.dispatch_pass(
-      // First-fit against announced capacities; a pure query, no commit.
-      [this](std::uint64_t, const ResourceVector& alloc)
+      // Placement query, no commit (see place_worker for the policy).
+      [this, capped, &inflight](std::uint64_t, const ResourceVector& alloc)
           -> std::optional<std::uint64_t> {
-        for (const auto& [wid, ws] : workers_) {
-          if (alloc.fits_within(ws.capacity - ws.committed)) return wid;
+        if (capped && inflight >= cfg_.resilience.degraded_inflight_cap) {
+          ++res_counters_.dispatches_held;
+          return std::nullopt;
         }
-        return std::nullopt;
+        return place_worker(alloc, std::nullopt);
       },
       // Commit: bind the resources and put the dispatch on the wire. The
       // machine already stamped the attempt id (entry.attempts).
-      [this](std::uint64_t task_id, std::uint64_t wid,
-             const ResourceVector& alloc) {
+      [this, &inflight](std::uint64_t task_id, std::uint64_t wid,
+                        const ResourceVector& alloc) {
         WorkerState& ws = workers_.at(wid);
         ws.committed += alloc;
         proto_states_[task_id].dispatch_tick = tick_;
+        ++inflight;
         if (!replaying_) {
           Message m;
           m.type = MsgType::TaskDispatch;
@@ -385,6 +583,64 @@ void ProtocolManager::dispatch_queued() {
       [this](std::uint64_t task_id) {
         return proto_states_[task_id].backoff_until > tick_;
       });
+  maybe_speculate();
+}
+
+void ProtocolManager::maybe_speculate() {
+  const auto& res = cfg_.resilience;
+  // Gates: feature on, pool not degraded (a storm makes every duplicate
+  // eviction fodder too), and churn actually observed — a calm run never
+  // spends a cycle on insurance.
+  if (!res.speculation || storms_.degraded() || !churn_evidence()) return;
+  for (std::size_t t = 0; t < core_.task_count(); ++t) {
+    const auto& entry = core_.entry(t);
+    if (entry.phase != core::lifecycle::TaskPhase::Running) continue;
+    ProtoTaskState& st = proto_states_[t];
+    if (st.spec_active) continue;
+    auto threshold = deadlines_.straggler_threshold(core_.category_of(t));
+    if (!threshold) continue;  // no evidence for this category yet
+    if (static_cast<double>(tick_ - st.dispatch_tick) <= *threshold) continue;
+    const auto wid = place_worker(entry.alloc, entry.running_on);
+    if (!wid) continue;
+    WorkerState& ws = workers_.at(*wid);
+    ws.committed += entry.alloc;
+    st.spec_active = true;
+    st.spec_worker = *wid;
+    st.spec_tick = tick_;
+    ++res_counters_.speculations_launched;
+    if (!replaying_) {
+      // The duplicate carries the SAME wire attempt id: whichever worker
+      // answers first passes the idempotency gate, the other is stale.
+      Message m;
+      m.type = MsgType::TaskDispatch;
+      m.worker_id = *wid;
+      m.task_id = t;
+      m.attempt = entry.attempts;
+      m.category = tasks_[t].category;
+      m.resources = entry.alloc;
+      ws.link->to_worker.send(encode(m));
+    }
+  }
+}
+
+void ProtocolManager::cancel_speculation(std::uint64_t task_id) {
+  ProtoTaskState& st = proto_states_[task_id];
+  if (!st.spec_active) return;
+  auto it = workers_.find(st.spec_worker);
+  if (it != workers_.end()) {
+    it->second.committed -= core_.entry(task_id).alloc;
+  }
+  core_.charge_speculation(task_id, 1.0);
+  ++res_counters_.speculations_cancelled;
+  st.spec_active = false;
+}
+
+void ProtocolManager::promote_speculation(std::uint64_t task_id) {
+  ProtoTaskState& st = proto_states_[task_id];
+  core_.rebind_running(task_id, st.spec_worker);
+  st.dispatch_tick = st.spec_tick;
+  st.spec_active = false;
+  ++res_counters_.speculations_promoted;
 }
 
 // ------------------------------------------------------------- recovery
@@ -505,12 +761,19 @@ std::string ProtocolManager::snapshot_body() const {
     w.u64(st.dispatch_tick);
     w.u64(st.backoff_until);
     w.u64(st.infra_failures);
+    w.u8(st.spec_active ? 1 : 0);
+    w.u64(st.spec_worker);
+    w.u64(st.spec_tick);
   }
   w.u64(quarantined_.size());
   for (char q : quarantined_) w.u8(static_cast<std::uint8_t>(q));
   w.u64(malformed_logged_.size());
   for (char m : malformed_logged_) w.u8(static_cast<std::uint8_t>(m));
   save_chaos(w, chaos_);
+  deadlines_.save(w);
+  reliability_.save(w);
+  storms_.save(w);
+  res_counters_.save(w);
   return w.take();
 }
 
@@ -547,6 +810,9 @@ void ProtocolManager::restore_state(util::ByteReader& r) {
     st.dispatch_tick = r.u64();
     st.backoff_until = r.u64();
     st.infra_failures = r.u64();
+    st.spec_active = r.u8() != 0;
+    st.spec_worker = r.u64();
+    st.spec_tick = r.u64();
   }
   if (r.u64() != quarantined_.size()) {
     throw std::runtime_error(
@@ -559,6 +825,10 @@ void ProtocolManager::restore_state(util::ByteReader& r) {
   }
   for (char& m : malformed_logged_) m = static_cast<char>(r.u8());
   load_chaos(r, chaos_);
+  deadlines_.load(r);
+  reliability_.load(r);
+  storms_.load(r);
+  res_counters_.load(r);
 }
 
 std::size_t ProtocolManager::recover(
@@ -765,6 +1035,7 @@ ProtocolRunResult ProtocolRuntime::run(std::size_t max_rounds) {
   result.tasks_fatal = manager_.tasks_fatal();
   result.chaos.merge(manager_.chaos());
   result.evicted_alloc = manager_.evicted_alloc();
+  result.resilience = manager_.resilience();
   for (const auto& agent : agents_) result.chaos.merge(agent.chaos());
   for (const auto& link : links_) {
     result.messages +=

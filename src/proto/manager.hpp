@@ -9,6 +9,7 @@
 #include "core/metrics.hpp"
 #include "core/recovery/crash.hpp"
 #include "core/recovery/recovery_log.hpp"
+#include "core/resilience/resilience.hpp"
 #include "core/task.hpp"
 #include "core/task_allocator.hpp"
 #include "proto/channel.hpp"
@@ -100,6 +101,15 @@ class ProtocolManager : private core::lifecycle::RuntimeHooks {
   const core::ResourceVector& evicted_alloc() const noexcept {
     return core_.evicted_alloc();
   }
+  /// Resilience-layer activity counters (all zero when the layer is
+  /// disabled). Speculative waste itself is a WasteAccounting column
+  /// (accounting().breakdown(k).speculative).
+  core::ResilienceCounters resilience() const noexcept {
+    core::ResilienceCounters c = res_counters_;
+    c.storms_entered = storms_.storms_entered();
+    c.storms_exited = storms_.storms_exited();
+    return c;
+  }
 
   /// The shared lifecycle machine (parity tests and diagnostics).
   const core::lifecycle::DispatchCore& core() const noexcept { return core_; }
@@ -140,6 +150,12 @@ class ProtocolManager : private core::lifecycle::RuntimeHooks {
     std::size_t dispatch_tick = 0;
     std::size_t backoff_until = 0;  ///< not dispatchable before this tick
     std::size_t infra_failures = 0;  ///< consecutive, for backoff growth
+    /// Speculative duplicate of the in-flight attempt (same wire attempt id,
+    /// different worker). Not a core-lifecycle attempt: it exists only here
+    /// and on its worker until promoted to primary or cancelled.
+    bool spec_active = false;
+    std::uint64_t spec_worker = 0;
+    std::size_t spec_tick = 0;  ///< when the duplicate was dispatched
   };
 
   struct WorkerState {
@@ -190,6 +206,29 @@ class ProtocolManager : private core::lifecycle::RuntimeHooks {
   void remove_worker(std::uint64_t worker_id, bool quarantine);
   void dispatch_queued();
 
+  // Resilience layer (inert unless cfg_.resilience enables features).
+  /// Legacy permanent quarantine OR a reliability sentence still being
+  /// served (probation replaces the permanent flag when scoring is on).
+  bool is_quarantined(std::uint64_t worker_id) const;
+  /// At least one infrastructure casualty observed — speculation never
+  /// spends resources on a calm pool.
+  bool churn_evidence() const noexcept;
+  /// A worker fitting `alloc`, skipping `exclude`. First-fit normally; with
+  /// reliability scoring, the most reliable non-probationary fit (ties to
+  /// the lowest id), probationary workers as last resort.
+  std::optional<std::uint64_t> place_worker(
+      const core::ResourceVector& alloc,
+      std::optional<std::uint64_t> exclude) const;
+  /// Duplicates straggling Running attempts onto second workers (runs at
+  /// the end of dispatch_queued, so replay's DispatchDone marker covers it).
+  void maybe_speculate();
+  /// Cancels a task's live duplicate: frees its capacity, charges the
+  /// speculative-waste column (never the eviction ledger). No-op if none.
+  void cancel_speculation(std::uint64_t task_id);
+  /// The duplicate takes over as the primary attempt (same attempt id, so
+  /// the idempotency gate now expects its worker).
+  void promote_speculation(std::uint64_t task_id);
+
   std::span<const core::TaskSpec> tasks_;
   core::TaskAllocator& allocator_;
   std::vector<DuplexLinkPtr> links_;
@@ -209,6 +248,15 @@ class ProtocolManager : private core::lifecycle::RuntimeHooks {
   core::recovery::RecoveryConfig recovery_cfg_{};
   core::RecoveryCounters* recovery_counters_ = nullptr;
   bool replaying_ = false;
+
+  // Resilience layer. Draws no randomness: every decision is a
+  // deterministic function of the journaled inputs and the tick, so crash
+  // replay re-derives the layer's state bit-for-bit with no new record
+  // types.
+  core::resilience::DeadlineTracker deadlines_;
+  core::resilience::ReliabilityTracker reliability_;
+  core::resilience::StormDetector storms_;
+  core::ResilienceCounters res_counters_;
 };
 
 /// Builds the in-process duplex links for `num_workers`, wrapping each in
@@ -234,6 +282,8 @@ struct ProtocolRunResult {
   core::ChaosCounters chaos;
   /// Protocol-level eviction cost (see ProtocolManager::evicted_alloc).
   core::ResourceVector evicted_alloc;
+  /// Resilience-layer activity (see ProtocolManager::resilience).
+  core::ResilienceCounters resilience;
 };
 
 /// Convenience harness: builds `num_workers` WorkerAgents of the given

@@ -141,6 +141,7 @@ RecoveryRunResult RecoverableProtocolRuntime::run(std::size_t max_rounds) {
     }
   }
   result.recovery = counters_;
+  result.resilience = manager_->resilience();
   result.state_fingerprint = manager_->snapshot_body();
   return result;
 }

@@ -20,6 +20,11 @@ enum class EventKind {
   AttemptFinish,  ///< attempt of task `a` on worker `b` reaches its end
   WorkerJoin,     ///< a new opportunistic worker appears
   WorkerLeave,    ///< worker `a` is evicted from the pool
+  StormBegin,     ///< churn burst: a fraction of the pool is evicted at once
+  StormEnd,       ///< the burst window closes (joins resume)
+  SpecCheck,      ///< is task `a`'s attempt a straggler? (epoch-validated)
+  SpecFinish,     ///< speculative duplicate of `a` on `b` ends (token in epoch)
+  DeadlineKill,   ///< adaptive deadline for task `a`'s attempt expires
 };
 
 struct Event {

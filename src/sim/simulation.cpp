@@ -38,7 +38,26 @@ Simulation::Simulation(std::span<const core::TaskSpec> tasks,
       core_(tasks, allocator, dispatch_config(config), this),
       rng_(config.seed),
       pool_(config.worker_capacity),
-      timing_(tasks.size()) {
+      timing_(tasks.size()),
+      deadlines_(config.resilience),
+      storms_(config.resilience),
+      spec_(tasks.size()),
+      deadline_strikes_(tasks.size(), 0) {
+  config_.resilience.validate();
+  const ChurnConfig& ch = config_.churn;
+  if (ch.storm_evict_fraction < 0.0 || ch.storm_evict_fraction > 1.0) {
+    throw std::invalid_argument(
+        "Simulation: storm_evict_fraction must be in [0, 1]");
+  }
+  if (ch.storm_interval_s < 0.0 || ch.storm_duration_s < 0.0) {
+    throw std::invalid_argument("Simulation: storm timings must be >= 0");
+  }
+  if (ch.storm_interval_s > 0.0 &&
+      (ch.storm_duration_s <= 0.0 || ch.storm_evict_fraction <= 0.0)) {
+    throw std::invalid_argument(
+        "Simulation: storms need storm_duration_s > 0 and "
+        "storm_evict_fraction > 0");
+  }
   for (std::size_t i = 0; i < tasks_.size(); ++i) {
     if (!(tasks_[i].duration_s > 0.0)) {
       throw std::invalid_argument("Simulation: task duration must be > 0");
@@ -86,6 +105,9 @@ void Simulation::bootstrap() {
   for (std::size_t i = 0; i < tasks_.size(); ++i) {
     events_.push(static_cast<double>(i) * config_.submit_interval_s,
                  EventKind::TaskSubmit, i);
+  }
+  if (config_.churn.storm_interval_s > 0.0) {
+    events_.push(config_.churn.storm_interval_s, EventKind::StormBegin);
   }
 }
 
@@ -135,6 +157,9 @@ SimResult Simulation::result() const {
   r.tasks_fatal = core_.fatal();
   r.evictions = core_.evictions();
   r.evicted_alloc_seconds = core_.evicted_alloc();
+  r.resilience = res_counters_;
+  r.resilience.storms_entered = storms_.storms_entered();
+  r.resilience.storms_exited = storms_.storms_exited();
   return r;
 }
 
@@ -149,6 +174,9 @@ void Simulation::handle(const Event& e) {
     }
   }
   now_ = e.time;
+  // Advance the storm window on every event so degraded mode can end
+  // between evictions (no-op unless storm_control is enabled).
+  storms_.update(now_);
   switch (e.kind) {
     case EventKind::TaskSubmit:
       on_submit(e.a);
@@ -161,6 +189,22 @@ void Simulation::handle(const Event& e) {
       break;
     case EventKind::WorkerLeave:
       on_worker_leave(e.a);
+      break;
+    case EventKind::StormBegin:
+      on_storm_begin();
+      break;
+    case EventKind::StormEnd:
+      storm_active_ = false;
+      dispatch();
+      break;
+    case EventKind::SpecCheck:
+      on_spec_check(e);
+      break;
+    case EventKind::SpecFinish:
+      on_spec_finish(e);
+      break;
+    case EventKind::DeadlineKill:
+      on_deadline_kill(e);
       break;
   }
 }
@@ -176,6 +220,7 @@ void Simulation::on_worker_join() {
   // remains.
   events_.push(now_ + rng_.exponential(1.0 / config_.churn.mean_interarrival_s),
                EventKind::WorkerJoin);
+  if (storm_active_) return;  // the burst also starves the pool of joins
   if (pool_.size() >= config_.churn.max_workers) return;
   const std::uint64_t id = spawn_worker();
   ++result_.total_joins;
@@ -194,31 +239,74 @@ void Simulation::on_worker_leave(std::uint64_t worker_id) {
                  EventKind::WorkerLeave, worker_id);
     return;
   }
-  // Preemptive eviction (HTCondor-style): running attempts are cancelled and
-  // requeued with the same allocation. Their cost goes to the core's
-  // eviction ledger, never into the paper's waste metric (the algorithm did
-  // not cause the failure).
+  evict_worker(worker_id);
+  dispatch();
+}
+
+// Preemptive eviction (HTCondor-style): running attempts are cancelled and
+// requeued with the same allocation. Their cost goes to the core's eviction
+// ledger, never into the paper's waste metric (the algorithm did not cause
+// the failure). The resilience layer changes two things, both config-gated:
+// a lost speculative DUPLICATE is charged to the speculative column instead
+// (the primary attempt elsewhere keeps running — the eviction ledger counts
+// only primary attempts), and a lost PRIMARY whose live duplicate survives
+// is promoted instead of requeued.
+void Simulation::evict_worker(std::uint64_t worker_id) {
   const Worker& w = pool_.worker(worker_id);
   std::vector<std::uint64_t> victims(w.running_tasks().begin(),
                                      w.running_tasks().end());
   for (std::uint64_t task_id : victims) {
+    SpecState& sp = spec_[task_id];
+    if (sp.active && !sp.promoted && sp.worker == worker_id) {
+      // The duplicate died with the worker; the primary is untouched.
+      core_.charge_speculation(task_id, now_ - sp.start);
+      ++res_counters_.speculations_cancelled;
+      sp.active = false;
+      ++sp.token;
+      continue;
+    }
     const double elapsed = now_ - timing_[task_id].attempt_start;
     core_.charge_eviction(task_id, elapsed);
     ++timing_[task_id].epoch;  // invalidates the in-flight AttemptFinish
+    storms_.on_eviction(now_);
+    if (sp.active && !sp.promoted && sp.worker != worker_id) {
+      // The primary died but its duplicate survives elsewhere: promote it
+      // to primary instead of losing the progress to a requeue.
+      core_.rebind_running(task_id, sp.worker);
+      timing_[task_id].attempt_start = sp.start;
+      timing_[task_id].attempt_runtime = sp.runtime;
+      sp.promoted = true;
+      ++res_counters_.speculations_promoted;
+      if (observer_) observer_->on_task_evicted(now_, task_id, worker_id);
+      continue;
+    }
+    if (sp.active) {  // a promoted duplicate died with the worker
+      sp.active = false;
+      sp.promoted = false;
+      ++sp.token;
+    }
     core_.requeue_front(task_id);
     if (observer_) observer_->on_task_evicted(now_, task_id, worker_id);
   }
   pool_.remove_worker(worker_id);
   ++result_.total_leaves;
   if (observer_) observer_->on_worker_left(now_, worker_id);
-  dispatch();
 }
 
 void Simulation::dispatch() {
   // First-fit over the FIFO queue (the shared machine's dispatch pass);
   // tasks that do not fit anywhere stay queued in order.
   core_.dispatch_pass(
-      [this](std::uint64_t, const ResourceVector& alloc) {
+      [this](std::uint64_t, const ResourceVector& alloc)
+          -> std::optional<std::uint64_t> {
+        if (storms_.degraded() &&
+            pool_.running_attempts() >=
+                config_.resilience.degraded_inflight_cap) {
+          // Degraded mode: admission control caps the in-flight attempts a
+          // storm can take hostage.
+          ++res_counters_.dispatches_held;
+          return std::nullopt;
+        }
         return pool_.find_worker_for(alloc, config_.placement);
       },
       [this](std::uint64_t task_id, std::uint64_t worker_id,
@@ -239,7 +327,158 @@ void Simulation::dispatch() {
         timing_[task_id].attempt_runtime = runtime;
         events_.push(now_ + runtime, EventKind::AttemptFinish, task_id,
                      worker_id, timing_[task_id].epoch);
+        schedule_resilience_events(task_id);
       });
+}
+
+double Simulation::deadline_widen() const noexcept {
+  return storms_.degraded() ? config_.resilience.degraded_deadline_widen : 1.0;
+}
+
+void Simulation::schedule_resilience_events(std::uint64_t task_id) {
+  const auto& res = config_.resilience;
+  if (!res.enabled()) return;
+  const core::CategoryId cat = core_.category_of(task_id);
+  const TimingState& t = timing_[task_id];
+  if (res.speculation) {
+    if (const auto thr = deadlines_.straggler_threshold(cat)) {
+      events_.push(t.attempt_start + *thr, EventKind::SpecCheck, task_id, 0,
+                   t.epoch);
+    }
+  }
+  if (res.deadlines && deadlines_.adaptive(cat)) {
+    double eff = deadlines_.deadline(cat, 0.0, deadline_widen());
+    for (std::uint32_t s = 0; s < deadline_strikes_[task_id]; ++s) eff *= 2.0;
+    // Only watch attempts the enforcement model would let outlive the
+    // deadline; everything else finishes (or is killed) first anyway.
+    if (eff < t.attempt_runtime) {
+      events_.push(t.attempt_start + eff, EventKind::DeadlineKill, task_id, 0,
+                   t.epoch);
+    }
+  }
+}
+
+void Simulation::cancel_speculation(std::uint64_t task_id) {
+  SpecState& sp = spec_[task_id];
+  if (!sp.active || sp.promoted) return;
+  pool_.worker(sp.worker).finish(task_id, core_.entry(task_id).alloc);
+  core_.charge_speculation(task_id, now_ - sp.start);
+  ++res_counters_.speculations_cancelled;
+  sp.active = false;
+  ++sp.token;
+}
+
+void Simulation::on_spec_check(const Event& e) {
+  const std::uint64_t task_id = e.a;
+  const auto& res = config_.resilience;
+  const auto& entry = core_.entry(task_id);
+  SpecState& sp = spec_[task_id];
+  if (e.epoch != timing_[task_id].epoch || entry.phase != TaskPhase::Running ||
+      sp.active) {
+    return;  // the watched attempt already ended, or a duplicate exists
+  }
+  // Degraded mode suspends speculation; without churn evidence (no eviction
+  // observed yet) duplicating attempts would only burn capacity.
+  if (!res.speculation || storms_.degraded() || !churn_evidence()) return;
+  const auto thr = deadlines_.straggler_threshold(core_.category_of(task_id));
+  if (!thr) return;
+  const SimTime due = timing_[task_id].attempt_start + *thr;
+  if (due > now_) {
+    // The threshold grew since this check was scheduled; re-arm.
+    events_.push(due, EventKind::SpecCheck, task_id, 0, e.epoch);
+    return;
+  }
+  const auto worker =
+      pool_.find_worker_for(entry.alloc, config_.placement, entry.running_on);
+  if (!worker) return;
+  pool_.worker(*worker).start(task_id, entry.alloc);
+  sp.active = true;
+  sp.promoted = false;
+  sp.worker = *worker;
+  sp.start = now_;
+  // Same spec, same allocation, same enforcement model: the duplicate runs
+  // exactly as long as the primary would.
+  sp.runtime = timing_[task_id].attempt_runtime;
+  ++sp.token;
+  events_.push(now_ + sp.runtime, EventKind::SpecFinish, task_id, *worker,
+               sp.token);
+  ++res_counters_.speculations_launched;
+}
+
+void Simulation::on_spec_finish(const Event& e) {
+  const std::uint64_t task_id = e.a;
+  SpecState& sp = spec_[task_id];
+  if (!sp.active || e.epoch != sp.token || e.b != sp.worker) return;  // stale
+  if (!sp.promoted) {
+    // The primary started earlier with the same modeled runtime, so it
+    // always finishes first; only promotion makes this event meaningful.
+    cancel_speculation(task_id);
+    return;
+  }
+  const auto& entry = core_.entry(task_id);
+  if (entry.phase != TaskPhase::Running || entry.running_on != sp.worker) {
+    return;
+  }
+  pool_.worker(sp.worker).finish(task_id, entry.alloc);
+  sp.active = false;
+  sp.promoted = false;
+  ++sp.token;
+  const core::TaskSpec& spec = tasks_[task_id];
+  if (spec.demand.fits_within(entry.alloc, allocator_.config().managed)) {
+    complete_task(task_id);
+  } else {
+    fail_attempt(task_id, timing_[task_id].attempt_runtime);
+  }
+  dispatch();
+}
+
+void Simulation::on_deadline_kill(const Event& e) {
+  const std::uint64_t task_id = e.a;
+  const auto& res = config_.resilience;
+  if (!res.deadlines) return;
+  const auto& entry = core_.entry(task_id);
+  if (e.epoch != timing_[task_id].epoch || entry.phase != TaskPhase::Running) {
+    return;
+  }
+  if (!churn_evidence()) return;  // calm run: never second-guess the model
+  const core::CategoryId cat = core_.category_of(task_id);
+  if (!deadlines_.adaptive(cat)) return;
+  double eff = deadlines_.deadline(cat, 0.0, deadline_widen());
+  for (std::uint32_t s = 0; s < deadline_strikes_[task_id]; ++s) eff *= 2.0;
+  const SimTime due = timing_[task_id].attempt_start + eff;
+  if (due > now_) {
+    // The deadline widened (storm) since this kill was scheduled; re-arm.
+    events_.push(due, EventKind::DeadlineKill, task_id, 0, e.epoch);
+    return;
+  }
+  // The attempt outlived its adaptive deadline: kill and requeue with the
+  // same allocation. Like the protocol's attempt timeout this is an
+  // infrastructure loss — charged to neither the waste metric nor the
+  // eviction ledger. Each strike doubles the task's next deadline so a task
+  // genuinely longer than its category's quantile still terminates.
+  cancel_speculation(task_id);
+  pool_.worker(entry.running_on).finish(task_id, entry.alloc);
+  ++timing_[task_id].epoch;
+  ++deadline_strikes_[task_id];
+  ++res_counters_.adaptive_deadlines_used;
+  core_.requeue_front(task_id);
+  dispatch();
+}
+
+void Simulation::on_storm_begin() {
+  storm_active_ = true;
+  events_.push(now_ + config_.churn.storm_duration_s, EventKind::StormEnd);
+  events_.push(now_ + config_.churn.storm_interval_s, EventKind::StormBegin);
+  std::vector<std::uint64_t> alive;
+  alive.reserve(pool_.size());
+  for (const auto& [id, w] : pool_.workers()) alive.push_back(id);
+  for (std::uint64_t id : alive) {
+    if (pool_.size() <= 1) break;  // keep one worker so the run can progress
+    if (rng_.uniform01() < config_.churn.storm_evict_fraction) {
+      evict_worker(id);
+    }
+  }
+  dispatch();
 }
 
 void Simulation::on_attempt_finish(const Event& e) {
@@ -249,6 +488,8 @@ void Simulation::on_attempt_finish(const Event& e) {
       entry.running_on != e.b) {
     return;  // stale: the attempt was evicted before it finished
   }
+  // The primary delivered first: the duplicate (if any) lost the race.
+  cancel_speculation(task_id);
   pool_.worker(e.b).finish(task_id, entry.alloc);
   const core::TaskSpec& spec = tasks_[task_id];
   if (spec.demand.fits_within(entry.alloc, allocator_.config().managed)) {
@@ -284,6 +525,17 @@ void Simulation::task_fatal(std::uint64_t task_id) {
                  "limit reached");
 }
 
+void Simulation::task_completed(std::uint64_t task_id,
+                                const core::ResourceVector& /*measured_peak*/,
+                                double runtime_s) {
+  // Feed the category's wall-time histogram. Only successful attempts count:
+  // killed attempts end early and would drag the quantiles toward the
+  // enforcement model's kill times instead of real category runtimes.
+  if (config_.resilience.deadlines || config_.resilience.speculation) {
+    deadlines_.observe(core_.category_of(task_id), runtime_s);
+  }
+}
+
 void Simulation::save_state(util::ByteWriter& w) const {
   w.u8(started_ ? 1 : 0);
   w.u8(finished_ ? 1 : 0);
@@ -310,6 +562,22 @@ void Simulation::save_state(util::ByteWriter& w) const {
   w.u64(result_.peak_workers);
   for (ResourceKind k : core::kAllResources) w.f64(result_.committed_integral[k]);
   for (ResourceKind k : core::kAllResources) w.f64(result_.capacity_integral[k]);
+  // Resilience layer (appended last; all-zero for disabled configs, so the
+  // layout is uniform).
+  deadlines_.save(w);
+  storms_.save(w);
+  w.u8(storm_active_ ? 1 : 0);
+  w.u64(spec_.size());
+  for (const SpecState& sp : spec_) {
+    w.u8(sp.active ? 1 : 0);
+    w.u8(sp.promoted ? 1 : 0);
+    w.u64(sp.worker);
+    w.f64(sp.start);
+    w.f64(sp.runtime);
+    w.u64(sp.token);
+  }
+  for (std::uint32_t s : deadline_strikes_) w.u32(s);
+  res_counters_.save(w);
 }
 
 void Simulation::load_state(util::ByteReader& r) {
@@ -344,6 +612,23 @@ void Simulation::load_state(util::ByteReader& r) {
   result_.peak_workers = r.u64();
   for (ResourceKind k : core::kAllResources) result_.committed_integral[k] = r.f64();
   for (ResourceKind k : core::kAllResources) result_.capacity_integral[k] = r.f64();
+  deadlines_.load(r);
+  storms_.load(r);
+  storm_active_ = r.u8() != 0;
+  if (r.u64() != spec_.size()) {
+    throw std::runtime_error(
+        "Simulation: snapshot speculation count does not match the workload");
+  }
+  for (SpecState& sp : spec_) {
+    sp.active = r.u8() != 0;
+    sp.promoted = r.u8() != 0;
+    sp.worker = r.u64();
+    sp.start = r.f64();
+    sp.runtime = r.f64();
+    sp.token = r.u64();
+  }
+  for (std::uint32_t& s : deadline_strikes_) s = r.u32();
+  res_counters_.load(r);
 }
 
 }  // namespace tora::sim

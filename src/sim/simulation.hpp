@@ -6,6 +6,7 @@
 
 #include "core/lifecycle/dispatch_core.hpp"
 #include "core/metrics.hpp"
+#include "core/resilience/resilience.hpp"
 #include "core/resources.hpp"
 #include "core/task.hpp"
 #include "core/task_allocator.hpp"
@@ -56,6 +57,15 @@ struct SimConfig {
   /// Constant disables recency weighting (the ablation baseline).
   enum class SignificanceMode { TaskId, Constant };
   SignificanceMode significance = SignificanceMode::TaskId;
+
+  /// Churn-adaptive resilience layer (core/resilience/): adaptive deadlines,
+  /// speculative re-dispatch and storm degradation. Default-off; every
+  /// feature is additionally gated on churn evidence (at least one eviction
+  /// observed), so a calm run's waste and makespan are unchanged even with
+  /// the layer enabled. The simulator never applies reliability scoring —
+  /// simulated workers vanish on eviction and never return, so there is no
+  /// worker identity to score (the protocol runtime applies it).
+  core::resilience::ResilienceConfig resilience;
 };
 
 /// Lifecycle of a task inside the simulator — the shared machine's phase
@@ -82,6 +92,10 @@ struct SimResult {
   /// (opportunistic workers soaking up idle capacity).
   core::ResourceVector committed_integral;
   core::ResourceVector capacity_integral;
+  /// Resilience-layer activity (all zero when the layer is disabled or
+  /// never triggered). Speculative waste itself is a WasteAccounting column
+  /// (accounting.breakdown(k).speculative).
+  core::ResilienceCounters resilience;
 
   /// Fraction of the pool's capacity-time that was committed to tasks.
   /// 0 when nothing was observed.
@@ -161,7 +175,26 @@ class Simulation final : private core::lifecycle::RuntimeHooks {
     SimTime attempt_runtime = 0.0;
   };
 
+  /// Speculative-duplicate state, parallel to TimingState. The duplicate is
+  /// not a core-lifecycle attempt: it exists only in the simulator (and the
+  /// worker it occupies) until it is promoted to primary or cancelled.
+  struct SpecState {
+    bool active = false;
+    /// The duplicate took over as the primary attempt (the original was
+    /// evicted); its SpecFinish now carries the attempt outcome.
+    bool promoted = false;
+    std::uint64_t worker = 0;
+    SimTime start = 0.0;
+    SimTime runtime = 0.0;
+    /// Invalidates in-flight SpecFinish/SpecCheck events on cancellation
+    /// (the simulator's epoch pattern, scoped to the duplicate).
+    std::uint64_t token = 0;
+  };
+
   void task_fatal(std::uint64_t task_id) override;  // RuntimeHooks
+  void task_completed(std::uint64_t task_id,
+                      const core::ResourceVector& measured_peak,
+                      double runtime_s) override;  // RuntimeHooks
 
   void bootstrap();
   void handle(const Event& e);
@@ -174,6 +207,17 @@ class Simulation final : private core::lifecycle::RuntimeHooks {
   void fail_attempt(std::uint64_t task_id, SimTime runtime);
   void schedule_worker_lifetime(std::uint64_t worker_id);
   std::uint64_t spawn_worker();
+
+  // Resilience layer.
+  bool churn_evidence() const noexcept { return core_.evictions() > 0; }
+  double deadline_widen() const noexcept;
+  void evict_worker(std::uint64_t worker_id);
+  void cancel_speculation(std::uint64_t task_id);
+  void on_spec_check(const Event& e);
+  void on_spec_finish(const Event& e);
+  void on_deadline_kill(const Event& e);
+  void on_storm_begin();
+  void schedule_resilience_events(std::uint64_t task_id);
 
   std::span<const core::TaskSpec> tasks_;
   core::TaskAllocator& allocator_;
@@ -188,6 +232,17 @@ class Simulation final : private core::lifecycle::RuntimeHooks {
   bool started_ = false;
   bool finished_ = false;
   SimObserver* observer_ = nullptr;
+
+  // Resilience layer (inert unless config_.resilience enables features).
+  core::resilience::DeadlineTracker deadlines_;
+  core::resilience::StormDetector storms_;
+  std::vector<SpecState> spec_;
+  /// Adaptive-deadline kills already suffered per task; each strike doubles
+  /// the next effective deadline, so a task longer than its category's
+  /// deadline still makes progress.
+  std::vector<std::uint32_t> deadline_strikes_;
+  core::ResilienceCounters res_counters_;
+  bool storm_active_ = false;
 };
 
 }  // namespace tora::sim

@@ -56,10 +56,12 @@ double slack_after(const Worker& w, const core::ResourceVector& alloc) {
 }  // namespace
 
 std::optional<std::uint64_t> WorkerPool::find_worker_for(
-    const core::ResourceVector& alloc, Placement placement) const {
+    const core::ResourceVector& alloc, Placement placement,
+    std::optional<std::uint64_t> exclude) const {
   std::optional<std::uint64_t> best;
   double best_slack = 0.0;
   for (const auto& [id, w] : workers_) {
+    if (exclude && id == *exclude) continue;
     if (w.draining() || !w.can_fit(alloc)) continue;
     if (placement == Placement::FirstFit) return id;
     const double slack = slack_after(w, alloc);

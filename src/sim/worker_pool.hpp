@@ -27,6 +27,16 @@ struct ChurnConfig {
   std::size_t max_workers = 50;
   double mean_interarrival_s = 120.0;
   double mean_lifetime_s = 3600.0;
+
+  /// Eviction-storm bursts on top of the Poisson churn (0 = no storms, the
+  /// default — storms never alter an existing scenario unless asked for).
+  /// Every `storm_interval_s` a burst begins: each alive worker is evicted
+  /// with probability `storm_evict_fraction` (min_workers is ignored — the
+  /// burst models a scavenger losing its borrowed cluster), and joins are
+  /// suppressed for `storm_duration_s`.
+  double storm_interval_s = 0.0;
+  double storm_duration_s = 0.0;
+  double storm_evict_fraction = 0.0;
 };
 
 /// How the scheduler chooses among workers that can fit an allocation.
@@ -68,9 +78,12 @@ class WorkerPool {
   std::size_t size() const noexcept { return workers_.size(); }
 
   /// A non-draining worker that fits `alloc`, chosen per `placement`.
+  /// `exclude` is skipped (speculative duplicates must not land on the
+  /// worker already running the primary attempt).
   std::optional<std::uint64_t> find_worker_for(
       const core::ResourceVector& alloc,
-      Placement placement = Placement::FirstFit) const;
+      Placement placement = Placement::FirstFit,
+      std::optional<std::uint64_t> exclude = std::nullopt) const;
 
   /// Sum of running attempts across alive workers.
   std::size_t running_attempts() const noexcept;

@@ -69,6 +69,59 @@ TEST(CliParse, EmptyIsHelp) {
   EXPECT_EQ(parse_options({}).command, "help");
 }
 
+TEST(CliParse, ResilienceKnobs) {
+  // Defaults: the whole layer is off and no storm scenario is scheduled.
+  const Options d = parse_options({"run", "--workflow", "uniform"});
+  EXPECT_FALSE(d.resilience.enabled());
+  EXPECT_DOUBLE_EQ(d.storm_interval_s, 0.0);
+
+  const Options o = parse_options(
+      {"run", "--workflow", "uniform", "--deadline-quantile", "0.9",
+       "--speculation", "--storm-threshold", "4", "--probation", "30",
+       "--storm-interval", "600", "--storm-duration", "45",
+       "--storm-fraction", "0.7"});
+  EXPECT_TRUE(o.resilience.deadlines);
+  EXPECT_DOUBLE_EQ(o.resilience.deadline_quantile, 0.9);
+  EXPECT_TRUE(o.resilience.speculation);
+  EXPECT_TRUE(o.resilience.storm_control);
+  EXPECT_EQ(o.resilience.storm_enter, 4u);
+  EXPECT_TRUE(o.resilience.reliability);
+  EXPECT_DOUBLE_EQ(o.resilience.probation_sentence, 30.0);
+  EXPECT_DOUBLE_EQ(o.storm_interval_s, 600.0);
+  EXPECT_DOUBLE_EQ(o.storm_duration_s, 45.0);
+  EXPECT_DOUBLE_EQ(o.storm_fraction, 0.7);
+
+  // --storm-interval alone picks sensible burst defaults.
+  const Options s =
+      parse_options({"run", "--workflow", "uniform", "--storm-interval", "300"});
+  EXPECT_DOUBLE_EQ(s.storm_duration_s, 60.0);
+  EXPECT_DOUBLE_EQ(s.storm_fraction, 0.5);
+}
+
+TEST(CliParse, ResilienceKnobValidation) {
+  // Validation happens at parse time (ResilienceConfig::validate), so a bad
+  // knob fails before any simulation starts.
+  const auto bad = [](std::vector<std::string> extra) {
+    std::vector<std::string> args = {"run", "--workflow", "x"};
+    for (auto& a : extra) args.push_back(std::move(a));
+    EXPECT_THROW(parse_options(args), std::invalid_argument);
+  };
+  bad({"--deadline-quantile", "0"});
+  bad({"--deadline-quantile", "1.5"});
+  bad({"--deadline-quantile", "abc"});
+  bad({"--storm-threshold", "0"});
+  bad({"--probation", "0"});
+  bad({"--probation", "-3"});
+  bad({"--storm-interval", "0"});
+  bad({"--storm-interval", "-10"});
+  bad({"--storm-duration", "0"});
+  bad({"--storm-fraction", "1.5"});
+  bad({"--storm-fraction", "0"});
+  // Burst shape without a schedule is a contradiction, not a silent no-op.
+  bad({"--storm-duration", "30"});
+  bad({"--storm-fraction", "0.5"});
+}
+
 TEST(CliSplit, List) {
   EXPECT_EQ(split_list("a,b,c"), (std::vector<std::string>{"a", "b", "c"}));
   EXPECT_EQ(split_list("a,,b"), (std::vector<std::string>{"a", "b"}));

@@ -20,6 +20,7 @@
 
 #include "core/lifecycle/dispatch_core.hpp"
 #include "core/registry.hpp"
+#include "core/resilience/resilience.hpp"
 #include "core/task.hpp"
 #include "proto/manager.hpp"
 #include "proto/worker_agent.hpp"
@@ -140,6 +141,64 @@ TEST(DispatchParity, SimAndProtoAgreeBitForBit) {
     EXPECT_DOUBLE_EQ(sa.awe(k), pa.awe(k));
   }
   EXPECT_EQ(sa.total_attempts(), pa.total_attempts());
+}
+
+TEST(DispatchParity, ResilienceEnabledKeepsBitForBitParity) {
+  // The churn-adaptive resilience layer gates every intervention on churn
+  // evidence, so in the serialized fault-free setup an ENABLED layer must
+  // leave both runtimes on the legacy trajectory: sim-with-resilience,
+  // proto-with-resilience and the plain disabled run all agree bit-for-bit.
+  const auto tasks = parity_workload(30);
+
+  tora::core::resilience::ResilienceConfig res;
+  res.deadlines = true;
+  res.speculation = true;
+  res.reliability = true;
+  res.storm_control = true;
+  res.min_records = 2;
+
+  auto sim_alloc = tora::core::make_allocator(tora::core::kMaxSeen, 7);
+  auto sim_cfg = serial_sim_config();
+  sim_cfg.resilience = res;
+  tora::sim::Simulation sim(tasks, sim_alloc, sim_cfg);
+  const auto sim_result = sim.run();
+
+  auto proto_alloc = tora::core::make_allocator(tora::core::kMaxSeen, 7);
+  tora::proto::LivenessConfig proto_cfg;
+  proto_cfg.resilience = res;
+  auto link = std::make_shared<tora::proto::DuplexLink>();
+  tora::proto::ProtocolManager manager(tasks, proto_alloc, {link}, proto_cfg);
+  tora::proto::WorkerAgent agent(0, kCapacity, tasks, link);
+  run_proto(tasks, proto_alloc, manager, agent);
+
+  // A third, resilience-OFF run pins the legacy trajectory.
+  auto base_alloc = tora::core::make_allocator(tora::core::kMaxSeen, 7);
+  tora::sim::Simulation base(tasks, base_alloc, serial_sim_config());
+  const auto base_result = base.run();
+
+  EXPECT_EQ(sim_result.tasks_completed, tasks.size());
+  EXPECT_EQ(manager.tasks_completed(), sim_result.tasks_completed);
+  EXPECT_EQ(base_result.tasks_completed, sim_result.tasks_completed);
+  EXPECT_EQ(sim_result.makespan_s, base_result.makespan_s);
+
+  const auto& sa = sim_result.accounting;
+  const auto& pa = manager.accounting();
+  const auto& ba = base_result.accounting;
+  for (ResourceKind k : tora::core::kManagedResources) {
+    expect_breakdown_eq(sa.breakdown(k), pa.breakdown(k));
+    expect_breakdown_eq(sa.breakdown(k), ba.breakdown(k));
+    EXPECT_DOUBLE_EQ(sa.awe(k), pa.awe(k));
+    EXPECT_DOUBLE_EQ(sa.awe(k), ba.awe(k));
+    // No churn evidence -> no speculation -> the column stays empty.
+    EXPECT_DOUBLE_EQ(sa.breakdown(k).speculative, 0.0);
+    EXPECT_DOUBLE_EQ(pa.breakdown(k).speculative, 0.0);
+  }
+  EXPECT_EQ(sa.total_attempts(), pa.total_attempts());
+  EXPECT_EQ(sa.total_attempts(), ba.total_attempts());
+
+  // And zero resilience interventions on either side.
+  EXPECT_EQ(sim_result.resilience, tora::core::ResilienceCounters{});
+  EXPECT_EQ(manager.resilience(), tora::core::ResilienceCounters{});
 }
 
 TEST(DispatchParity, GreedyBucketingCompletionCountsAgree) {

@@ -174,6 +174,55 @@ TEST(RecoveryEquality, RepeatedCrashesAtTheSameTickResumeCleanly) {
   EXPECT_EQ(crashed.state_fingerprint, baseline.state_fingerprint);
 }
 
+TEST(RecoveryEquality, ResilienceLayerStateIsBitExactAcrossCrashes) {
+  // The churn-adaptive resilience layer (histograms, reliability scores,
+  // storm window, counters) is part of snapshot_body(), and every decision
+  // it takes is a deterministic function of journaled inputs + tick — so a
+  // crashed run with the full layer enabled must land on the crash-free
+  // fingerprint with NO new journal record types. Channel chaos plus tight
+  // liveness windows make the layer actually engage (timeouts, deaths,
+  // quarantines feed the trackers) rather than idling behind its
+  // churn-evidence gate.
+  const auto tasks = mixed_tasks(16);
+  ChaosConfig chaos;
+  chaos.seed = 17;
+  chaos.to_manager.drop_prob = 0.20;
+  chaos.to_worker.drop_prob = 0.15;
+  chaos.liveness.silence_ticks = 5;
+  chaos.liveness.attempt_timeout_ticks = 6;
+  chaos.liveness.worker_failure_limit = 2;
+  chaos.liveness.resilience.deadlines = true;
+  chaos.liveness.resilience.speculation = true;
+  chaos.liveness.resilience.reliability = true;
+  chaos.liveness.resilience.storm_control = true;
+  chaos.liveness.resilience.min_records = 2;
+  chaos.liveness.resilience.probation_sentence = 4.0;
+  chaos.liveness.resilience.storm_window = 16.0;
+  chaos.liveness.resilience.storm_enter = 2;
+
+  const RecoveryRunResult baseline =
+      run_once(tasks, "max_seen", chaos, CrashSchedule{}, 4);
+  ASSERT_EQ(baseline.tasks_completed + baseline.tasks_fatal, tasks.size());
+  // The layer must have actually done something, or this test is vacuous.
+  const auto& res = baseline.resilience;
+  EXPECT_GT(res.speculations_launched + res.adaptive_deadlines_used +
+                res.storms_entered + res.probation_admissions,
+            0u);
+
+  CrashSchedule crashes({{2, ManagerCrashPoint::AfterDrain},
+                         {3, ManagerCrashPoint::PumpEnd},
+                         {4, ManagerCrashPoint::AfterLiveness},
+                         {5, ManagerCrashPoint::PumpBegin}});
+  const RecoveryRunResult crashed =
+      run_once(tasks, "max_seen", chaos, crashes, 4);
+  EXPECT_EQ(crashed.recovery.recoveries, 4u);
+  EXPECT_EQ(crashed.tasks_completed, baseline.tasks_completed);
+  EXPECT_EQ(crashed.state_fingerprint, baseline.state_fingerprint);
+  // The resilience counters are inside the fingerprint, but compare them
+  // directly too for a readable failure.
+  EXPECT_EQ(crashed.resilience, baseline.resilience);
+}
+
 // ----------------------------------------------------- loss-prone crashes
 
 TEST(RecoveryRecoverability, BeforeJournalSyncLosesInputsButCompletes) {
