@@ -11,8 +11,11 @@
 #include "core/registry.hpp"
 #include "exp/experiment.hpp"
 #include "exp/report.hpp"
+#include "proto/manager.hpp"
+#include "proto/net/tcp_runtime.hpp"
 #include "sim/observer.hpp"
 #include "util/csv.hpp"
+#include "util/rng.hpp"
 #include "workloads/trace.hpp"
 #include "workloads/workload.hpp"
 
@@ -42,6 +45,24 @@ double parse_f64(const std::string& s, const char* what) {
     throw std::invalid_argument(std::string("invalid value for ") + what +
                                 ": '" + s + "'");
   }
+}
+
+// Splits "--listen HOST:PORT" into its parts; the port must be a decimal
+// in [0, 65535] (0 asks the kernel for an ephemeral port).
+void parse_listen(const std::string& s, std::string* host,
+                  std::uint16_t* port) {
+  const std::size_t colon = s.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == s.size()) {
+    throw std::invalid_argument("invalid --listen '" + s +
+                                "' (expected HOST:PORT)");
+  }
+  const std::uint64_t p = parse_u64(s.substr(colon + 1), "--listen port");
+  if (p > 65535) {
+    throw std::invalid_argument("invalid --listen port '" + s.substr(colon + 1) +
+                                "' (expected 0..65535)");
+  }
+  *host = s.substr(0, colon);
+  *port = static_cast<std::uint16_t>(p);
 }
 
 sim::Placement parse_placement(const std::string& s) {
@@ -191,6 +212,61 @@ int cmd_run(const Options& opts, std::ostream& out) {
   return 0;
 }
 
+void print_proto_report(const Options& opts, const std::string& workflow_name,
+                        std::size_t num_tasks, const proto::ProtocolRunResult& r,
+                        std::ostream& out) {
+  out << "workflow " << workflow_name << " (" << num_tasks << " tasks) under "
+      << opts.policy << " over " << opts.transport << " transport\n\n";
+  exp::TextTable table({"resource", "AWE", "consumption", "allocation",
+                        "fragmentation", "failed"});
+  for (core::ResourceKind k : core::kManagedResources) {
+    const auto& b = r.accounting.breakdown(k);
+    table.add_row({std::string(core::to_string(k)),
+                   exp::fmt_pct(r.accounting.awe(k)), exp::fmt(b.consumption, 0),
+                   exp::fmt(b.allocation, 0),
+                   exp::fmt(b.internal_fragmentation, 0),
+                   exp::fmt(b.failed_allocation, 0)});
+  }
+  table.print(out);
+  out << "\ntasks completed " << r.tasks_completed << ", fatal "
+      << r.tasks_fatal << ", rounds " << r.rounds << ", messages "
+      << r.messages << ", bytes " << r.bytes << "\n";
+}
+
+int cmd_proto(const Options& opts, std::ostream& out) {
+  const workloads::Workload workload = load_workflow(opts);
+  const exp::ExperimentConfig cfg = experiment_config(opts);
+  core::TaskAllocator allocator = core::make_allocator(
+      opts.policy, cfg.policy_seed, cfg.sim.worker_capacity, cfg.registry);
+
+  if (opts.transport == "tcp") {
+    proto::net::TcpTransportConfig tcp;
+    tcp.host = opts.tcp_host;
+    tcp.port = opts.tcp_port;
+    tcp.backoff_base = opts.tcp_backoff_base;
+    tcp.backoff_cap = opts.tcp_backoff_cap;
+    tcp.seed ^= opts.seed;
+    proto::net::TcpProtocolRuntime rt(workload.tasks, allocator, opts.workers,
+                                      cfg.sim.worker_capacity, tcp);
+    const proto::net::TcpRunResult r = rt.run();
+    print_proto_report(opts, workload.name, workload.tasks.size(), r, out);
+    const auto& t = r.transport;
+    out << "transport: connections " << t.connections_accepted
+        << " accepted, handshakes " << t.handshakes_ok << " ok / "
+        << t.handshakes_rejected << " rejected, reconnects " << t.reconnects
+        << ", resumes " << t.sessions_resumed << ", frames "
+        << t.frames_sent << " sent / " << t.frames_received
+        << " received\nstate fingerprint "
+        << util::hash64(r.state_fingerprint) << "\n";
+    return 0;
+  }
+  proto::ProtocolRuntime rt(workload.tasks, allocator, opts.workers,
+                            cfg.sim.worker_capacity);
+  const proto::ProtocolRunResult r = rt.run();
+  print_proto_report(opts, workload.name, workload.tasks.size(), r, out);
+  return 0;
+}
+
 int cmd_grid(const Options& opts, std::ostream& out) {
   const auto workflows = opts.workflows.empty()
                              ? workloads::all_workflow_names()
@@ -283,6 +359,7 @@ std::string usage() {
 
 usage:
   tora run   --workflow <name|trace.csv> [--policy NAME] [options]
+  tora proto --workflow <name|trace.csv> [--transport inproc|tcp] [options]
   tora grid  [--workflows a,b,...] [--policies x,y,...] [options]
   tora trace --workflow <name> [--out FILE]
   tora plot  --csv fig5_awe.csv [--resource R] [--filter-workflow W]
@@ -303,6 +380,14 @@ options:
   --resource R         plot: only this resource (cores|memory_mb|disk_mb)
   --filter-workflow W  plot: only this workflow
 
+proto transport (see docs/transport.md):
+  --transport T        inproc (default) or tcp — same manager and workers,
+                       but every message crosses a loopback TCP session
+  --listen HOST:PORT   tcp: manager listen address (default 127.0.0.1:0,
+                       port 0 picks an ephemeral port)
+  --backoff-base S     tcp: first reconnect delay (default 1)
+  --backoff-cap S      tcp: reconnect backoff ceiling (default 16)
+
 resilience (default off; see docs/resilience.md):
   --deadline-quantile Q  adaptive attempt deadlines at quantile Q (0 < Q <= 1)
   --speculation          speculatively re-dispatch straggling attempts
@@ -321,11 +406,16 @@ Options parse_options(const std::vector<std::string>& args) {
     return opts;
   }
   opts.command = args[0];
-  if (opts.command != "run" && opts.command != "grid" &&
-      opts.command != "trace" && opts.command != "plot" &&
-      opts.command != "list" && opts.command != "help") {
+  if (opts.command != "run" && opts.command != "proto" &&
+      opts.command != "grid" && opts.command != "trace" &&
+      opts.command != "plot" && opts.command != "list" &&
+      opts.command != "help") {
     throw std::invalid_argument("unknown command '" + opts.command + "'");
   }
+  // First transport flag seen, for the contradiction diagnostics below
+  // (flag order must not matter, so checks run after the loop).
+  std::string transport_flag;
+  std::string tcp_only_flag;
   for (std::size_t i = 1; i < args.size(); ++i) {
     const std::string& a = args[i];
     const auto value = [&]() -> const std::string& {
@@ -360,6 +450,29 @@ Options parse_options(const std::vector<std::string>& args) {
       if (opts.replications == 0) {
         throw std::invalid_argument("--replications must be >= 1");
       }
+    }
+    else if (a == "--transport") {
+      opts.transport = value();
+      if (opts.transport != "inproc" && opts.transport != "tcp") {
+        throw std::invalid_argument("invalid --transport '" + opts.transport +
+                                    "' (expected inproc|tcp)");
+      }
+      if (transport_flag.empty()) transport_flag = a;
+    } else if (a == "--listen") {
+      parse_listen(value(), &opts.tcp_host, &opts.tcp_port);
+      if (tcp_only_flag.empty()) tcp_only_flag = a;
+    } else if (a == "--backoff-base") {
+      opts.tcp_backoff_base = parse_f64(value(), "--backoff-base");
+      if (opts.tcp_backoff_base <= 0.0) {
+        throw std::invalid_argument("--backoff-base must be > 0");
+      }
+      if (tcp_only_flag.empty()) tcp_only_flag = a;
+    } else if (a == "--backoff-cap") {
+      opts.tcp_backoff_cap = parse_f64(value(), "--backoff-cap");
+      if (opts.tcp_backoff_cap <= 0.0) {
+        throw std::invalid_argument("--backoff-cap must be > 0");
+      }
+      if (tcp_only_flag.empty()) tcp_only_flag = a;
     }
     else if (a == "--resource") opts.resource_filter = value();
     else if (a == "--filter-workflow") opts.workflow_filter = value();
@@ -405,7 +518,24 @@ Options parse_options(const std::vector<std::string>& args) {
     throw std::invalid_argument(
         "--storm-duration/--storm-fraction require --storm-interval");
   }
-  if ((opts.command == "run" || opts.command == "trace") &&
+  // Transport flags are proto-only, and the TCP knobs contradict the
+  // in-process transport — fail here, before any sockets open.
+  const std::string& any_transport_flag =
+      !transport_flag.empty() ? transport_flag : tcp_only_flag;
+  if (!any_transport_flag.empty() && opts.command != "proto") {
+    throw std::invalid_argument("option '" + any_transport_flag +
+                                "' is only valid for command 'proto'");
+  }
+  if (!tcp_only_flag.empty() && opts.transport != "tcp") {
+    throw std::invalid_argument(
+        "option '" + tcp_only_flag +
+        "' requires --transport tcp (transport is '" + opts.transport + "')");
+  }
+  if (opts.tcp_backoff_cap < opts.tcp_backoff_base) {
+    throw std::invalid_argument("--backoff-cap must be >= --backoff-base");
+  }
+  if ((opts.command == "run" || opts.command == "proto" ||
+       opts.command == "trace") &&
       opts.workflow.empty()) {
     throw std::invalid_argument("command '" + opts.command +
                                 "' requires --workflow");
@@ -424,6 +554,7 @@ int run_command(const Options& opts, std::ostream& out) {
   if (opts.command == "list") return cmd_list(out);
   if (opts.command == "trace") return cmd_trace(opts, out);
   if (opts.command == "run") return cmd_run(opts, out);
+  if (opts.command == "proto") return cmd_proto(opts, out);
   if (opts.command == "grid") return cmd_grid(opts, out);
   if (opts.command == "plot") return cmd_plot(opts, out);
   throw std::logic_error("unreachable command");

@@ -15,12 +15,13 @@ namespace tora::cli {
 ///
 /// Subcommands:
 ///   run    — simulate one workflow under one policy, print the report
+///   proto  — drive the manager/worker wire protocol (inproc or TCP)
 ///   grid   — the full Fig. 5-style AWE grid
 ///   trace  — dump a generated workload as CSV
 ///   plot   — render an AWE CSV (fig5_awe.csv / `grid --out`) as ASCII bars
 ///   list   — print known policies and workflows
 struct Options {
-  std::string command;  // "run" | "grid" | "trace" | "plot" | "list" | "help"
+  std::string command;  // "run"|"proto"|"grid"|"trace"|"plot"|"list"|"help"
   std::string workflow;             // name or path to a trace CSV
   std::string policy = "exhaustive_bucketing";
   std::string csv_path;             // plot: input CSV
@@ -45,6 +46,15 @@ struct Options {
   double storm_interval_s = 0.0;
   double storm_duration_s = 0.0;
   double storm_fraction = 0.0;
+  /// proto: "inproc" pumps manager and agents over in-process channels;
+  /// "tcp" runs the same pair over loopback sockets through the session
+  /// layer. The TCP-only knobs (--listen / --backoff-*) contradict
+  /// --transport inproc and are rejected at parse time.
+  std::string transport = "inproc";
+  std::string tcp_host = "127.0.0.1";  // --listen HOST:PORT
+  std::uint16_t tcp_port = 0;          // 0 picks an ephemeral port
+  double tcp_backoff_base = 1.0;       // --backoff-base
+  double tcp_backoff_cap = 16.0;       // --backoff-cap
 };
 
 /// Parses argv (excluding argv[0]). Throws std::invalid_argument with a

@@ -230,6 +230,31 @@ void ChaosCounters::merge(const ChaosCounters& other) noexcept {
   duplicate_dispatches += other.duplicate_dispatches;
   misaddressed_messages += other.misaddressed_messages;
   worker_crashes += other.worker_crashes;
+  dispatches_deferred_backpressure += other.dispatches_deferred_backpressure;
+}
+
+void TransportCounters::merge(const TransportCounters& other) noexcept {
+  connections_accepted += other.connections_accepted;
+  connections_opened += other.connections_opened;
+  connections_closed += other.connections_closed;
+  connect_failures += other.connect_failures;
+  keepalive_closes += other.keepalive_closes;
+  reconnects += other.reconnects;
+  handshakes_ok += other.handshakes_ok;
+  handshakes_rejected += other.handshakes_rejected;
+  sessions_resumed += other.sessions_resumed;
+  frames_replayed += other.frames_replayed;
+  frames_sent += other.frames_sent;
+  frames_received += other.frames_received;
+  bytes_sent += other.bytes_sent;
+  bytes_received += other.bytes_received;
+  partial_writes += other.partial_writes;
+  oversized_frames += other.oversized_frames;
+  corrupt_control_frames += other.corrupt_control_frames;
+  backpressure_events += other.backpressure_events;
+  heartbeats_coalesced += other.heartbeats_coalesced;
+  heartbeats_shed += other.heartbeats_shed;
+  send_queue_overflows += other.send_queue_overflows;
 }
 
 void RecoveryCounters::merge(const RecoveryCounters& other) noexcept {

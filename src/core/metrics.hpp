@@ -179,6 +179,11 @@ struct ChaosCounters {
   std::size_t misaddressed_messages = 0;
   std::size_t worker_crashes = 0;
 
+  // Transport level (socket backend only; always 0 on in-process links).
+  /// Placements skipped because the worker's send queue was backpressured —
+  /// dispatching into a congested link would only time out on the wire.
+  std::size_t dispatches_deferred_backpressure = 0;
+
   /// Field-wise sum, for aggregating the slices of one run.
   void merge(const ChaosCounters& other) noexcept;
 
@@ -246,6 +251,47 @@ struct ResilienceCounters {
   void load(util::ByteReader& r);
 
   bool operator==(const ResilienceCounters&) const = default;
+};
+
+/// Counters for the real socket transport (proto/net/): connection
+/// lifecycle, session handshakes and resumes, wire traffic, backpressure
+/// and shedding. Aggregated per endpoint; deliberately OUTSIDE the
+/// manager's snapshot state — they describe the network substrate, which
+/// survives a manager crash exactly like the in-process links do.
+struct TransportCounters {
+  // Connection lifecycle.
+  std::size_t connections_accepted = 0;
+  std::size_t connections_opened = 0;  ///< outbound connects completed
+  std::size_t connections_closed = 0;  ///< any cause, both directions
+  std::size_t connect_failures = 0;    ///< refused / failed dials
+  std::size_t keepalive_closes = 0;    ///< idle beyond the keepalive window
+  std::size_t reconnects = 0;          ///< re-dials after an established loss
+
+  // Session layer.
+  std::size_t handshakes_ok = 0;
+  std::size_t handshakes_rejected = 0;  ///< bad hello: garbage/version/token
+  std::size_t sessions_resumed = 0;
+  std::size_t frames_replayed = 0;  ///< unacked frames re-sent on resume
+
+  // Wire traffic.
+  std::size_t frames_sent = 0;
+  std::size_t frames_received = 0;
+  std::size_t bytes_sent = 0;
+  std::size_t bytes_received = 0;
+  std::size_t partial_writes = 0;    ///< short send() resumed later
+  std::size_t oversized_frames = 0;  ///< peer exceeded the frame limit
+  std::size_t corrupt_control_frames = 0;  ///< undecodable session frames
+
+  // Backpressure and shedding.
+  std::size_t backpressure_events = 0;    ///< queue crossed the high mark
+  std::size_t heartbeats_coalesced = 0;   ///< replaced by a newer one
+  std::size_t heartbeats_shed = 0;        ///< dropped at the hard cap
+  std::size_t send_queue_overflows = 0;   ///< payload pushed past the cap
+
+  /// Field-wise sum, for aggregating the slices of one run.
+  void merge(const TransportCounters& other) noexcept;
+
+  bool operator==(const TransportCounters&) const = default;
 };
 
 }  // namespace tora::core

@@ -43,6 +43,7 @@ const char* to_string(RecordType t) noexcept {
     case RecordType::Input: return "input";
     case RecordType::LivenessDone: return "liveness-done";
     case RecordType::DispatchDone: return "dispatch-done";
+    case RecordType::Backpressure: return "backpressure";
     case RecordType::CategoryInterned: return "category-interned";
     case RecordType::TaskSubmitted: return "task-submitted";
     case RecordType::AllocationCommitted: return "allocation-committed";

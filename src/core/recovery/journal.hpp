@@ -34,6 +34,9 @@ enum class RecordType : std::uint8_t {
   Input = 0x04,         ///< u32 link, str line — one polled wire line
   LivenessDone = 0x05,  ///< (empty) the liveness phase of this tick ran
   DispatchDone = 0x06,  ///< (empty) the dispatch phase of this tick ran
+  Backpressure = 0x07,  ///< u32 count, count × u32 links — transport
+                        ///< backpressure observed before the dispatch phase
+                        ///< (omitted when no link pushed back)
 
   // Lifecycle audit trail, skipped on replay.
   CategoryInterned = 0x10,    ///< u32 id, str name

@@ -11,6 +11,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/io.hpp"
+
 namespace tora::core::recovery {
 
 namespace {
@@ -113,28 +115,20 @@ void MemStorage::tear(const std::string& name, std::size_t keep) {
 class FileStorage::FileAppend final : public AppendHandle {
  public:
   explicit FileAppend(int fd) : fd_(fd) {}
-  ~FileAppend() override {
-    if (fd_ >= 0) ::close(fd_);
-  }
+  ~FileAppend() override { util::io::close_fd(fd_); }
   FileAppend(const FileAppend&) = delete;
   FileAppend& operator=(const FileAppend&) = delete;
 
   void append(std::string_view bytes) override {
-    const char* p = bytes.data();
-    std::size_t left = bytes.size();
-    while (left > 0) {
-      const ssize_t n = ::write(fd_, p, left);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        throw_errno("append write");
-      }
-      p += n;
-      left -= static_cast<std::size_t>(n);
+    // The shared helper retries EINTR and resumes short writes explicitly;
+    // anything else is a real durability failure.
+    if (util::io::write_full(fd_, bytes).status != util::io::IoStatus::Ok) {
+      throw_errno("append write");
     }
   }
 
   void sync() override {
-    if (::fsync(fd_) != 0) throw_errno("append fsync");
+    if (!util::io::fsync_retry(fd_)) throw_errno("append fsync");
   }
 
  private:
@@ -153,17 +147,18 @@ std::string FileStorage::path_for(const std::string& name) const {
 }
 
 void FileStorage::sync_dir() const {
-  const int fd = ::open(root_.c_str(), O_RDONLY | O_DIRECTORY);
+  const int fd = util::io::open_retry(root_.c_str(), O_RDONLY | O_DIRECTORY);
   if (fd < 0) throw_errno("open dir " + root_);
-  const int rc = ::fsync(fd);
-  ::close(fd);
-  if (rc != 0) throw_errno("fsync dir " + root_);
+  const bool ok = util::io::fsync_retry(fd);
+  util::io::close_fd(fd);
+  if (!ok) throw_errno("fsync dir " + root_);
 }
 
 std::unique_ptr<AppendHandle> FileStorage::open_append(
     const std::string& name) {
   const std::string path = path_for(name);
-  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  const int fd =
+      util::io::open_retry(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) throw_errno("open " + path);
   return std::make_unique<FileAppend>(fd);
 }
@@ -190,24 +185,15 @@ void FileStorage::remove(const std::string& name) {
 
 std::optional<std::string> FileStorage::read_file(
     const std::string& name) const {
-  const int fd = ::open(path_for(name).c_str(), O_RDONLY);
+  const int fd = util::io::open_retry(path_for(name).c_str(), O_RDONLY);
   if (fd < 0) {
     if (errno == ENOENT) return std::nullopt;
     throw_errno("open " + name);
   }
   std::string out;
-  char buf[1 << 16];
-  for (;;) {
-    const ssize_t n = ::read(fd, buf, sizeof(buf));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      ::close(fd);
-      throw_errno("read " + name);
-    }
-    if (n == 0) break;
-    out.append(buf, static_cast<std::size_t>(n));
-  }
-  ::close(fd);
+  const util::io::IoResult r = util::io::read_to_end(fd, out);
+  util::io::close_fd(fd);
+  if (r.status != util::io::IoStatus::Ok) throw_errno("read " + name);
   return out;
 }
 

@@ -28,6 +28,13 @@ class Channel {
   /// Next pending line, or nullopt when drained.
   std::optional<std::string> poll();
 
+  /// True while the transport behind this channel cannot absorb more
+  /// traffic (its bounded send queue is past the high watermark). The
+  /// in-process queue is unbounded, so the base class never pushes back;
+  /// the socket backend (proto/net) overrides this, and the manager skips
+  /// dispatching onto backpressured links until the queue drains.
+  virtual bool backpressured() const noexcept { return false; }
+
   bool empty() const noexcept { return queue_.empty(); }
   std::size_t pending() const noexcept { return queue_.size(); }
   /// Messages/bytes actually delivered into the queue (post-fault).

@@ -35,7 +35,8 @@ void save_chaos(util::ByteWriter& w, const core::ChaosCounters& c) {
                         c.redispatches, c.workers_declared_dead,
                         c.workers_quarantined, c.protocol_evictions,
                         c.heartbeats, c.duplicate_dispatches,
-                        c.misaddressed_messages, c.worker_crashes}) {
+                        c.misaddressed_messages, c.worker_crashes,
+                        c.dispatches_deferred_backpressure}) {
     w.u64(v);
   }
 }
@@ -47,7 +48,8 @@ void load_chaos(util::ByteReader& r, core::ChaosCounters& c) {
         &c.stale_or_duplicate_results, &c.attempt_timeouts, &c.redispatches,
         &c.workers_declared_dead, &c.workers_quarantined,
         &c.protocol_evictions, &c.heartbeats, &c.duplicate_dispatches,
-        &c.misaddressed_messages, &c.worker_crashes}) {
+        &c.misaddressed_messages, &c.worker_crashes,
+        &c.dispatches_deferred_backpressure}) {
     *v = r.u64();
   }
 }
@@ -66,6 +68,7 @@ ProtocolManager::ProtocolManager(std::span<const core::TaskSpec> tasks,
       proto_states_(tasks.size()),
       quarantined_(links_.size(), 0),
       malformed_logged_(links_.size(), 0),
+      bp_sample_(links_.size(), 0),
       deadlines_(cfg.resilience),
       reliability_(cfg.resilience),
       storms_(cfg.resilience) {
@@ -131,6 +134,21 @@ std::size_t ProtocolManager::pump() {
     log_->sync();
   }
   reach(ManagerCrashPoint::AfterLiveness, tick_);
+  sample_backpressure();
+  if (journaling() &&
+      std::count(bp_sample_.begin(), bp_sample_.end(), 1) > 0) {
+    // Transport state is outside the journal's deterministic universe, so
+    // the observation itself becomes an input record. The all-clear case
+    // stays implicit: a Tick with no Backpressure record replays as zeros.
+    util::ByteWriter w;
+    std::uint32_t count = 0;
+    for (char b : bp_sample_) count += b != 0;
+    w.u32(count);
+    for (std::size_t i = 0; i < bp_sample_.size(); ++i) {
+      if (bp_sample_[i]) w.u32(static_cast<std::uint32_t>(i));
+    }
+    journal(RecordType::Backpressure, w.bytes());
+  }
   dispatch_queued();
   if (journaling()) {
     journal(RecordType::DispatchDone);
@@ -501,13 +519,37 @@ bool ProtocolManager::churn_evidence() const noexcept {
          0;
 }
 
+void ProtocolManager::sample_backpressure() {
+  bp_sampled_this_tick_ = true;
+  std::fill(bp_sample_.begin(), bp_sample_.end(), 0);
+  for (const auto& [wid, ws] : workers_) {
+    if (ws.link->to_worker.backpressured()) bp_sample_[wid] = 1;
+  }
+}
+
+bool ProtocolManager::transport_overloaded() const noexcept {
+  if (workers_.empty()) return false;
+  const std::size_t pushed =
+      static_cast<std::size_t>(std::count(bp_sample_.begin(),
+                                          bp_sample_.end(), 1));
+  return pushed > 0 && pushed * 2 >= workers_.size();
+}
+
 std::optional<std::uint64_t> ProtocolManager::place_worker(
-    const ResourceVector& alloc, std::optional<std::uint64_t> exclude) const {
+    const ResourceVector& alloc, std::optional<std::uint64_t> exclude,
+    bool* bp_blocked) const {
+  const auto pushed_back = [this, bp_blocked](std::uint64_t wid) {
+    if (wid >= bp_sample_.size() || !bp_sample_[wid]) return false;
+    if (bp_blocked) *bp_blocked = true;
+    return true;
+  };
   if (!cfg_.resilience.reliability) {
     // First-fit against announced capacities (the legacy policy).
     for (const auto& [wid, ws] : workers_) {
       if (exclude && wid == *exclude) continue;
-      if (alloc.fits_within(ws.capacity - ws.committed)) return wid;
+      if (!alloc.fits_within(ws.capacity - ws.committed)) continue;
+      if (pushed_back(wid)) continue;
+      return wid;
     }
     return std::nullopt;
   }
@@ -520,6 +562,7 @@ std::optional<std::uint64_t> ProtocolManager::place_worker(
   for (const auto& [wid, ws] : workers_) {
     if (exclude && wid == *exclude) continue;
     if (!alloc.fits_within(ws.capacity - ws.committed)) continue;
+    if (pushed_back(wid)) continue;
     const bool probationary = reliability_.probationary(wid, now);
     const double score = reliability_.score(wid);
     const bool better = !pick || (pick_probationary && !probationary) ||
@@ -535,10 +578,11 @@ std::optional<std::uint64_t> ProtocolManager::place_worker(
 }
 
 void ProtocolManager::dispatch_queued() {
-  // Degraded-mode admission control: while a storm rages, cap the number
-  // of in-flight attempts — every dispatch into a collapsing pool is
-  // likely eviction fodder.
-  const bool capped = storms_.degraded();
+  // Degraded-mode admission control: while a storm rages — or the
+  // transport itself is drowning (half the links backpressured) — cap the
+  // number of in-flight attempts; every dispatch into a collapsing pool or
+  // a saturated pipe is likely eviction fodder / backlog fuel.
+  const bool capped = storms_.degraded() || transport_overloaded();
   std::size_t inflight = 0;
   if (capped) {
     for (std::size_t t = 0; t < core_.task_count(); ++t) {
@@ -555,7 +599,14 @@ void ProtocolManager::dispatch_queued() {
           ++res_counters_.dispatches_held;
           return std::nullopt;
         }
-        return place_worker(alloc, std::nullopt);
+        bool bp_blocked = false;
+        const auto wid = place_worker(alloc, std::nullopt, &bp_blocked);
+        if (!wid && bp_blocked) {
+          // Would have placed, but the chosen transport can't absorb more:
+          // the task waits for the queue to drain below the low watermark.
+          ++chaos_.dispatches_deferred_backpressure;
+        }
+        return wid;
       },
       // Commit: bind the resources and put the dispatch on the wire. The
       // machine already stamped the attempt id (entry.attempts).
@@ -872,6 +923,10 @@ std::size_t ProtocolManager::recover(
         liveness_pending = true;
         dispatch_pending = true;
         handled = 0;
+        // A fresh tick starts with an all-clear sample; a Backpressure
+        // record below overrides it if the crashed manager observed one.
+        std::fill(bp_sample_.begin(), bp_sample_.end(), 0);
+        bp_sampled_this_tick_ = false;
         if (recovery_counters_) ++recovery_counters_->ticks_replayed;
         break;
       }
@@ -892,6 +947,23 @@ std::size_t ProtocolManager::recover(
         check_liveness();
         liveness_pending = false;
         break;
+      case RecordType::Backpressure: {
+        util::ByteReader r(rec.payload);
+        std::fill(bp_sample_.begin(), bp_sample_.end(), 0);
+        const std::uint32_t count = r.u32();
+        for (std::uint32_t i = 0; i < count; ++i) {
+          const std::uint32_t link = r.u32();
+          if (link >= bp_sample_.size()) {
+            replaying_ = false;
+            throw std::runtime_error(
+                "recovery journal: backpressure sample beyond the link "
+                "table");
+          }
+          bp_sample_[link] = 1;
+        }
+        bp_sampled_this_tick_ = true;
+        break;
+      }
       case RecordType::DispatchDone:
         dispatch_queued();
         dispatch_pending = false;
@@ -908,7 +980,13 @@ std::size_t ProtocolManager::recover(
   // ran before the crash, so it runs here exactly once — with sends
   // ENABLED, because its messages never reached the wire.
   if (liveness_pending) check_liveness();
-  if (dispatch_pending) dispatch_queued();
+  if (dispatch_pending) {
+    // The journaled sample (if the crashed manager got that far) wins; a
+    // phase that never sampled observes the live transport now, exactly as
+    // the interrupted tick would have.
+    if (!bp_sampled_this_tick_) sample_backpressure();
+    dispatch_queued();
+  }
   return handled;
 }
 

@@ -213,12 +213,27 @@ class ProtocolManager : private core::lifecycle::RuntimeHooks {
   /// At least one infrastructure casualty observed — speculation never
   /// spends resources on a calm pool.
   bool churn_evidence() const noexcept;
-  /// A worker fitting `alloc`, skipping `exclude`. First-fit normally; with
-  /// reliability scoring, the most reliable non-probationary fit (ties to
-  /// the lowest id), probationary workers as last resort.
-  std::optional<std::uint64_t> place_worker(
-      const core::ResourceVector& alloc,
-      std::optional<std::uint64_t> exclude) const;
+  /// A worker fitting `alloc`, skipping `exclude` and any worker whose
+  /// transport reported backpressure in this tick's sample. First-fit
+  /// normally; with reliability scoring, the most reliable
+  /// non-probationary fit (ties to the lowest id), probationary workers as
+  /// last resort. `bp_blocked` (nullable) is set when at least one worker
+  /// fit but was skipped only for backpressure.
+  std::optional<std::uint64_t> place_worker(const core::ResourceVector& alloc,
+                                            std::optional<std::uint64_t>
+                                                exclude,
+                                            bool* bp_blocked = nullptr) const;
+  /// Samples per-link Channel::backpressured() into bp_sample_ — the ONE
+  /// observation of transport state each tick's dispatch phase consumes.
+  /// pump() journals a nonzero sample (RecordType::Backpressure) so crash
+  /// replay re-runs dispatch_queued against the same observation instead
+  /// of live transport state.
+  void sample_backpressure();
+  /// At least half the known workers' links pushed back in this tick's
+  /// sample: the transport is drowning. Joins StormDetector::degraded() in
+  /// capping in-flight dispatches (same knob, resilience.degraded_inflight_
+  /// cap) — dispatching into full send queues only deepens the backlog.
+  bool transport_overloaded() const noexcept;
   /// Duplicates straggling Running attempts onto second workers (runs at
   /// the end of dispatch_queued, so replay's DispatchDone marker covers it).
   void maybe_speculate();
@@ -239,6 +254,10 @@ class ProtocolManager : private core::lifecycle::RuntimeHooks {
   core::ChaosCounters chaos_;
   std::vector<char> quarantined_;
   std::vector<char> malformed_logged_;
+  /// Per-link backpressure sampled once per tick (see sample_backpressure).
+  /// Transient per-phase input, journaled rather than snapshotted.
+  std::vector<char> bp_sample_;
+  bool bp_sampled_this_tick_ = false;
   std::size_t tick_ = 0;
   std::size_t dispatches_ = 0;
   bool started_ = false;

@@ -1,0 +1,48 @@
+#include "proto/net/frame.hpp"
+
+namespace tora::proto::net {
+
+bool FrameReader::feed(std::string_view bytes) {
+  if (poisoned_) return false;
+  std::size_t start = 0;
+  while (start < bytes.size()) {
+    const std::size_t nl = bytes.find('\n', start);
+    if (nl == std::string_view::npos) {
+      buffer_.append(bytes.substr(start));
+      break;
+    }
+    buffer_.append(bytes.substr(start, nl - start));
+    if (buffer_.size() > max_frame_bytes_) {
+      // Oversized even when complete: still a violation — the limit is the
+      // contract, not just a buffering concern.
+      poisoned_ = true;
+      return false;
+    }
+    ready_.push_back(std::move(buffer_));
+    buffer_.clear();
+    ++frames_;
+    start = nl + 1;
+  }
+  if (buffer_.size() > max_frame_bytes_) {
+    poisoned_ = true;
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::string> FrameReader::pop() {
+  if (ready_.empty()) return std::nullopt;
+  std::string frame = std::move(ready_.front());
+  ready_.pop_front();
+  return frame;
+}
+
+void SendBuffer::push_frame(std::string_view frame) {
+  bytes_.reserve(bytes_.size() + frame.size() + 1);
+  bytes_.append(frame);
+  bytes_.push_back('\n');
+}
+
+void SendBuffer::consume(std::size_t n) { bytes_.erase(0, n); }
+
+}  // namespace tora::proto::net

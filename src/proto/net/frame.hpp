@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace tora::proto::net {
+
+/// The TCP wire format is the PR 1 line protocol verbatim: each frame is
+/// one `\n`-terminated line carrying its own spliced-in CRC (see
+/// proto/message.hpp). This layer only reassembles lines from the byte
+/// stream; integrity and semantics stay with the codec above.
+
+/// Reassembles newline-delimited frames from arbitrary read chunks. A
+/// partial frame waits in the buffer until its terminator arrives; a frame
+/// exceeding `max_frame_bytes` poisons the reader (a peer streaming an
+/// unbounded "line" would otherwise grow the buffer without limit — treat
+/// it as a protocol violation and drop the connection).
+class FrameReader {
+ public:
+  explicit FrameReader(std::size_t max_frame_bytes = 1 << 16)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Appends raw bytes from the socket. Returns false once poisoned.
+  bool feed(std::string_view bytes);
+
+  /// Next complete frame (without its newline), or nullopt.
+  std::optional<std::string> pop();
+
+  bool poisoned() const noexcept { return poisoned_; }
+  /// Bytes of an incomplete trailing frame (diagnostics; discarded when the
+  /// connection dies — a torn frame never reaches the application).
+  std::size_t partial_bytes() const noexcept { return buffer_.size(); }
+  std::size_t frames_assembled() const noexcept { return frames_; }
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::string buffer_;
+  std::deque<std::string> ready_;
+  std::size_t frames_ = 0;
+  bool poisoned_ = false;
+};
+
+/// Outbound byte queue with explicit partial-write resumption: frames are
+/// appended newline-terminated; `take_chunk`/`consume` let the flush loop
+/// write whatever the kernel accepts and resume mid-frame later.
+class SendBuffer {
+ public:
+  void push_frame(std::string_view frame);
+
+  bool empty() const noexcept { return bytes_.empty(); }
+  std::size_t pending_bytes() const noexcept { return bytes_.size(); }
+
+  /// The contiguous unsent region.
+  std::string_view chunk() const noexcept { return bytes_; }
+  /// Marks `n` leading bytes as written (a short write consumes less than
+  /// chunk().size()).
+  void consume(std::size_t n);
+
+ private:
+  std::string bytes_;
+};
+
+}  // namespace tora::proto::net

@@ -1,0 +1,187 @@
+#include "proto/net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/io.hpp"
+
+namespace tora::proto::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error("net: " + what + ": " + std::strerror(errno));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("fcntl O_NONBLOCK");
+  }
+}
+
+void set_nodelay(int fd) noexcept {
+  // Latency knob only; failure is harmless.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("net: not an IPv4 address: '" + host + "'");
+  }
+  return addr;
+}
+
+}  // namespace
+
+Fd::~Fd() { util::io::close_fd(fd_); }
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    util::io::close_fd(fd_);
+    fd_ = other.release();
+  }
+  return *this;
+}
+
+void Fd::reset(int fd) noexcept {
+  util::io::close_fd(fd_);
+  fd_ = fd;
+}
+
+TcpListener::TcpListener(const std::string& host, std::uint16_t port,
+                         int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("socket");
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = make_addr(host, port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    throw_errno("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd.get(), backlog) < 0) throw_errno("listen");
+  set_nonblocking(fd.get());
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  fd_ = std::move(fd);
+}
+
+std::optional<Fd> TcpListener::accept() {
+  for (;;) {
+    const int fd = ::accept(fd_.get(), nullptr, nullptr);
+    if (fd >= 0) {
+      Fd conn(fd);
+      set_nonblocking(fd);
+      set_nodelay(fd);
+      return conn;
+    }
+    if (errno == EINTR) continue;
+    // EAGAIN: nothing pending. ECONNABORTED/EPROTO: the peer gave up while
+    // queued — drop it and report "nothing pending"; the next sweep accepts
+    // whoever is still there.
+    return std::nullopt;
+  }
+}
+
+Fd connect_start(const std::string& host, std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Fd{};
+  try {
+    set_nonblocking(fd.get());
+  } catch (const std::exception&) {
+    return Fd{};
+  }
+  set_nodelay(fd.get());
+  sockaddr_in addr = make_addr(host, port);
+  for (;;) {
+    if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return fd;  // loopback can complete synchronously
+    }
+    if (errno == EINTR) continue;
+    if (errno == EINPROGRESS) return fd;
+    return Fd{};  // synchronous refusal (e.g. nothing listening)
+  }
+}
+
+bool connect_result(int fd) noexcept {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0) return false;
+  return err == 0;
+}
+
+void reset_close(Fd& fd) noexcept {
+  if (!fd.valid()) return;
+  linger lg{};
+  lg.l_onoff = 1;
+  lg.l_linger = 0;  // close() now sends RST instead of FIN
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  fd.reset();
+}
+
+Poller::Poller() : epfd_(::epoll_create1(0)) {
+  if (!epfd_.valid()) throw_errno("epoll_create1");
+}
+
+void Poller::add(int fd, bool want_write) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLRDHUP | (want_write ? EPOLLOUT : 0u);
+  ev.data.fd = fd;
+  if (::epoll_ctl(epfd_.get(), EPOLL_CTL_ADD, fd, &ev) < 0) {
+    throw_errno("epoll_ctl ADD");
+  }
+}
+
+void Poller::set_want_write(int fd, bool want_write) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLRDHUP | (want_write ? EPOLLOUT : 0u);
+  ev.data.fd = fd;
+  if (::epoll_ctl(epfd_.get(), EPOLL_CTL_MOD, fd, &ev) < 0) {
+    throw_errno("epoll_ctl MOD");
+  }
+}
+
+void Poller::remove(int fd) noexcept {
+  epoll_event ev{};
+  ::epoll_ctl(epfd_.get(), EPOLL_CTL_DEL, fd, &ev);
+}
+
+std::vector<Poller::Event> Poller::wait(int timeout_ms) {
+  epoll_event evs[64];
+  int n;
+  for (;;) {
+    n = ::epoll_wait(epfd_.get(), evs, 64, timeout_ms);
+    if (n >= 0) break;
+    if (errno != EINTR) throw_errno("epoll_wait");
+  }
+  std::vector<Event> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Event e;
+    e.fd = evs[i].data.fd;
+    e.readable = (evs[i].events & EPOLLIN) != 0;
+    e.writable = (evs[i].events & EPOLLOUT) != 0;
+    e.hangup =
+        (evs[i].events & (EPOLLHUP | EPOLLERR | EPOLLRDHUP)) != 0;
+    out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace tora::proto::net

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tora::proto::net {
+
+/// Move-only RAII file descriptor. Closing tolerates EINTR (util::io).
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  ~Fd();
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset(int fd = -1) noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening TCP socket bound to `host:port` (port 0 picks an ephemeral
+/// port; `port()` reports the bound one). Nonblocking, SO_REUSEADDR,
+/// accept() never blocks. Throws std::runtime_error on setup failures —
+/// those are deployment errors, not peer behavior.
+class TcpListener {
+ public:
+  TcpListener(const std::string& host, std::uint16_t port, int backlog = 64);
+
+  /// One non-blocking accept: the connected fd (nonblocking, TCP_NODELAY)
+  /// or nullopt when no connection is pending. Transient per-connection
+  /// accept errors (ECONNABORTED and friends) read as "nothing pending".
+  std::optional<Fd> accept();
+
+  std::uint16_t port() const noexcept { return port_; }
+  int fd() const noexcept { return fd_.get(); }
+
+ private:
+  Fd fd_;
+  std::uint16_t port_ = 0;
+};
+
+/// Starts a nonblocking connect to `host:port`. Returns the in-progress
+/// socket (completion surfaces via writability + SO_ERROR, see
+/// `connect_result`) or an invalid Fd if the attempt failed synchronously.
+Fd connect_start(const std::string& host, std::uint16_t port);
+
+/// Resolves a nonblocking connect once the socket polls writable: true if
+/// the connection is established, false (with the socket dead) otherwise.
+bool connect_result(int fd) noexcept;
+
+/// Hard-closes a connected socket with an RST instead of an orderly FIN
+/// (SO_LINGER timeout 0). The fault proxy uses this to model peers that
+/// vanish without a goodbye.
+void reset_close(Fd& fd) noexcept;
+
+/// Minimal epoll wrapper: level-triggered readability (always) and
+/// writability (opt-in per fd).
+class Poller {
+ public:
+  Poller();
+
+  void add(int fd, bool want_write = false);
+  void set_want_write(int fd, bool want_write);
+  void remove(int fd) noexcept;
+
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    bool hangup = false;  ///< EPOLLHUP/EPOLLERR/EPOLLRDHUP
+  };
+
+  /// One epoll_wait (EINTR retried). timeout_ms 0 polls, < 0 blocks.
+  std::vector<Event> wait(int timeout_ms);
+
+ private:
+  Fd epfd_;
+};
+
+}  // namespace tora::proto::net

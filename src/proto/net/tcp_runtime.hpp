@@ -1,0 +1,144 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/recovery/crash.hpp"
+#include "core/recovery/recovery_log.hpp"
+#include "core/recovery/storage.hpp"
+#include "core/task.hpp"
+#include "core/task_allocator.hpp"
+#include "proto/manager.hpp"
+#include "proto/net/endpoint.hpp"
+#include "proto/net/fault_proxy.hpp"
+#include "proto/recovery_runtime.hpp"
+
+namespace tora::proto::net {
+
+/// Outcome of a TCP protocol run: the in-process result plus transport
+/// counters and the manager's bit-exact state fingerprint (the three-way
+/// parity oracle compares this byte string against the in-process run's).
+struct TcpRunResult : ProtocolRunResult {
+  core::TransportCounters transport;  ///< manager + every worker, merged
+  std::string state_fingerprint;      ///< ProtocolManager::snapshot_body()
+};
+
+/// ProtocolRuntime's socket sibling: the same manager and WorkerAgents,
+/// but every message crosses a real loopback TCP connection through the
+/// session layer (handshake, sequence numbers, acks, reconnect, resume).
+///
+/// Two pacing modes:
+///
+///  - LOCKSTEP (default, no wire faults): each round runs exactly the
+///    in-process round structure — manager.pump(), network settled to
+///    empty, agents pump, settled again — so message arrival ORDER is
+///    identical to the in-process runtime and the final snapshot_body()
+///    matches it byte for byte. The settle barrier is count-based (every
+///    send queue drained, acked, and every byte delivered), not
+///    time-based, which is what makes real sockets deterministic here.
+///
+///  - PACED (chaos): with a FaultProxy plan or lockstep=false, each round
+///    interleaves a bounded burst of IO pumps instead of a barrier — the
+///    network is allowed to be mid-flight, late, or on fire. Assertions
+///    then target completion and exactly-once accounting, not
+///    fingerprints.
+///
+/// The optional WireFaultPlan routes every worker through an in-process
+/// FaultProxy injecting byte-level faults (latency, corruption, mid-frame
+/// truncation, RST, accept-refusal).
+class TcpProtocolRuntime {
+ public:
+  TcpProtocolRuntime(std::span<const core::TaskSpec> tasks,
+                     core::TaskAllocator& allocator, std::size_t num_workers,
+                     core::ResourceVector worker_capacity,
+                     TcpTransportConfig tcp = {}, ChaosConfig chaos = {},
+                     std::optional<WireFaultPlan> proxy_plan = std::nullopt,
+                     bool lockstep = true);
+
+  TcpRunResult run(std::size_t max_rounds = 100000);
+
+  ManagerEndpoint& manager_endpoint() noexcept { return *mgr_ep_; }
+  WorkerEndpoint& worker_endpoint(std::size_t i) { return *worker_eps_.at(i); }
+  /// Non-null when a proxy plan was given.
+  FaultProxy* proxy() noexcept { return proxy_.get(); }
+
+ private:
+  bool pump_network(int timeout_ms = 0);
+  /// Pumps IO until the whole network is empty (lockstep barrier); the
+  /// sub-round clock advances a fraction per iteration so backoff and
+  /// latency gates keep moving. Throws if the network never drains.
+  void settle();
+  bool network_quiesced() const;
+
+  std::span<const core::TaskSpec> tasks_;
+  core::TaskAllocator& allocator_;
+  TcpTransportConfig tcp_;
+  bool lockstep_;
+  std::size_t stall_limit_;
+  std::unique_ptr<ManagerEndpoint> mgr_ep_;
+  std::unique_ptr<FaultProxy> proxy_;
+  std::vector<std::unique_ptr<WorkerEndpoint>> worker_eps_;
+  std::vector<WorkerAgent> agents_;
+  std::unique_ptr<ProtocolManager> manager_;
+  double now_ = 0.0;
+};
+
+/// RecoverableProtocolRuntime's socket sibling: the manager journals and
+/// crashes exactly as in the in-process harness, but the transport is the
+/// real ManagerEndpoint, which — like the network it models — SURVIVES the
+/// manager process dying: the reborn manager receives the same links, and
+/// in-flight frames are still in the endpoint's channels and send queues.
+/// With `drop_connections_on_crash` the crash also RSTs every worker
+/// connection (the manager host's network stack dying with it); workers
+/// then reconnect with backoff and RESUME their sessions, replaying
+/// unacked results into the recovered manager's idempotency gate.
+class RecoverableTcpRuntime {
+ public:
+  using AllocatorFactory = RecoverableProtocolRuntime::AllocatorFactory;
+
+  RecoverableTcpRuntime(std::span<const core::TaskSpec> tasks,
+                        AllocatorFactory make_allocator,
+                        std::size_t num_workers,
+                        core::ResourceVector worker_capacity,
+                        TcpTransportConfig tcp, ChaosConfig chaos,
+                        core::recovery::Storage& storage,
+                        core::recovery::RecoveryConfig recovery = {},
+                        core::recovery::CrashSchedule crashes = {},
+                        bool drop_connections_on_crash = true);
+
+  struct Result : TcpRunResult {
+    core::RecoveryCounters recovery;
+  };
+
+  Result run(std::size_t max_rounds = 100000);
+
+ private:
+  std::size_t recover();
+  bool pump_network(int timeout_ms = 0);
+  void settle();
+  bool network_quiesced() const;
+
+  std::span<const core::TaskSpec> tasks_;
+  AllocatorFactory make_allocator_;
+  LivenessConfig liveness_;
+  TcpTransportConfig tcp_;
+  bool drop_on_crash_;
+  std::size_t stall_limit_;
+  std::unique_ptr<core::TaskAllocator> allocator_;
+  std::unique_ptr<ManagerEndpoint> mgr_ep_;
+  std::vector<std::unique_ptr<WorkerEndpoint>> worker_eps_;
+  std::vector<WorkerAgent> agents_;
+  core::recovery::Storage& storage_;
+  core::RecoveryCounters counters_;
+  core::recovery::CrashMonitor monitor_;
+  core::recovery::RecoveryLog log_;
+  core::recovery::RecoveryConfig recovery_cfg_;
+  std::unique_ptr<ProtocolManager> manager_;
+  double now_ = 0.0;
+};
+
+}  // namespace tora::proto::net

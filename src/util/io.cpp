@@ -1,0 +1,108 @@
+#include "util/io.hpp"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+
+namespace tora::util::io {
+
+IoResult write_full(int fd, std::string_view bytes) noexcept {
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + done, bytes.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return {IoStatus::Error, done};
+    }
+    // A short write is not an error: resume from where the kernel stopped.
+    done += static_cast<std::size_t>(n);
+  }
+  return {IoStatus::Ok, done};
+}
+
+IoResult read_full(int fd, std::string& out, std::size_t want) {
+  std::size_t done = 0;
+  char buf[1 << 16];
+  while (done < want) {
+    const std::size_t chunk = std::min(want - done, sizeof(buf));
+    const ssize_t n = ::read(fd, buf, chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return {IoStatus::Error, done};
+    }
+    if (n == 0) return {IoStatus::Eof, done};
+    out.append(buf, static_cast<std::size_t>(n));
+    done += static_cast<std::size_t>(n);
+  }
+  return {IoStatus::Ok, done};
+}
+
+IoResult read_to_end(int fd, std::string& out) {
+  std::size_t done = 0;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return {IoStatus::Error, done};
+    }
+    if (n == 0) return {IoStatus::Ok, done};
+    out.append(buf, static_cast<std::size_t>(n));
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+IoResult send_some(int fd, std::string_view bytes) noexcept {
+  for (;;) {
+    const ssize_t n =
+        ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (n >= 0) return {IoStatus::Ok, static_cast<std::size_t>(n)};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoStatus::WouldBlock, 0};
+    }
+    return {IoStatus::Error, 0};
+  }
+}
+
+IoResult recv_some(int fd, std::string& out, std::size_t cap) {
+  char buf[1 << 16];
+  const std::size_t chunk = std::min(cap, sizeof(buf));
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, chunk, 0);
+    if (n > 0) {
+      out.append(buf, static_cast<std::size_t>(n));
+      return {IoStatus::Ok, static_cast<std::size_t>(n)};
+    }
+    if (n == 0) return {IoStatus::Eof, 0};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoStatus::WouldBlock, 0};
+    }
+    return {IoStatus::Error, 0};
+  }
+}
+
+void close_fd(int fd) noexcept {
+  if (fd >= 0) ::close(fd);  // EINTR ignored: the fd is gone either way
+}
+
+bool fsync_retry(int fd) noexcept {
+  for (;;) {
+    if (::fsync(fd) == 0) return true;
+    if (errno != EINTR) return false;
+  }
+}
+
+int open_retry(const char* path, int flags, unsigned mode) noexcept {
+  for (;;) {
+    const int fd = ::open(path, flags, mode);
+    if (fd >= 0 || errno != EINTR) return fd;
+  }
+}
+
+}  // namespace tora::util::io

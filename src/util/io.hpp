@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace tora::util::io {
+
+/// EINTR/EAGAIN-safe syscall wrappers shared by every file-descriptor
+/// consumer in the tree — recovery::FileStorage on the durability side and
+/// proto::net on the socket side. Two families:
+///
+///  - the *_full helpers are for BLOCKING descriptors: they retry EINTR and
+///    resume short reads/writes until the request completes, hits EOF, or a
+///    real error surfaces (reported via errno in the returned status);
+///  - the *_some helpers are for NONBLOCKING descriptors: they retry EINTR
+///    but surface EAGAIN/EWOULDBLOCK as a distinct WouldBlock status so an
+///    event loop can re-arm instead of spinning.
+///
+/// Nothing here throws: socket peers and torn files are expected inputs,
+/// not exceptional ones. Callers that want exceptions (FileStorage) wrap
+/// the status themselves.
+
+enum class IoStatus {
+  Ok,          ///< the full request completed (\_full) / >= 1 byte moved (_some)
+  Eof,         ///< read side: orderly end of stream before any byte
+  WouldBlock,  ///< nonblocking descriptor has no capacity/data right now
+  Error,       ///< a real error; errno preserved from the failing syscall
+};
+
+struct IoResult {
+  IoStatus status = IoStatus::Ok;
+  /// Bytes actually transferred (may be short only for Error/Eof on the
+  /// _full helpers; 0 for WouldBlock).
+  std::size_t bytes = 0;
+};
+
+/// Writes all of `bytes` to a blocking descriptor, retrying EINTR and
+/// resuming explicitly after every short write. Returns Ok with
+/// bytes == bytes.size(), or Error with the partial count.
+IoResult write_full(int fd, std::string_view bytes) noexcept;
+
+/// Reads exactly `want` bytes into `out` (appended) from a blocking
+/// descriptor, retrying EINTR and resuming short reads. Eof reports how
+/// many bytes arrived before the stream ended.
+IoResult read_full(int fd, std::string& out, std::size_t want);
+
+/// Reads the whole remaining stream into `out` (appended), retrying EINTR.
+/// Returns Ok at EOF (bytes = total appended) or Error.
+IoResult read_to_end(int fd, std::string& out);
+
+/// One send() on a nonblocking socket: retries EINTR, maps
+/// EAGAIN/EWOULDBLOCK to WouldBlock, suppresses SIGPIPE (MSG_NOSIGNAL) so a
+/// dead peer surfaces as EPIPE instead of killing the process. Partial
+/// writes return Ok with the short count — the caller's send buffer keeps
+/// the rest.
+IoResult send_some(int fd, std::string_view bytes) noexcept;
+
+/// One recv() of at most `cap` bytes on a nonblocking socket into `out`
+/// (appended): retries EINTR, maps EAGAIN to WouldBlock, 0 to Eof.
+IoResult recv_some(int fd, std::string& out, std::size_t cap);
+
+/// close() that tolerates EINTR. On Linux the descriptor is gone either
+/// way, so the call is made exactly once and EINTR is ignored — retrying
+/// could close an unrelated, freshly reused descriptor.
+void close_fd(int fd) noexcept;
+
+/// fsync() retrying EINTR. Returns false (errno preserved) on real errors.
+bool fsync_retry(int fd) noexcept;
+
+/// open() retrying EINTR. Returns -1 (errno preserved) on failure.
+int open_retry(const char* path, int flags, unsigned mode = 0) noexcept;
+
+}  // namespace tora::util::io

@@ -122,6 +122,75 @@ TEST(CliParse, ResilienceKnobValidation) {
   bad({"--storm-fraction", "0.5"});
 }
 
+TEST(CliParse, TransportDefaultsAndKnobs) {
+  const Options d = parse_options({"proto", "--workflow", "uniform"});
+  EXPECT_EQ(d.command, "proto");
+  EXPECT_EQ(d.transport, "inproc");
+  EXPECT_EQ(d.tcp_host, "127.0.0.1");
+  EXPECT_EQ(d.tcp_port, 0u);
+
+  const Options o = parse_options(
+      {"proto", "--workflow", "uniform", "--transport", "tcp", "--listen",
+       "0.0.0.0:9000", "--backoff-base", "0.5", "--backoff-cap", "8"});
+  EXPECT_EQ(o.transport, "tcp");
+  EXPECT_EQ(o.tcp_host, "0.0.0.0");
+  EXPECT_EQ(o.tcp_port, 9000u);
+  EXPECT_DOUBLE_EQ(o.tcp_backoff_base, 0.5);
+  EXPECT_DOUBLE_EQ(o.tcp_backoff_cap, 8.0);
+
+  // Flag order must not matter: TCP knobs before --transport tcp are fine.
+  const Options r = parse_options({"proto", "--workflow", "uniform",
+                                   "--listen", "localhost:0", "--transport",
+                                   "tcp"});
+  EXPECT_EQ(r.tcp_host, "localhost");
+}
+
+TEST(CliParse, TransportContradictionsFailAtParseTime) {
+  const auto bad = [](std::vector<std::string> args, const std::string& msg) {
+    try {
+      parse_options(args);
+      FAIL() << "expected invalid_argument for: " << msg;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(msg), std::string::npos)
+          << "actual message: " << e.what();
+    }
+  };
+  // Unknown transport value.
+  bad({"proto", "--workflow", "x", "--transport", "udp"},
+      "invalid --transport");
+  // TCP-only knobs contradict the in-process transport — explicitly...
+  bad({"proto", "--workflow", "x", "--transport", "inproc", "--listen",
+       "127.0.0.1:9000"},
+      "requires --transport tcp");
+  // ...and implicitly (inproc is the default), in either flag order.
+  bad({"proto", "--workflow", "x", "--backoff-base", "2"},
+      "requires --transport tcp");
+  bad({"proto", "--workflow", "x", "--listen", "127.0.0.1:0", "--transport",
+       "inproc"},
+      "requires --transport tcp");
+  // Transport flags belong to the proto command only.
+  bad({"run", "--workflow", "x", "--transport", "tcp"},
+      "only valid for command 'proto'");
+  bad({"grid", "--listen", "127.0.0.1:0"}, "only valid for command 'proto'");
+  // Malformed listen specs.
+  bad({"proto", "--workflow", "x", "--transport", "tcp", "--listen", "9000"},
+      "expected HOST:PORT");
+  bad({"proto", "--workflow", "x", "--transport", "tcp", "--listen", "h:"},
+      "expected HOST:PORT");
+  bad({"proto", "--workflow", "x", "--transport", "tcp", "--listen",
+       "h:70000"},
+      "expected 0..65535");
+  // Backoff nonsense.
+  bad({"proto", "--workflow", "x", "--transport", "tcp", "--backoff-base",
+       "0"},
+      "--backoff-base must be > 0");
+  bad({"proto", "--workflow", "x", "--transport", "tcp", "--backoff-base",
+       "4", "--backoff-cap", "2"},
+      "--backoff-cap must be >= --backoff-base");
+  // proto requires a workflow, like run/trace.
+  bad({"proto"}, "requires --workflow");
+}
+
 TEST(CliSplit, List) {
   EXPECT_EQ(split_list("a,b,c"), (std::vector<std::string>{"a", "b", "c"}));
   EXPECT_EQ(split_list("a,,b"), (std::vector<std::string>{"a", "b"}));
@@ -237,6 +306,49 @@ TEST(CliParse, ReplicationsValidation) {
   EXPECT_THROW(parse_options({"grid", "--replications", "0"}),
                std::invalid_argument);
   EXPECT_EQ(parse_options({"grid", "--replications", "5"}).replications, 5u);
+}
+
+namespace {
+// A tiny hand-written trace so the proto e2e runs stay fast (the named
+// workflows generate 1000 tasks).
+std::string write_small_trace(const char* filename, int tasks) {
+  const std::string path = ::testing::TempDir() + "/" + filename;
+  std::ofstream out(path);
+  out << "id,category,cores,memory_mb,disk_mb,duration_s,peak_fraction\n";
+  for (int i = 0; i < tasks; ++i) {
+    out << i << ",small,2,1024,1024,30,0.5\n";
+  }
+  return path;
+}
+}  // namespace
+
+TEST(CliRun, ProtoInprocEndToEnd) {
+  const std::string trace = write_small_trace("cli_proto_inproc.csv", 12);
+  std::ostringstream out, err;
+  const int rc = run_cli(
+      {"proto", "--workflow", trace, "--policy", "max_seen", "--workers", "4"},
+      out, err);
+  EXPECT_EQ(rc, 0) << err.str();
+  EXPECT_NE(out.str().find("over inproc transport"), std::string::npos);
+  EXPECT_NE(out.str().find("tasks completed 12"), std::string::npos);
+  EXPECT_NE(out.str().find("AWE"), std::string::npos);
+  std::remove(trace.c_str());
+}
+
+TEST(CliRun, ProtoTcpEndToEnd) {
+  const std::string trace = write_small_trace("cli_proto_tcp.csv", 12);
+  std::ostringstream out, err;
+  const int rc = run_cli({"proto", "--workflow", trace, "--policy", "max_seen",
+                          "--workers", "3", "--transport", "tcp", "--listen",
+                          "127.0.0.1:0"},
+                         out, err);
+  EXPECT_EQ(rc, 0) << err.str();
+  const std::string s = out.str();
+  EXPECT_NE(s.find("over tcp transport"), std::string::npos);
+  EXPECT_NE(s.find("tasks completed 12"), std::string::npos);
+  EXPECT_NE(s.find("transport: connections 3 accepted"), std::string::npos);
+  EXPECT_NE(s.find("state fingerprint "), std::string::npos);
+  std::remove(trace.c_str());
 }
 
 TEST(CliRun, GridSubsetRuns) {
